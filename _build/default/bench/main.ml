@@ -1,0 +1,294 @@
+(* Benchmark harness.
+
+   Two layers, both run by default:
+
+   1. Bechamel micro-benchmarks — one group per paper table/figure,
+      timing the computational kernels behind it (sketch encode/decode
+      for Fig. 10 and Sec. 6.5, commitment checks for Fig. 6, canonical
+      ordering and block building for Fig. 8, message codecs for Fig. 9,
+      crypto primitives underlying everything).
+
+   2. The full simulation experiments regenerating every figure of the
+      paper's evaluation (Sec. 6) at a laptop scale.
+
+   Environment knobs:
+     LO_BENCH_SCALE  — float multiplier on the experiment node count
+                       (default 1.0 = 120 nodes; use 0.3 for a quick run)
+     LO_BENCH_MICRO_ONLY=1 / LO_BENCH_SIM_ONLY=1 — run only one layer. *)
+
+open Bechamel
+open Toolkit
+open Lo_core
+module Signer = Lo_crypto.Signer
+
+(* ----------------------------------------------------------------- *)
+(* Fixtures                                                            *)
+(* ----------------------------------------------------------------- *)
+
+let scheme = Signer.simulation ()
+let signer = Signer.make scheme ~seed:"bench"
+let schnorr_signer = Signer.make Signer.schnorr ~seed:"bench"
+
+let sample_tx =
+  Tx.create ~signer ~fee:42 ~created_at:1.0 ~payload:(String.make 250 'x')
+
+let sample_tx_bytes = Tx.to_string sample_tx
+
+let mk_ids n seed =
+  let rng = Lo_net.Rng.create seed in
+  List.init n (fun _ -> 1 + Lo_net.Rng.int rng (Short_id.max_value - 1))
+
+let loaded_log ids =
+  let log = Commitment.Log.create ~signer () in
+  List.iter (fun id -> ignore (Commitment.Log.append log ~source:None ~ids:[ id ])) ids;
+  log
+
+(* Digest pair for extension checks. *)
+let digest_pair =
+  let log = Commitment.Log.create ~signer () in
+  ignore (Commitment.Log.append log ~source:None ~ids:(mk_ids 50 1));
+  let older = Commitment.Log.current_digest log in
+  ignore (Commitment.Log.append log ~source:None ~ids:(mk_ids 20 2));
+  (older, Commitment.Log.current_digest log)
+
+let sketch_pair diff =
+  let shared = mk_ids 500 3 in
+  let extra = mk_ids diff 4 in
+  let a = Lo_sketch.Sketch.of_list ~capacity:(diff + 16) shared in
+  let b = Lo_sketch.Sketch.of_list ~capacity:(diff + 16) (shared @ extra) in
+  Lo_sketch.Sketch.merge a b
+
+let staged = Staged.stage
+
+(* ----------------------------------------------------------------- *)
+(* Micro benchmark groups (one per table/figure)                       *)
+(* ----------------------------------------------------------------- *)
+
+let crypto_group =
+  (* Substrate costs paid by every experiment. *)
+  [
+    Test.make ~name:"sha256-256B" (staged (fun () -> Lo_crypto.Sha256.digest sample_tx_bytes));
+    Test.make ~name:"hmac-sha256" (staged (fun () -> Lo_crypto.Hmac.sha256 ~key:"k" sample_tx_bytes));
+    Test.make ~name:"sim-sign" (staged (fun () -> Signer.sign signer "message"));
+    Test.make ~name:"schnorr-sign" (staged (fun () -> Signer.sign schnorr_signer "message"));
+    Test.make ~name:"gf32-mul"
+      (staged (fun () -> Lo_sketch.Gf2m.mul Lo_sketch.Gf2m.gf32 0xDEADBEEF 0x12345678));
+  ]
+
+let fig6_group =
+  (* Detection kernels: digest verification and consistency checks. *)
+  let older, newer = digest_pair in
+  let light = Commitment.strip_sketch newer in
+  [
+    Test.make ~name:"digest-verify-full" (staged (fun () -> Commitment.verify scheme newer));
+    Test.make ~name:"digest-verify-light" (staged (fun () -> Commitment.verify scheme light));
+    Test.make ~name:"check-extension-sketch"
+      (staged (fun () -> Commitment.check_extension ~older ~newer ()));
+    Test.make ~name:"check-extension-clock"
+      (staged (fun () ->
+           Commitment.check_extension ~older:(Commitment.strip_sketch older)
+             ~newer:light ()));
+    Test.make ~name:"evidence-verify"
+      (staged
+         (let log_a = Commitment.Log.create ~signer () in
+          let log_b = Commitment.Log.create ~signer () in
+          ignore (Commitment.Log.append log_a ~source:None ~ids:[ 1 ]);
+          ignore (Commitment.Log.append log_b ~source:None ~ids:[ 2 ]);
+          let ev =
+            Evidence.Conflicting_digests
+              {
+                older = Commitment.Log.current_digest log_a;
+                newer = Commitment.Log.current_digest log_b;
+              }
+          in
+          fun () -> Evidence.verify scheme ev));
+  ]
+
+let fig7_group =
+  (* Mempool-path kernels: prevalidation and commitment append. *)
+  [
+    Test.make ~name:"tx-decode" (staged (fun () -> Tx.of_string sample_tx_bytes));
+    Test.make ~name:"tx-prevalidate" (staged (fun () -> Tx.prevalidate scheme sample_tx));
+    Test.make ~name:"commit-append-1"
+      (staged
+         (let counter = ref 0 in
+          let log = Commitment.Log.create ~signer () in
+          fun () ->
+            incr counter;
+            ignore (Commitment.Log.append log ~source:None ~ids:[ 1 + (!counter land 0xFFFFFF) ])));
+  ]
+
+let fig8_group =
+  (* Block building and inspection kernels. *)
+  let ids = mk_ids 200 5 in
+  let log = loaded_log ids in
+  let bundles =
+    List.map (fun b -> (b.Commitment.Log.seq, b.Commitment.Log.ids)) (Commitment.Log.bundles log)
+  in
+  let txs_by_short = Hashtbl.create 256 in
+  List.iteri
+    (fun i id ->
+      let tx = Tx.create ~signer ~fee:(1 + (i mod 50)) ~created_at:0.0
+          ~payload:(Printf.sprintf "b%d" i)
+      in
+      Hashtbl.replace txs_by_short id tx)
+    ids;
+  let input =
+    {
+      Policy.bundles;
+      find_tx = (fun id -> Hashtbl.find_opt txs_by_short id);
+      is_settled = (fun _ -> false);
+      fee_threshold = 0;
+      max_txs = 1000;
+      seed = Block.genesis_hash;
+    }
+  in
+  [
+    Test.make ~name:"canonical-order-200"
+      (staged (fun () -> Order.canonical ~seed:Block.genesis_hash ~bundles));
+    Test.make ~name:"build-fifo-200" (staged (fun () -> Policy.build Policy.Lo_fifo input));
+    Test.make ~name:"build-highest-fee-200"
+      (staged (fun () -> Policy.build Policy.Highest_fee input));
+  ]
+
+let fig9_group =
+  (* Wire-format kernels: what each byte of Fig. 9 costs to produce. *)
+  let light = Commitment.Log.current_digest_light (loaded_log (mk_ids 30 6)) in
+  let full = Commitment.Log.current_digest (loaded_log (mk_ids 30 7)) in
+  let light_msg = Messages.encode (Messages.Commit_request { digest = light; delta = [ 1; 2; 3 ]; want = []; appended = [] }) in
+  [
+    Test.make ~name:"encode-commit-request-light"
+      (staged (fun () ->
+           Messages.encode (Messages.Commit_request { digest = light; delta = [ 1; 2; 3 ]; want = []; appended = [] })));
+    Test.make ~name:"encode-digest-share-full"
+      (staged (fun () -> Messages.encode (Messages.Digest_share full)));
+    Test.make ~name:"decode-commit-request" (staged (fun () -> Messages.decode light_msg));
+    Test.make ~name:"encode-tx-batch-10"
+      (staged
+         (let txs = List.init 10 (fun i ->
+              Tx.create ~signer ~fee:i ~created_at:0.0 ~payload:(String.make 250 'y'))
+          in
+          fun () -> Messages.encode (Messages.Tx_batch txs)));
+  ]
+
+let fig10_group =
+  (* Sketch reconciliation kernels at several difference sizes. *)
+  List.concat_map
+    (fun diff ->
+      let merged = sketch_pair diff in
+      [
+        Test.make ~name:(Printf.sprintf "sketch-decode-diff%d" diff)
+          (staged (fun () -> Lo_sketch.Sketch.decode merged));
+      ])
+    [ 4; 16; 64 ]
+  @ [
+      Test.make ~name:"sketch-add"
+        (staged
+           (let s = Lo_sketch.Sketch.create ~capacity:Commitment.default_sketch_capacity () in
+            let counter = ref 0 in
+            fun () ->
+              incr counter;
+              Lo_sketch.Sketch.add s (1 + (!counter land 0xFFFFF))));
+      Test.make ~name:"strata-estimate"
+        (staged
+           (let a = Lo_sketch.Strata.of_list (mk_ids 300 11) in
+            let b = Lo_sketch.Strata.of_list (mk_ids 320 12) in
+            fun () -> Lo_sketch.Strata.estimate a b));
+      Test.make ~name:"bloom-clock-compare"
+        (staged
+           (let a = Lo_bloom.Bloom_clock.create () in
+            let b = Lo_bloom.Bloom_clock.create () in
+            List.iter (Lo_bloom.Bloom_clock.add_int a) (mk_ids 100 8);
+            List.iter (Lo_bloom.Bloom_clock.add_int b) (mk_ids 110 8);
+            fun () -> Lo_bloom.Bloom_clock.compare_clocks a b));
+    ]
+
+let memcpu_group =
+  (* Sec. 6.5: monolithic vs partitioned reconciliation cost. *)
+  let mk n =
+    let local = mk_ids n 9 and remote = mk_ids n 10 in
+    (local, remote)
+  in
+  List.concat_map
+    (fun n ->
+      let local, remote = mk n in
+      [
+        Test.make ~name:(Printf.sprintf "reconcile-monolithic-%d" (2 * n))
+          (staged (fun () ->
+               Lo_sketch.Partitioned.reconcile_monolithic ~capacity:(2 * n)
+                 ~local ~remote ()));
+        Test.make ~name:(Printf.sprintf "reconcile-partitioned-%d" (2 * n))
+          (staged (fun () ->
+               Lo_sketch.Partitioned.reconcile ~capacity:64 ~local ~remote ()));
+      ])
+    [ 50; 125 ]
+
+(* ----------------------------------------------------------------- *)
+(* Bechamel driver                                                     *)
+(* ----------------------------------------------------------------- *)
+
+let run_group ~name tests =
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n== bench group: %s ==\n" name;
+  Hashtbl.fold (fun key v acc -> (key, v) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (key, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ ns ] -> Printf.printf "%-42s %12.1f ns/run\n" key ns
+         | _ -> Printf.printf "%-42s (no estimate)\n" key)
+
+let run_micro () =
+  run_group ~name:"substrate" crypto_group;
+  run_group ~name:"fig6" fig6_group;
+  run_group ~name:"fig7" fig7_group;
+  run_group ~name:"fig8" fig8_group;
+  run_group ~name:"fig9" fig9_group;
+  run_group ~name:"fig10" fig10_group;
+  run_group ~name:"sec6.5" memcpu_group
+
+(* ----------------------------------------------------------------- *)
+(* Full experiments                                                    *)
+(* ----------------------------------------------------------------- *)
+
+let run_experiments () =
+  let factor =
+    match Sys.getenv_opt "LO_BENCH_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  let scale =
+    Lo_sim.Experiments.scaled ~factor
+      { Lo_sim.Experiments.default_scale with reps = 1; duration = 15. }
+  in
+  Printf.printf "\n=== Paper experiments (nodes=%d, rate=%.0f tx/s, %.0f s) ===\n"
+    scale.Lo_sim.Experiments.nodes scale.Lo_sim.Experiments.rate
+    scale.Lo_sim.Experiments.duration;
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Printf.printf "[%s took %.1f s wall-clock]\n%!" name (Unix.gettimeofday () -. t0)
+  in
+  timed "fig6" (fun () -> ignore (Lo_sim.Experiments.fig6 ~scale ~fractions:[ 0.1; 0.2; 0.3 ] ()));
+  timed "fig7" (fun () -> ignore (Lo_sim.Experiments.fig7 ~scale ()));
+  timed "fig8-left" (fun () -> ignore (Lo_sim.Experiments.fig8_left ~scale ()));
+  timed "fig8-right" (fun () -> ignore (Lo_sim.Experiments.fig8_right ~scale ()));
+  timed "fig9" (fun () -> ignore (Lo_sim.Experiments.fig9 ~scale ()));
+  timed "fig10" (fun () -> ignore (Lo_sim.Experiments.fig10 ~scale ()));
+  timed "memcpu" (fun () -> ignore (Lo_sim.Experiments.memcpu ~scale ()));
+  timed "ablation" (fun () -> ignore (Lo_sim.Experiments.ablation ~scale ()))
+
+let () =
+  let micro_only = Sys.getenv_opt "LO_BENCH_MICRO_ONLY" = Some "1" in
+  let sim_only = Sys.getenv_opt "LO_BENCH_SIM_ONLY" = Some "1" in
+  if not sim_only then run_micro ();
+  if not micro_only then run_experiments ()

@@ -1,0 +1,152 @@
+(* Command-line entry point: regenerate any of the paper's experiments.
+
+   `lo all` reproduces the full evaluation section; individual
+   subcommands run one figure at a configurable scale. *)
+
+open Cmdliner
+
+let scale_term =
+  let nodes =
+    let doc = "Number of simulated miners." in
+    Arg.(value & opt int Lo_sim.Experiments.default_scale.nodes
+         & info [ "n"; "nodes" ] ~doc)
+  in
+  let reps =
+    let doc = "Independent repetitions to average." in
+    Arg.(value & opt int Lo_sim.Experiments.default_scale.reps
+         & info [ "reps" ] ~doc)
+  in
+  let rate =
+    let doc = "Workload in transactions per second (paper default: 20)." in
+    Arg.(value & opt float Lo_sim.Experiments.default_scale.rate
+         & info [ "rate" ] ~doc)
+  in
+  let duration =
+    let doc = "Workload duration in simulated seconds." in
+    Arg.(value & opt float Lo_sim.Experiments.default_scale.duration
+         & info [ "duration" ] ~doc)
+  in
+  let seed =
+    let doc = "Root random seed (runs are fully deterministic)." in
+    Arg.(value & opt int Lo_sim.Experiments.default_scale.seed
+         & info [ "seed" ] ~doc)
+  in
+  let make nodes reps rate duration seed =
+    { Lo_sim.Experiments.nodes; reps; rate; duration; seed }
+  in
+  Term.(const make $ nodes $ reps $ rate $ duration $ seed)
+
+let run_fig6 scale = ignore (Lo_sim.Experiments.fig6 ~scale ())
+let run_fig7 scale = ignore (Lo_sim.Experiments.fig7 ~scale ())
+
+let run_fig8 scale =
+  ignore (Lo_sim.Experiments.fig8_left ~scale ());
+  ignore (Lo_sim.Experiments.fig8_right ~scale ())
+
+let run_fig9 scale = ignore (Lo_sim.Experiments.fig9 ~scale ())
+let run_fig10 scale = ignore (Lo_sim.Experiments.fig10 ~scale ())
+let run_memcpu scale = ignore (Lo_sim.Experiments.memcpu ~scale ())
+let run_ablation scale = ignore (Lo_sim.Experiments.ablation ~scale ())
+
+let run_replay scale trace_file =
+  let text =
+    let ic = open_in trace_file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Lo_workload.Trace.parse text with
+  | Error msg ->
+      prerr_endline ("trace parse error: " ^ msg);
+      exit 1
+  | Ok trace -> ignore (Lo_sim.Experiments.replay ~scale ~trace ())
+
+let run_selfcheck _scale =
+  (* Offline sanity of the from-scratch substrates: standard vectors and
+     structural invariants. Fails loudly on any mismatch. *)
+  let check name cond =
+    Printf.printf "%-44s %s
+" name (if cond then "ok" else "FAILED");
+    if not cond then exit 1
+  in
+  check "sha256 empty-string vector"
+    (Lo_crypto.Hex.encode (Lo_crypto.Sha256.digest "")
+    = "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  check "sha256 'abc' vector"
+    (Lo_crypto.Hex.encode (Lo_crypto.Sha256.digest "abc")
+    = "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  check "hmac rfc4231 vector"
+    (Lo_crypto.Hex.encode
+       (Lo_crypto.Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?")
+    = "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  check "secp256k1 generator order"
+    (Lo_crypto.Secp256k1.is_infinity
+       (Lo_crypto.Secp256k1.mul Lo_crypto.Secp256k1.n Lo_crypto.Secp256k1.g));
+  let sk, pk = Lo_crypto.Schnorr.keypair_of_seed "selfcheck" in
+  let signature = Lo_crypto.Schnorr.sign sk "selfcheck-message" in
+  check "schnorr sign/verify"
+    (Lo_crypto.Schnorr.verify pk ~msg:"selfcheck-message" ~signature);
+  check "schnorr rejects wrong message"
+    (not (Lo_crypto.Schnorr.verify pk ~msg:"other" ~signature));
+  let sketch_ok =
+    let a = Lo_sketch.Sketch.of_list ~capacity:16 [ 11; 22; 33 ] in
+    let b = Lo_sketch.Sketch.of_list ~capacity:16 [ 22; 33; 44 ] in
+    Lo_sketch.Sketch.decode (Lo_sketch.Sketch.merge a b) = Ok [ 44; 11 ]
+    || Lo_sketch.Sketch.decode (Lo_sketch.Sketch.merge a b) = Ok [ 11; 44 ]
+  in
+  check "pinsketch symmetric difference" sketch_ok;
+  check "gf(2^32) field inverse"
+    (Lo_sketch.Gf2m.mul Lo_sketch.Gf2m.gf32 0xDEADBEEF
+       (Lo_sketch.Gf2m.inv Lo_sketch.Gf2m.gf32 0xDEADBEEF)
+    = 1);
+  let scheme = Lo_crypto.Signer.simulation () in
+  let signer = Lo_crypto.Signer.make scheme ~seed:"selfcheck" in
+  let log = Lo_core.Commitment.Log.create ~signer () in
+  ignore (Lo_core.Commitment.Log.append log ~source:None ~ids:[ 7 ]);
+  check "commitment digest verifies"
+    (Lo_core.Commitment.verify scheme (Lo_core.Commitment.Log.current_digest log));
+  print_endline "all self-checks passed."
+
+let run_all scale =
+  run_fig6 scale;
+  run_fig7 scale;
+  run_fig8 scale;
+  run_fig9 scale;
+  run_fig10 scale;
+  run_memcpu scale
+
+let cmd name doc run =
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
+
+let default =
+  Term.(ret (const (fun _ -> `Help (`Pager, None)) $ scale_term))
+
+let () =
+  let info =
+    Cmd.info "lo" ~version:"1.0.0"
+      ~doc:"Reproduce the evaluation of 'LO: An Accountable Mempool for MEV Resistance'"
+  in
+  let cmds =
+    [
+      cmd "fig6" "Resilience to malicious miners (suspicion/exposure times)" run_fig6;
+      cmd "fig7" "Mempool inclusion latency distribution" run_fig7;
+      cmd "fig8" "Block inclusion latency: FIFO vs Highest-Fee, and vs system size" run_fig8;
+      cmd "fig9" "Bandwidth overhead: LO vs Flood vs PeerReview vs Narwhal" run_fig9;
+      cmd "fig10" "Sketch reconciliations per minute vs workload" run_fig10;
+      cmd "memcpu" "Sec. 6.5 memory and CPU overhead" run_memcpu;
+      cmd "ablate" "Ablations: light vs full digests; digest-share period" run_ablation;
+      (let trace_arg =
+         Cmdliner.Arg.(
+           required
+           & opt (some file) None
+           & info [ "trace" ] ~doc:"CSV transaction trace to replay.")
+       in
+       Cmd.v
+         (Cmd.info "replay" ~doc:"Replay a transaction trace (CSV: time,fee,size)")
+         Term.(const (fun scale trace -> run_replay scale trace) $ scale_term $ trace_arg));
+      cmd "selfcheck" "Verify the crypto and sketch substrates against known vectors" run_selfcheck;
+      cmd "all" "Run the entire evaluation" run_all;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,1 @@
+examples/censorship_demo.ml: Accountability Array Block Commitment Directory Format Inspector List Lo_core Lo_crypto Lo_net Mempool Node Policy Printf String Tx

@@ -1,0 +1,1 @@
+examples/censorship_demo.mli:

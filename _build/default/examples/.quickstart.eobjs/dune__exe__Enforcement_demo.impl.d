@@ -1,0 +1,1 @@
+examples/enforcement_demo.ml: Accountability Array Block Client Directory Enforcement Evidence List Lo_core Lo_crypto Lo_net Node Policy Printf String Tx

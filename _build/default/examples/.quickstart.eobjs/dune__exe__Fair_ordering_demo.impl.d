@@ -1,0 +1,1 @@
+examples/fair_ordering_demo.ml: Array Block Hashtbl List Lo_core Lo_net Lo_sim Node Option Policy Printf String Tx

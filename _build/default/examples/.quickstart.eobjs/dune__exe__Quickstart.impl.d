@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accountability Array Block Commitment Directory Format Fun Inspector List Lo_core Lo_crypto Lo_net Mempool Node Policy Printf String Tx

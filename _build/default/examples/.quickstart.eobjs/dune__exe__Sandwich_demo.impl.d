@@ -1,0 +1,1 @@
+examples/sandwich_demo.ml: Accountability Array Block Directory Inspector List Lo_core Lo_crypto Lo_net Node Policy Printf Tx

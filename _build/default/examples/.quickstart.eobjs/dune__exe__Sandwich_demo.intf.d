@@ -1,0 +1,1 @@
+examples/sandwich_demo.mli:

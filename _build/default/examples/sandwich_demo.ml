@@ -1,0 +1,90 @@
+(* Injection / front-running detection: a sandwich-attack attempt
+   (paper Sec. 2.2).
+
+   A victim's DEX swap is pending. A malicious miner, on winning block
+   creation, injects its own freshly minted transaction *ahead* of the
+   committed bundle containing the victim's swap — classic
+   front-running. Under LØ the canonical order is deterministic and the
+   bundle contents are committed, so the smuggled transaction is a
+   provable injection.
+
+   Run with: dune exec examples/sandwich_demo.exe *)
+
+open Lo_core
+module Net = Lo_net.Network
+module Signer = Lo_crypto.Signer
+
+let () =
+  let n = 15 in
+  let scheme = Signer.simulation () in
+  let net = Net.create ~num_nodes:n ~seed:31 () in
+  let mux = Lo_net.Mux.create net in
+  let signers =
+    Array.init n (fun i -> Signer.make scheme ~seed:(Printf.sprintf "w%d" i))
+  in
+  let directory = Directory.create ~ids:(Array.map Signer.id signers) in
+  let rng = Lo_net.Rng.create 4 in
+  let topo = Lo_net.Topology.build rng ~n ~out_degree:6 ~max_in:125 in
+  let config = Node.default_config scheme in
+  let behavior i = if i = 2 then Node.Block_injector else Node.Honest in
+  let nodes =
+    Array.init n (fun i ->
+        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+          ~neighbors:(Lo_net.Topology.neighbors topo i)
+          ~behavior:(behavior i))
+  in
+  Array.iter Node.start nodes;
+
+  (* The victim's swap plus some background traffic. *)
+  let victim = Signer.make scheme ~seed:"victim" in
+  let swap =
+    Tx.create ~signer:victim ~fee:25 ~created_at:0.0
+      ~payload:"dex-swap: 100 eth -> usdc, slippage 0.5%"
+  in
+  Node.submit_tx nodes.(8) swap;
+  let background = Signer.make scheme ~seed:"background" in
+  for k = 1 to 6 do
+    let tx =
+      Tx.create ~signer:background ~fee:(5 + k) ~created_at:0.0
+        ~payload:(Printf.sprintf "background-%d" k)
+    in
+    Node.submit_tx nodes.(k) tx
+  done;
+  Net.run_until net 8.0;
+
+  (* The attacker builds a block, smuggling in a fresh uncommitted tx at
+     the front of a committed bundle. *)
+  (match Node.build_block nodes.(2) ~policy:Policy.Lo_fifo with
+  | Some block ->
+      Printf.printf "attacker's block: %d txs over bundles %d..%d\n"
+        (List.length block.Block.txids)
+        (block.Block.start_seq + 1) block.Block.commit_seq
+  | None -> print_endline "no block?!");
+
+  let first_detection = ref None in
+  Array.iter
+    (fun node ->
+      (Node.hooks node).Node.on_violation <-
+        (fun v ~block:_ ~now ->
+          match v with
+          | Inspector.Injection _ when !first_detection = None ->
+              first_detection := Some (Node.index node, now)
+          | _ -> ()))
+    nodes;
+  Net.run_until net 20.0;
+  (match !first_detection with
+  | Some (who, at) ->
+      Printf.printf "first injection detection: miner %d at %.2fs\n" who at
+  | None -> print_endline "no detection?!");
+  let attacker_id = Node.node_id nodes.(2) in
+  let exposing =
+    Array.to_list nodes
+    |> List.filter (fun node ->
+           Node.index node <> 2
+           && Accountability.is_exposed (Node.accountability node) attacker_id)
+    |> List.length
+  in
+  Printf.printf "miners holding verifiable proof of injection: %d/%d\n"
+    exposing (n - 1);
+  if exposing = n - 1 then print_endline "front-running attempt exposed — demo done."
+  else print_endline "unexpected: exposure incomplete"

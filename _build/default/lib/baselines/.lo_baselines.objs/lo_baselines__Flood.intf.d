@@ -1,0 +1,1 @@
+lib/baselines/flood.mli: Lo_core Lo_crypto Lo_net

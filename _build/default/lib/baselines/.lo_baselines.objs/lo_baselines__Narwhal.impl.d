@@ -1,0 +1,1 @@
+lib/baselines/narwhal.ml: Hashtbl List Lo_codec Lo_core Lo_crypto Lo_net Printf String

@@ -1,0 +1,1 @@
+lib/baselines/narwhal.mli: Lo_core Lo_crypto Lo_net

@@ -1,0 +1,1 @@
+lib/baselines/peer_review.ml: Flood Hashtbl List Lo_codec Lo_crypto Lo_net Option String

@@ -1,0 +1,1 @@
+lib/baselines/peer_review.mli: Lo_core Lo_crypto Lo_net

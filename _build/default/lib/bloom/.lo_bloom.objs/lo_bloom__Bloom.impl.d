@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Bytes Char Lo_codec Lo_crypto String

@@ -1,0 +1,1 @@
+lib/bloom/bloom_clock.ml: Array Char Int64 Lo_codec Lo_crypto String

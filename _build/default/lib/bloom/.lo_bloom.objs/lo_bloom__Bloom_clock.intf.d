@@ -1,0 +1,1 @@
+lib/bloom/bloom_clock.mli: Lo_codec

@@ -1,0 +1,75 @@
+module Writer = Lo_codec.Writer
+module Reader = Lo_codec.Reader
+
+type t = {
+  bits : Bytes.t;
+  nbits : int;
+  hashes : int;
+  mutable count : int;
+}
+
+let create ~bits ~hashes =
+  if bits <= 0 || hashes <= 0 then invalid_arg "Bloom.create";
+  let nbytes = (bits + 7) / 8 in
+  { bits = Bytes.make nbytes '\000'; nbits = nbytes * 8; hashes; count = 0 }
+
+(* Two independent 30-bit values from the item bytes; items shorter than
+   8 bytes are rehashed to get enough material. *)
+let seeds item =
+  let material =
+    if String.length item >= 8 then item else Lo_crypto.Sha256.digest item
+  in
+  let word off =
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := (!v lsl 8) lor Char.code material.[off + i]
+    done;
+    !v
+  in
+  (word 0, word 4)
+
+let probe t item i =
+  let h1, h2 = seeds item in
+  (h1 + (i * h2) + (i * i)) mod t.nbits
+
+let set_bit t pos =
+  let byte = pos / 8 and bit = pos mod 8 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl bit)))
+
+let get_bit t pos =
+  let byte = pos / 8 and bit = pos mod 8 in
+  Char.code (Bytes.get t.bits byte) lsr bit land 1 = 1
+
+let add t item =
+  for i = 0 to t.hashes - 1 do
+    set_bit t (probe t item i)
+  done;
+  t.count <- t.count + 1
+
+let mem t item =
+  let rec go i = i >= t.hashes || (get_bit t (probe t item i) && go (i + 1)) in
+  go 0
+
+let count t = t.count
+
+let false_positive_rate t =
+  let k = float_of_int t.hashes in
+  let n = float_of_int t.count in
+  let m = float_of_int t.nbits in
+  (1. -. exp (-.k *. n /. m)) ** k
+
+let encode w t =
+  Writer.varint w t.nbits;
+  Writer.varint w t.hashes;
+  Writer.varint w t.count;
+  Writer.fixed w (Bytes.to_string t.bits)
+
+let decode r =
+  let nbits = Reader.varint r in
+  let hashes = Reader.varint r in
+  let count = Reader.varint r in
+  if nbits <= 0 || nbits mod 8 <> 0 || hashes <= 0 then
+    raise (Reader.Malformed "bloom header");
+  let data = Reader.fixed r (nbits / 8) in
+  { bits = Bytes.of_string data; nbits; hashes; count }

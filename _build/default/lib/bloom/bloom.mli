@@ -1,0 +1,22 @@
+(** Classic Bloom filter over byte-string items.
+
+    Used by the flooding baseline for duplicate suppression. Items are
+    assumed to already be uniformly distributed (transaction ids are
+    SHA-256 digests), so the [k] probe positions are derived from the
+    item bytes by double hashing without further cryptographic work. *)
+
+type t
+
+val create : bits:int -> hashes:int -> t
+(** [bits] is rounded up to a multiple of 8. *)
+
+val add : t -> string -> unit
+val mem : t -> string -> bool
+val count : t -> int
+(** Number of insertions performed (not distinct items). *)
+
+val false_positive_rate : t -> float
+(** Estimated current false-positive probability. *)
+
+val encode : Lo_codec.Writer.t -> t -> unit
+val decode : Lo_codec.Reader.t -> t

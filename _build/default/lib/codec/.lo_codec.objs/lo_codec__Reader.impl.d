@@ -1,0 +1,1 @@
+lib/codec/reader.ml: Char List String

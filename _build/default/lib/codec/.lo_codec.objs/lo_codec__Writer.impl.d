@@ -1,0 +1,1 @@
+lib/codec/writer.ml: Buffer Char List String

@@ -1,0 +1,24 @@
+(** Binary decoder matching {!Writer}.
+
+    All decoding raises {!Malformed} on truncated or invalid input; the
+    protocol layer treats such input as evidence of a faulty sender. *)
+
+exception Malformed of string
+
+type t
+
+val of_string : string -> t
+val remaining : t -> int
+val at_end : t -> bool
+val u8 : t -> int
+val u16 : t -> int
+val u32 : t -> int
+val u64 : t -> int
+val varint : t -> int
+val bool : t -> bool
+val fixed : t -> int -> string
+val bytes : t -> string
+val list : t -> (t -> 'a) -> 'a list
+
+val expect_end : t -> unit
+(** @raise Malformed if trailing bytes remain. *)

@@ -1,0 +1,1 @@
+lib/core/accountability.ml: Evidence Hashtbl Option

@@ -1,0 +1,1 @@
+lib/core/accountability.mli: Evidence

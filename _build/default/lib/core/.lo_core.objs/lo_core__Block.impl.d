@@ -1,0 +1,1 @@
+lib/core/block.ml: Float List Lo_codec Lo_crypto String

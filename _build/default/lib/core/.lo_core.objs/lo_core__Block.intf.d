@@ -1,0 +1,1 @@
+lib/core/block.mli: Lo_codec Lo_crypto

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Hashtbl List Lo_codec Lo_crypto Lo_net Messages Node String Tx

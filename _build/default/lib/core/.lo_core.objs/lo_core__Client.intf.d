@@ -1,0 +1,1 @@
+lib/core/client.mli: Lo_crypto Lo_net Tx

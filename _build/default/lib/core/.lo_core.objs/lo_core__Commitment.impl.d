@@ -1,0 +1,1 @@
+lib/core/commitment.ml: Array Hashtbl List Lo_bloom Lo_codec Lo_crypto Lo_sketch Short_id String

@@ -1,0 +1,1 @@
+lib/core/commitment.mli: Lo_bloom Lo_codec Lo_crypto Lo_sketch

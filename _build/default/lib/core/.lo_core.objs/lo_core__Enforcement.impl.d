@@ -1,0 +1,1 @@
+lib/core/enforcement.ml: Evidence Float Hashtbl Lo_codec Lo_crypto Option

@@ -1,0 +1,1 @@
+lib/core/enforcement.mli: Evidence

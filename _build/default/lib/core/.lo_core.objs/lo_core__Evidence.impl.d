@@ -1,0 +1,1 @@
+lib/core/evidence.ml: Block Commitment Int List Lo_codec Option Order Printf Set Short_id String Tx

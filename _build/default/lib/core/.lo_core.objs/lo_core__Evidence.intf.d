@@ -1,0 +1,1 @@
+lib/core/evidence.mli: Block Commitment Lo_codec Lo_crypto Tx

@@ -1,0 +1,1 @@
+lib/core/inspector.ml: Block Format Hashtbl Int List Order Set Short_id String Tx

@@ -1,0 +1,1 @@
+lib/core/inspector.mli: Block Format Tx

@@ -1,0 +1,1 @@
+lib/core/mempool.ml: Hashtbl List Tx

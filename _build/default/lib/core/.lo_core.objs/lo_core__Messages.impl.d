@@ -1,0 +1,1 @@
+lib/core/messages.ml: Block Commitment Evidence Lo_codec Lo_crypto String Tx

@@ -1,0 +1,1 @@
+lib/core/node.mli: Accountability Block Commitment Directory Inspector Lo_crypto Lo_net Mempool Policy Tx

@@ -1,0 +1,1 @@
+lib/core/order.ml: Int List Lo_codec Lo_crypto String

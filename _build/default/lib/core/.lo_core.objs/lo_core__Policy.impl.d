@@ -1,0 +1,1 @@
+lib/core/policy.ml: Block Hashtbl Int List Order Short_id String Tx

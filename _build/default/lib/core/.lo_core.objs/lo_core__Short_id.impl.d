@@ -1,0 +1,1 @@
+lib/core/short_id.ml: Char String

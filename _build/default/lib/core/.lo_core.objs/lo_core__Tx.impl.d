@@ -1,0 +1,1 @@
+lib/core/tx.ml: Float Format Lo_codec Lo_crypto Short_id String

@@ -1,0 +1,1 @@
+lib/core/tx.mli: Format Lo_codec Lo_crypto

@@ -1,0 +1,50 @@
+type suspicion = { since : float; reason : string }
+type status = Trusted | Suspected of suspicion | Exposed of Evidence.t
+type t = { table : (string, status) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let status t peer =
+  Option.value (Hashtbl.find_opt t.table peer) ~default:Trusted
+
+let is_exposed t peer = match status t peer with Exposed _ -> true | _ -> false
+
+let is_suspected t peer =
+  match status t peer with Suspected _ -> true | _ -> false
+
+let suspect t ~peer ~now ~reason =
+  match status t peer with
+  | Exposed _ | Suspected _ -> ()
+  | Trusted -> Hashtbl.replace t.table peer (Suspected { since = now; reason })
+
+let clear_suspicion t ~peer =
+  match status t peer with
+  | Suspected _ -> Hashtbl.remove t.table peer
+  | Trusted | Exposed _ -> ()
+
+let expose t ~peer evidence =
+  match status t peer with
+  | Exposed _ -> false
+  | Trusted | Suspected _ ->
+      Hashtbl.replace t.table peer (Exposed evidence);
+      true
+
+let suspected_peers t =
+  Hashtbl.fold
+    (fun peer st acc ->
+      match st with Suspected s -> (peer, s) :: acc | _ -> acc)
+    t.table []
+
+let exposed_peers t =
+  Hashtbl.fold
+    (fun peer st acc -> match st with Exposed e -> (peer, e) :: acc | _ -> acc)
+    t.table []
+
+let counts t =
+  Hashtbl.fold
+    (fun _ st (s, e) ->
+      match st with
+      | Suspected _ -> (s + 1, e)
+      | Exposed _ -> (s, e + 1)
+      | Trusted -> (s, e))
+    t.table (0, 0)

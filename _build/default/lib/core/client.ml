@@ -1,0 +1,126 @@
+module Network = Lo_net.Network
+module Rng = Lo_net.Rng
+module Signer = Lo_crypto.Signer
+
+type config = {
+  scheme : Signer.scheme;
+  submit_fanout : int;
+  ack_timeout : float;
+  max_attempts : int;
+}
+
+let default_config scheme =
+  { scheme; submit_fanout = 3; ack_timeout = 2.0; max_attempts = 3 }
+
+type pending = {
+  tx : Tx.t;
+  mutable acks : (string, unit) Hashtbl.t; (* miner ids that acked *)
+  mutable attempts : int;
+  mutable contacted : int list; (* miner indices already tried *)
+}
+
+type t = {
+  config : config;
+  net : Network.t;
+  index : int;
+  signer : Signer.t;
+  miners : (int * string) array;
+  id_of_index : (int, string) Hashtbl.t;
+  rng : Rng.t;
+  pending : (string, pending) Hashtbl.t; (* by txid *)
+  mutable on_ack : Tx.t -> now:float -> unit;
+}
+
+let create config ~net ~index ~signer ~miners =
+  if miners = [] then invalid_arg "Client.create: no miners";
+  let id_of_index = Hashtbl.create (List.length miners) in
+  List.iter (fun (i, id) -> Hashtbl.replace id_of_index i id) miners;
+  {
+    config;
+    net;
+    index;
+    signer;
+    miners = Array.of_list miners;
+    id_of_index;
+    rng = Rng.split (Network.rng net);
+    pending = Hashtbl.create 16;
+    on_ack = (fun _ ~now:_ -> ());
+  }
+
+let on_acknowledged t f = t.on_ack <- f
+
+let ack_count t ~txid =
+  match Hashtbl.find_opt t.pending txid with
+  | Some p -> Hashtbl.length p.acks
+  | None -> 0
+
+let attempts t ~txid =
+  match Hashtbl.find_opt t.pending txid with
+  | Some p -> p.attempts
+  | None -> 0
+
+let acknowledged t ~txid = ack_count t ~txid > 0
+
+let send_wave t p =
+  p.attempts <- p.attempts + 1;
+  let fresh =
+    Array.to_list t.miners
+    |> List.filter (fun (i, _) -> not (List.mem i p.contacted))
+    |> List.map fst
+  in
+  let pool = if fresh = [] then Array.to_list t.miners |> List.map fst else fresh in
+  let targets =
+    Rng.sample_without_replacement t.rng t.config.submit_fanout pool
+  in
+  p.contacted <- targets @ p.contacted;
+  let payload = Messages.encode (Messages.Submit p.tx) in
+  List.iter
+    (fun dst ->
+      Network.send t.net ~src:t.index ~dst ~tag:"lo:submit" payload)
+    targets
+
+let rec check_acks t txid =
+  match Hashtbl.find_opt t.pending txid with
+  | None -> ()
+  | Some p ->
+      if Hashtbl.length p.acks = 0 && p.attempts < t.config.max_attempts then begin
+        send_wave t p;
+        Network.schedule t.net ~delay:t.config.ack_timeout (fun _ ->
+            check_acks t txid)
+      end
+
+let submit t ~fee ~payload =
+  let tx =
+    Tx.create ~signer:t.signer ~fee ~created_at:(Network.now t.net) ~payload
+  in
+  let p = { tx; acks = Hashtbl.create 4; attempts = 0; contacted = [] } in
+  Hashtbl.replace t.pending tx.Tx.id p;
+  send_wave t p;
+  Network.schedule t.net ~delay:t.config.ack_timeout (fun _ ->
+      check_acks t tx.Tx.id);
+  tx
+
+let handle t _net ~from ~tag payload =
+  if String.equal tag "lo:submit-ack" then
+    match Messages.decode payload with
+    | exception Lo_codec.Reader.Malformed _ -> ()
+    | Messages.Submit_ack { txid; ack_signature } -> begin
+        match
+          (Hashtbl.find_opt t.pending txid, Hashtbl.find_opt t.id_of_index from)
+        with
+        | Some p, Some miner_id ->
+            if
+              (not (Hashtbl.mem p.acks miner_id))
+              && Signer.verify t.config.scheme ~id:miner_id
+                   ~msg:(Node.ack_signing_bytes ~txid)
+                   ~signature:ack_signature
+            then begin
+              let first = Hashtbl.length p.acks = 0 in
+              Hashtbl.add p.acks miner_id ();
+              if first then t.on_ack p.tx ~now:(Network.now t.net)
+            end
+        | _ -> ()
+      end
+    | _ -> ()
+
+let start t = Network.set_handler t.net t.index (handle t)

@@ -1,0 +1,49 @@
+(** Client-side transaction submission (Stage I of the paper's
+    pipeline).
+
+    A client signs its transaction, shares it with a configurable subset
+    of miners it knows (paper: "a subset of peers that it personally
+    knows"), collects the optional signed acknowledgements (step 3), and
+    resubmits to fresh miners if too few acknowledgements arrive before
+    a timeout — which is exactly what defeats Stage-I censorship by a
+    single faulty miner: the transaction reaches an honest miner with
+    overwhelming probability, after which LØ's commitments take over.
+
+    A client occupies its own simulator node index; it speaks only
+    [Submit]/[Submit_ack]. *)
+
+type config = {
+  scheme : Lo_crypto.Signer.scheme;
+  submit_fanout : int;  (** miners contacted per attempt (default 3) *)
+  ack_timeout : float;  (** seconds before resubmitting (default 2 s) *)
+  max_attempts : int;  (** total submission waves (default 3) *)
+}
+
+val default_config : Lo_crypto.Signer.scheme -> config
+
+type t
+
+val create :
+  config ->
+  net:Lo_net.Network.t ->
+  index:int ->
+  signer:Lo_crypto.Signer.t ->
+  miners:(int * string) list ->
+  t
+(** [miners] are (simulator index, identity) pairs the client knows. *)
+
+val start : t -> unit
+
+val submit : t -> fee:int -> payload:string -> Tx.t
+(** Create, sign and send a transaction to [submit_fanout] random
+    miners; returns it for tracking. *)
+
+val ack_count : t -> txid:string -> int
+(** Verified acknowledgements received for one of our transactions. *)
+
+val attempts : t -> txid:string -> int
+val acknowledged : t -> txid:string -> bool
+(** At least one verified acknowledgement. *)
+
+val on_acknowledged : t -> (Tx.t -> now:float -> unit) -> unit
+(** Fires on the first verified acknowledgement per transaction. *)

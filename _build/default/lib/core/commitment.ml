@@ -1,0 +1,233 @@
+module Writer = Lo_codec.Writer
+module Reader = Lo_codec.Reader
+module Signer = Lo_crypto.Signer
+module Bloom_clock = Lo_bloom.Bloom_clock
+module Sketch = Lo_sketch.Sketch
+
+type digest = {
+  owner : string;
+  seq : int;
+  counter : int;
+  clock : Bloom_clock.t;
+  sketch_hash : string;
+  sketch : Sketch.t option;
+  signature : string;
+}
+
+let default_sketch_capacity = 250
+let default_clock_cells = 32
+
+let sketch_bytes sketch =
+  let w = Writer.create ~initial_size:64 () in
+  Sketch.encode w sketch;
+  Writer.contents w
+
+let hash_sketch sketch = Lo_crypto.Sha256.digest (sketch_bytes sketch)
+
+let encode_unsigned w d =
+  Writer.fixed w d.owner;
+  Writer.varint w d.seq;
+  Writer.varint w d.counter;
+  Bloom_clock.encode w d.clock;
+  Writer.fixed w d.sketch_hash
+
+let encode w d =
+  encode_unsigned w d;
+  (match d.sketch with
+  | None -> Writer.u8 w 0
+  | Some sketch ->
+      Writer.u8 w 1;
+      Sketch.encode w sketch);
+  Writer.fixed w d.signature
+
+let decode r =
+  let owner = Reader.fixed r Signer.id_size in
+  let seq = Reader.varint r in
+  let counter = Reader.varint r in
+  let clock = Bloom_clock.decode r in
+  let sketch_hash = Reader.fixed r 32 in
+  let sketch =
+    match Reader.u8 r with
+    | 0 -> None
+    | 1 -> Some (Sketch.decode_wire r)
+    | _ -> raise (Reader.Malformed "digest sketch flag")
+  in
+  let signature = Reader.fixed r Signer.signature_size in
+  { owner; seq; counter; clock; sketch_hash; sketch; signature }
+
+let encoded_size d =
+  let w = Writer.create () in
+  encode w d;
+  Writer.length w
+
+let signing_bytes d =
+  let w = Writer.create () in
+  encode_unsigned w d;
+  Writer.contents w
+
+let verify scheme d =
+  Signer.verify scheme ~id:d.owner ~msg:(signing_bytes d)
+    ~signature:d.signature
+  &&
+  match d.sketch with
+  | None -> true
+  | Some sketch -> String.equal (hash_sketch sketch) d.sketch_hash
+
+let strip_sketch d = { d with sketch = None }
+let is_full d = d.sketch <> None
+
+let equal_content a b = String.equal (signing_bytes a) (signing_bytes b)
+
+type consistency =
+  | Consistent of int list
+  | Plausible
+  | Inconsistent
+  | Inconclusive
+
+let check_extension ?(max_decode = max_int) ~older ~newer () =
+  if not (String.equal older.owner newer.owner) then
+    invalid_arg "Commitment.check_extension: different owners";
+  if older.seq > newer.seq then
+    invalid_arg "Commitment.check_extension: wrong digest order";
+  if older.seq = newer.seq then
+    if equal_content older newer then Consistent [] else Inconsistent
+  else if newer.counter <= older.counter then Inconsistent
+  else if not (Bloom_clock.dominates newer.clock older.clock) then Inconsistent
+  else begin
+    try
+    match (older.sketch, newer.sketch) with
+    | Some so, Some sn -> begin
+        (* The Bloom clock bounds the difference (exactly, for an honest
+           extension), so a truncated — much cheaper — sketch prefix is
+           tried first, escalating to the full capacity on failure. *)
+        let merged = Sketch.merge so sn in
+        let estimate = Bloom_clock.estimate_difference older.clock newer.clock in
+        if estimate > max_decode then raise Exit;
+        let small = min (Sketch.capacity merged) (estimate + 8) in
+        let attempt capacity = Sketch.decode (Sketch.truncate merged ~capacity) in
+        let result =
+          match attempt small with
+          | Ok diff -> Ok diff
+          | Error `Decode_failure when small < Sketch.capacity merged ->
+              Sketch.decode merged
+          | Error `Decode_failure -> Error `Decode_failure
+        in
+        match result with
+        | Error `Decode_failure -> Inconclusive
+        | Ok diff ->
+            if List.length diff <> newer.counter - older.counter then
+              Inconsistent
+            else Consistent diff
+      end
+    | _ -> Plausible
+    with Exit -> Plausible
+  end
+
+module Log = struct
+  type bundle = { seq : int; source : string option; ids : int list }
+
+  type t = {
+    signer : Signer.t;
+    sketch_capacity : int;
+    clock_cells : int;
+    mutable bundles_rev : bundle list;
+    mutable digests_rev : digest list; (* snapshot after each bundle *)
+    mutable counter : int;
+    mutable seq : int;
+    clock : Bloom_clock.t;
+    sketch : Sketch.t;
+    known : (int, unit) Hashtbl.t;
+    cells : int list array; (* ids per Bloom-clock cell, reverse order *)
+  }
+
+  let owner t = Signer.id t.signer
+  let contains t id = Hashtbl.mem t.known id
+  let counter t = t.counter
+  let seq t = t.seq
+
+  let sign_snapshot t =
+    let sketch = Sketch.copy t.sketch in
+    let unsigned =
+      {
+        owner = owner t;
+        seq = t.seq;
+        counter = t.counter;
+        clock = Bloom_clock.copy t.clock;
+        sketch_hash = hash_sketch sketch;
+        sketch = Some sketch;
+        signature = String.make Signer.signature_size '\000';
+      }
+    in
+    let signature = Signer.sign t.signer (signing_bytes unsigned) in
+    { unsigned with signature }
+
+  let create ?(sketch_capacity = default_sketch_capacity)
+      ?(clock_cells = default_clock_cells) ~signer () =
+    let t =
+      {
+        signer;
+        sketch_capacity;
+        clock_cells;
+        bundles_rev = [];
+        digests_rev = [];
+        counter = 0;
+        seq = 0;
+        clock = Bloom_clock.create ~cells:clock_cells ();
+        sketch = Sketch.create ~capacity:sketch_capacity ();
+        known = Hashtbl.create 256;
+        cells = Array.make clock_cells [];
+      }
+    in
+    (* The signed empty (seq 0) snapshot anchors evidence about the very
+       first bundle. *)
+    t.digests_rev <- [ sign_snapshot t ];
+    t
+
+  let current_digest t =
+    match t.digests_rev with latest :: _ -> latest | [] -> assert false
+
+  let current_digest_light t = strip_sketch (current_digest t)
+
+  let append t ~source ~ids =
+    let fresh =
+      List.filter
+        (fun id ->
+          if id <= 0 || id > Short_id.max_value || Hashtbl.mem t.known id then
+            false
+          else begin
+            Hashtbl.add t.known id ();
+            true
+          end)
+        ids
+    in
+    match fresh with
+    | [] -> None
+    | _ ->
+        List.iter
+          (fun id ->
+            Bloom_clock.add_int t.clock id;
+            Sketch.add t.sketch id;
+            let cell = Bloom_clock.cell_of_int ~cells:t.clock_cells id in
+            t.cells.(cell) <- id :: t.cells.(cell))
+          fresh;
+        t.counter <- t.counter + List.length fresh;
+        t.seq <- t.seq + 1;
+        t.bundles_rev <- { seq = t.seq; source; ids = fresh } :: t.bundles_rev;
+        let d = sign_snapshot t in
+        t.digests_rev <- d :: t.digests_rev;
+        Some d
+
+  let digest_at t ~seq =
+    List.find_opt (fun (d : digest) -> d.seq = seq) t.digests_rev
+
+  let ids_in_cells t cells =
+    List.concat_map
+      (fun cell ->
+        if cell >= 0 && cell < Array.length t.cells then
+          List.rev t.cells.(cell)
+        else [])
+      cells
+
+  let bundles t = List.rev t.bundles_rev
+  let all_ids t = List.concat_map (fun b -> b.ids) (bundles t)
+end

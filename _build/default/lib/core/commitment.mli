@@ -1,0 +1,129 @@
+(** Mempool commitments — the heart of LØ (paper Sec. 4.2).
+
+    A miner's commitment is an append-only record of every (short)
+    transaction id it has accepted, in bundle order. On the wire a
+    commitment travels as a compact signed {!digest}: the owner's
+    identity, a bundle sequence number, the total id count, a Bloom
+    clock and a PinSketch of the full id set. Consecutive digests from
+    the same owner must be consistent extensions of one another; any
+    signed pair violating that is cryptographic proof of equivocation or
+    withholding.
+
+    The {!Log} sub-module is the owner side: it appends bundles, keeps
+    the committed-id index, and signs fresh digests. *)
+
+type digest = {
+  owner : string;  (** 33-byte signer identity *)
+  seq : int;  (** number of bundles committed so far *)
+  counter : int;  (** number of short ids committed so far *)
+  clock : Lo_bloom.Bloom_clock.t;
+  sketch_hash : string;  (** SHA-256 of the serialized sketch *)
+  sketch : Lo_sketch.Sketch.t option;
+      (** [None] in the "light" form used by routine reconciliation —
+          the Bloom clock drives the common path, as in Sec. 4.2; the
+          full sketch travels periodically and on demand. The signature
+          covers the sketch through [sketch_hash], so light and full
+          forms of the same commitment verify identically. *)
+  signature : string;
+}
+
+val default_sketch_capacity : int
+(** 250 syndromes — 1,000 bytes of sketch, the paper's parameter
+    ("sufficient to reconcile a set difference of up to 100
+    transactions" leaves headroom; we expose the capacity directly). *)
+
+val default_clock_cells : int
+(** 32 cells, the paper's Bloom-clock size. *)
+
+val encode : Lo_codec.Writer.t -> digest -> unit
+val decode : Lo_codec.Reader.t -> digest
+val encoded_size : digest -> int
+
+val signing_bytes : digest -> string
+(** The bytes covered by the signature (everything but the signature). *)
+
+val verify : Lo_crypto.Signer.scheme -> digest -> bool
+(** Checks the signature, and — for a full digest — that the carried
+    sketch matches [sketch_hash]. *)
+
+val strip_sketch : digest -> digest
+(** The light form (drops the sketch; hash and signature unchanged). *)
+
+val is_full : digest -> bool
+
+val equal_content : digest -> digest -> bool
+(** Same owner, seq, counter, clock and sketch hash (signature and
+    light/full form excluded). *)
+
+type consistency =
+  | Consistent of int list
+      (** [newer] extends [older]; the list holds the short ids added in
+          between (decoded from the sketches), unordered. *)
+  | Plausible
+      (** Cheap checks (counter growth, clock dominance) passed, but at
+          least one digest is light so the sets were not compared. *)
+  | Inconsistent
+      (** Signed proof of misbehaviour when both digests verify. *)
+  | Inconclusive
+      (** The sketch difference exceeded capacity; fetch the explicit
+          delta before judging. *)
+
+val check_extension :
+  ?max_decode:int -> older:digest -> newer:digest -> unit -> consistency
+(** Precondition: same owner; [older.seq <= newer.seq]. The Bloom clock
+    is compared first (cheap, works on light digests), then — when both
+    sketches are present — the sketch difference is decoded and its
+    cardinality checked against the counters, as described in Sec. 4.2
+    ("Implementation Details"). The clock's difference estimate guides a
+    truncated (cheap) decode first; when the estimate exceeds
+    [max_decode] the set comparison is skipped and the cheap verdict
+    [Plausible] is returned (full audits of distant snapshots are
+    sampled by the caller instead of paid on every message). *)
+
+(** Owner-side commitment log. *)
+module Log : sig
+  type t
+
+  type bundle = {
+    seq : int;  (** 1-based bundle number *)
+    source : string option;  (** peer the bundle was learned from *)
+    ids : int list;  (** short ids in arrival order *)
+  }
+
+  val create :
+    ?sketch_capacity:int ->
+    ?clock_cells:int ->
+    signer:Lo_crypto.Signer.t ->
+    unit ->
+    t
+
+  val owner : t -> string
+  val contains : t -> int -> bool
+  val counter : t -> int
+  val seq : t -> int
+
+  val append : t -> source:string option -> ids:int list -> digest option
+  (** Commit a bundle of previously unknown short ids, in the given
+      order (duplicates and already-known ids are dropped). Returns the
+      fresh signed digest, or [None] if nothing new remained. *)
+
+  val current_digest : t -> digest
+  (** Full form (sketch included). *)
+
+  val current_digest_light : t -> digest
+
+  val digest_at : t -> seq:int -> digest option
+  (** Historical snapshot (all digests are retained, Sec. 5.2). *)
+
+  val ids_in_cells : t -> int list -> int list
+  (** Committed ids that map to the given Bloom-clock cells, in
+      commitment order — the clock-guided delta selection of Sec. 4.2:
+      cells where our clock exceeds the peer's point at the ids the peer
+      is probably missing. *)
+
+  val bundles : t -> bundle list
+  (** In commitment order. *)
+
+  val all_ids : t -> int list
+  (** Every committed short id, in commitment order. *)
+end

@@ -1,0 +1,10 @@
+type t = { ids : string array; index : (string, int) Hashtbl.t }
+
+let create ~ids =
+  let index = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun i id -> Hashtbl.replace index id i) ids;
+  { ids; index }
+
+let id_of t i = t.ids.(i)
+let index_of t id = Hashtbl.find_opt t.index id
+let size t = Array.length t.ids

@@ -1,0 +1,10 @@
+(** Identity directory for simulations: maps between dense simulator
+    node indices and 33-byte signer identities. Plays the role of the
+    paper's bootstrap nodes' membership knowledge. *)
+
+type t
+
+val create : ids:string array -> t
+val id_of : t -> int -> string
+val index_of : t -> string -> int option
+val size : t -> int

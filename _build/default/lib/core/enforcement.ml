@@ -1,0 +1,90 @@
+type policy = {
+  slash_fraction : float;
+  min_stake : int;
+  disconnect_for : float;
+}
+
+let default_policy =
+  { slash_fraction = 0.5; min_stake = 1; disconnect_for = 30.0 }
+
+type account = {
+  mutable stake : int;
+  mutable disconnected_until : float option;
+  seen_evidence : (string, unit) Hashtbl.t; (* hash of applied proofs *)
+}
+
+type t = {
+  policy : policy;
+  accounts : (string, account) Hashtbl.t;
+  mutable slashed : int;
+}
+
+let create ?(policy = default_policy) () =
+  if policy.slash_fraction < 0. || policy.slash_fraction > 1. then
+    invalid_arg "Enforcement.create: slash_fraction";
+  { policy; accounts = Hashtbl.create 64; slashed = 0 }
+
+let register t ~id ~stake =
+  if stake < 0 then invalid_arg "Enforcement.register: negative stake";
+  Hashtbl.replace t.accounts id
+    {
+      stake;
+      disconnected_until = None;
+      seen_evidence = Hashtbl.create 4;
+    }
+
+let stake t ~id =
+  match Hashtbl.find_opt t.accounts id with
+  | Some a -> a.stake
+  | None -> 0
+
+let disconnected_until t ~id =
+  match Hashtbl.find_opt t.accounts id with
+  | Some a -> a.disconnected_until
+  | None -> None
+
+let is_eligible t ~id =
+  match Hashtbl.find_opt t.accounts id with
+  | None -> false
+  | Some a -> a.stake >= t.policy.min_stake && a.disconnected_until = None
+
+let evidence_key evidence =
+  let w = Lo_codec.Writer.create () in
+  Evidence.encode w evidence;
+  Lo_crypto.Sha256.digest (Lo_codec.Writer.contents w)
+
+let punish t ~id evidence ~now =
+  match Hashtbl.find_opt t.accounts id with
+  | None -> ()
+  | Some a ->
+      let key = evidence_key evidence in
+      if not (Hashtbl.mem a.seen_evidence key) then begin
+        Hashtbl.add a.seen_evidence key ();
+        let burned =
+          int_of_float
+            (Float.round (t.policy.slash_fraction *. float_of_int a.stake))
+        in
+        a.stake <- a.stake - burned;
+        t.slashed <- t.slashed + burned;
+        if t.policy.disconnect_for > 0. then
+          a.disconnected_until <-
+            Some
+              (Float.max
+                 (Option.value a.disconnected_until ~default:0.)
+                 (now +. t.policy.disconnect_for))
+      end
+
+let tick t ~now =
+  Hashtbl.iter
+    (fun _ a ->
+      match a.disconnected_until with
+      | Some until when until <= now -> a.disconnected_until <- None
+      | _ -> ())
+    t.accounts
+
+let slashed_total t = t.slashed
+
+let eligible_ids t =
+  Hashtbl.fold
+    (fun id _ acc -> if is_eligible t ~id then id :: acc else acc)
+    t.accounts []

@@ -1,0 +1,59 @@
+(** Enforcement policies on top of detection (paper Sec. 5.4).
+
+    LØ itself only detects and attributes misbehaviour; what happens to
+    an exposed miner depends on the consensus layer. This module
+    implements the paper's suggested mechanisms so deployments and
+    experiments can study them end to end:
+
+    - {b stake slashing} (PoS): an exposed miner loses a fraction of its
+      stake per distinct exposure;
+    - {b reputation slashing}: the multiplicative analogue for
+      reputation-based validator selection;
+    - {b network-level penalties}: temporary disconnection, realised in
+      simulations by dropping an exposed peer from overlay neighbour
+      sets;
+    - {b block rejection}: blocks from exposed creators are refused
+      (enabled on the node via [Node.config.reject_exposed_blocks]).
+
+    All state is per-observer: in a permissionless network every node
+    draws its own conclusions from the evidence it verified, and
+    identical evidence yields identical decisions everywhere. *)
+
+type policy = {
+  slash_fraction : float;
+      (** stake fraction burned per exposure (paper cites Casper-style
+          slashing); 0.0 disables *)
+  min_stake : int;  (** below this the miner is no longer eligible *)
+  disconnect_for : float;
+      (** seconds of network-level disconnection per exposure; 0.0
+          disables *)
+}
+
+val default_policy : policy
+(** 50 % slash, eligibility floor 1, 30 s disconnection. *)
+
+type t
+
+val create : ?policy:policy -> unit -> t
+
+val register : t -> id:string -> stake:int -> unit
+(** Introduce a miner with its initial stake (validator deposit). *)
+
+val stake : t -> id:string -> int
+val is_eligible : t -> id:string -> bool
+(** Eligible = registered, stake above the floor, and not currently
+    disconnected. *)
+
+val punish : t -> id:string -> Evidence.t -> now:float -> unit
+(** Apply the policy for one verified exposure. Idempotent per evidence
+    content: re-applying the same proof does not slash twice. *)
+
+val disconnected_until : t -> id:string -> float option
+val tick : t -> now:float -> unit
+(** Re-admit peers whose disconnection expired. *)
+
+val slashed_total : t -> int
+(** Total stake burned so far (goes to the protocol, as in PoS
+    slashing). *)
+
+val eligible_ids : t -> string list

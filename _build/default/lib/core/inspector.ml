@@ -1,0 +1,152 @@
+type violation =
+  | Bad_structure of string
+  | Injection of { bundle_seq : int option; short_id : int }
+  | Reordering of { bundle_seq : int }
+  | Blockspace_censorship of { bundle_seq : int; short_id : int }
+  | False_omission_claim of { bundle_seq : int; short_id : int }
+
+type report = {
+  violations : violation list;
+  unverified_bundles : int list;
+  unverifiable_omissions : (int * int) list;
+}
+
+let clean report = report.violations = []
+
+type knowledge = {
+  bundle_of_seq : int -> int list option;
+  find_tx : int -> Tx.t option;
+  settled_height : int -> int option;
+}
+
+let expected_bundle_order block ~bundle_seq included =
+  Order.sort_bundle ~seed:block.Block.prev_hash ~bundle_seq included
+
+module Int_set = Set.Make (Int)
+
+let inspect (block : Block.t) knowledge =
+  let violations = ref [] in
+  let unverified = ref [] in
+  let unverifiable = ref [] in
+  let push v = violations := v :: !violations in
+  if not (Block.structure_ok block) then begin
+    push (Bad_structure "inconsistent sizes");
+    { violations = !violations; unverified_bundles = []; unverifiable_omissions = [] }
+  end
+  else begin
+    let omission_reason =
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (id, r) -> Hashtbl.replace tbl id r) block.omissions;
+      Hashtbl.find_opt tbl
+    in
+    (* Duplicate ids anywhere in the block are structurally invalid. *)
+    let all_short = List.map Short_id.of_txid block.txids in
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun id ->
+        if Hashtbl.mem seen id then push (Bad_structure "duplicate transaction")
+        else Hashtbl.add seen id ())
+      all_short;
+    (* The skipped prefix must be genuinely settled: a creator cannot
+       hide censorship behind a high [start_seq]. An id we cannot see as
+       settled may simply mean our chain lags, so it is recorded as
+       unverifiable rather than as a violation (accuracy first). *)
+    for bundle_seq = 1 to block.start_seq do
+      match knowledge.bundle_of_seq bundle_seq with
+      | None -> ()
+      | Some committed ->
+          List.iter
+            (fun id ->
+              match knowledge.settled_height id with
+              | Some h when h < block.height -> ()
+              | Some _ | None -> unverifiable := (bundle_seq, id) :: !unverifiable)
+            committed
+    done;
+    (* Per-bundle checks. *)
+    List.iter
+      (fun (bundle_seq, txids) ->
+        match knowledge.bundle_of_seq bundle_seq with
+        | None -> unverified := bundle_seq :: !unverified
+        | Some committed ->
+            let committed_set = Int_set.of_list committed in
+            let block_ids = List.map Short_id.of_txid txids in
+            let block_set = Int_set.of_list block_ids in
+            (* Injections: in the block's bundle but never committed. *)
+            Int_set.iter
+              (fun id ->
+                if not (Int_set.mem id committed_set) then
+                  push (Injection { bundle_seq = Some bundle_seq; short_id = id }))
+              block_set;
+            (* Omissions: committed but absent. *)
+            Int_set.iter
+              (fun id ->
+                if not (Int_set.mem id block_set) then
+                  match omission_reason id with
+                  | None ->
+                      push (Blockspace_censorship { bundle_seq; short_id = id })
+                  | Some Block.Low_fee -> begin
+                      match knowledge.find_tx id with
+                      | Some tx when tx.Tx.fee >= block.fee_threshold ->
+                          push (False_omission_claim { bundle_seq; short_id = id })
+                      | Some _ -> ()
+                      | None -> unverifiable := (bundle_seq, id) :: !unverifiable
+                    end
+                  | Some Block.Missing_content ->
+                      unverifiable := (bundle_seq, id) :: !unverifiable
+                  | Some Block.Settled -> begin
+                      (* Valid only if the id really is in an earlier
+                         block of our chain. *)
+                      match knowledge.settled_height id with
+                      | Some h when h < block.height -> ()
+                      | Some _ | None ->
+                          unverifiable := (bundle_seq, id) :: !unverifiable
+                    end)
+              committed_set;
+            (* Order: only meaningful if the sets agree. *)
+            if Int_set.subset block_set committed_set then begin
+              let included = Int_set.elements block_set in
+              let expected = expected_bundle_order block ~bundle_seq included in
+              if block_ids <> expected then push (Reordering { bundle_seq })
+            end)
+      (Block.bundle_txids block);
+    (* Appendix: fresh transactions of the creator only. *)
+    let committed_known seqs_id =
+      (* true when the id is in a bundle we know about *)
+      let rec go s =
+        s <= block.commit_seq
+        &&
+        match knowledge.bundle_of_seq s with
+        | Some ids when List.mem seqs_id ids -> true
+        | _ -> go (s + 1)
+      in
+      go 1
+    in
+    List.iter
+      (fun txid ->
+        let id = Short_id.of_txid txid in
+        if committed_known id then
+          push (Injection { bundle_seq = None; short_id = id })
+        else
+          match knowledge.find_tx id with
+          | Some tx when not (String.equal tx.Tx.origin block.creator) ->
+              push (Injection { bundle_seq = None; short_id = id })
+          | Some _ | None -> ())
+      (Block.appendix_txids block);
+    {
+      violations = List.rev !violations;
+      unverified_bundles = List.rev !unverified;
+      unverifiable_omissions = List.rev !unverifiable;
+    }
+  end
+
+let pp_violation fmt = function
+  | Bad_structure s -> Format.fprintf fmt "bad-structure(%s)" s
+  | Injection { bundle_seq = Some s; short_id } ->
+      Format.fprintf fmt "injection(bundle %d, id %08x)" s short_id
+  | Injection { bundle_seq = None; short_id } ->
+      Format.fprintf fmt "injection(appendix, id %08x)" short_id
+  | Reordering { bundle_seq } -> Format.fprintf fmt "reordering(bundle %d)" bundle_seq
+  | Blockspace_censorship { bundle_seq; short_id } ->
+      Format.fprintf fmt "censorship(bundle %d, id %08x)" bundle_seq short_id
+  | False_omission_claim { bundle_seq; short_id } ->
+      Format.fprintf fmt "false-omission(bundle %d, id %08x)" bundle_seq short_id

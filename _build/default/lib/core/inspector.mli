@@ -1,0 +1,48 @@
+(** Block inspection (paper Sec. 4.3, step 5, and Sec. 5.2).
+
+    Inspection replays the deterministic block-building rules against
+    the inspector's view of the creator's commitments and flags every
+    deviation. It is separate from consensus validation: a block may
+    still enter the chain, but a violation exposes its creator. *)
+
+type violation =
+  | Bad_structure of string
+  | Injection of { bundle_seq : int option; short_id : int }
+      (** id present in the block but never committed at that position
+          ([None] = invalid appendix entry). *)
+  | Reordering of { bundle_seq : int }
+  | Blockspace_censorship of { bundle_seq : int; short_id : int }
+      (** committed id silently missing from the block *)
+  | False_omission_claim of { bundle_seq : int; short_id : int }
+      (** omission claimed [Low_fee] but the content shows a fee at or
+          above the declared threshold *)
+
+type report = {
+  violations : violation list;
+  unverified_bundles : int list;
+      (** bundle seqs the inspector lacks commitments for — to be
+          requested from peers *)
+  unverifiable_omissions : (int * int) list;
+      (** (bundle seq, short id) omitted with a [Missing_content] claim;
+          not disprovable offline, tracked as suspicion material *)
+}
+
+val clean : report -> bool
+
+type knowledge = {
+  bundle_of_seq : int -> int list option;
+      (** creator's committed bundle (short ids) for a sequence number,
+          as reconstructed from its signed digests *)
+  find_tx : int -> Tx.t option;  (** content lookup by short id *)
+  settled_height : int -> int option;
+      (** chain height at which a short id was settled, if any — used to
+          validate [Settled] omission claims *)
+}
+
+val inspect : Block.t -> knowledge -> report
+
+val expected_bundle_order : Block.t -> bundle_seq:int -> int list -> int list
+(** Canonical order of the given included short ids for one bundle of
+    this block (seed = previous block hash). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,41 @@
+type entry = {
+  tx : Tx.t;
+  short_id : int;
+  received_at : float;
+  from_peer : string option;
+}
+
+type t = {
+  by_short : (int, entry) Hashtbl.t;
+  by_id : (string, entry) Hashtbl.t;
+  mutable arrival_rev : entry list;
+  mutable payload_bytes : int;
+}
+
+let create () =
+  {
+    by_short = Hashtbl.create 512;
+    by_id = Hashtbl.create 512;
+    arrival_rev = [];
+    payload_bytes = 0;
+  }
+
+let size t = Hashtbl.length t.by_short
+
+let add t ~tx ~received_at ~from_peer =
+  let short_id = Tx.short_id tx in
+  if Hashtbl.mem t.by_short short_id then `Duplicate
+  else begin
+    let entry = { tx; short_id; received_at; from_peer } in
+    Hashtbl.add t.by_short short_id entry;
+    Hashtbl.add t.by_id tx.Tx.id entry;
+    t.arrival_rev <- entry :: t.arrival_rev;
+    t.payload_bytes <- t.payload_bytes + Tx.encoded_size tx;
+    `Added entry
+  end
+
+let mem_short t short_id = Hashtbl.mem t.by_short short_id
+let find_short t short_id = Hashtbl.find_opt t.by_short short_id
+let find_id t id = Hashtbl.find_opt t.by_id id
+let entries_in_arrival_order t = List.rev t.arrival_rev
+let total_payload_bytes t = t.payload_bytes

@@ -1,0 +1,31 @@
+(** Node-local transaction store.
+
+    Holds the content of every valid transaction a node has ever seen
+    (LØ's "Inclusion of All Transactions" policy makes the store
+    append-only), indexed by short id, together with reception
+    metadata. *)
+
+type entry = {
+  tx : Tx.t;
+  short_id : int;
+  received_at : float;
+  from_peer : string option;  (** None when submitted directly (Stage I) *)
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val add :
+  t -> tx:Tx.t -> received_at:float -> from_peer:string option ->
+  [ `Added of entry | `Duplicate ]
+(** [`Duplicate] covers both a repeated transaction and the (negligible
+    but handled) short-id collision with a different transaction. *)
+
+val mem_short : t -> int -> bool
+val find_short : t -> int -> entry option
+val find_id : t -> string -> entry option
+val entries_in_arrival_order : t -> entry list
+val total_payload_bytes : t -> int
+(** Cumulative stored transaction bytes (storage-overhead metric). *)

@@ -1,0 +1,53 @@
+(** Wire messages of the LØ protocol.
+
+    Each variant has a distinct tag under the ["lo"] protocol prefix so
+    the bandwidth accounting can attribute every byte to a message
+    class — the breakdown behind Fig. 9. *)
+
+type suspicion_note = {
+  suspect : string;
+  reporter : string;
+  last_digest : Commitment.digest option;
+  reason : string;
+}
+
+type t =
+  | Submit of Tx.t  (** client submission (Stage I) *)
+  | Submit_ack of { txid : string; ack_signature : string }
+      (** miner's signed receipt that the transaction entered its
+          mempool (Stage I, step 3 — the optional acknowledgement) *)
+  | Commit_request of {
+      digest : Commitment.digest;
+      delta : int list;  (** ids the receiver is missing (Alg. 1 line 16) *)
+      want : int list;  (** ids whose content the sender still needs *)
+      appended : int list;
+          (** the sender's newest bundle (the ids it just committed),
+              letting the receiver track the sender's bundle structure
+              for block inspection *)
+    }
+  | Commit_response of {
+      digest : Commitment.digest;
+      want : int list;  (** content the responder still needs *)
+      delta : int list;
+          (** ids the responder believes the requester is missing
+              (the reverse direction of Alg. 1's exchange) *)
+      appended : int list;  (** the responder's newest bundle *)
+    }
+  | Tx_batch of Tx.t list  (** requested transaction content *)
+  | Digest_share of Commitment.digest
+      (** periodic/most-recent commitment dissemination (Sec. 5.2) *)
+  | Digest_request of { owner : string; seq : int }
+      (** fetch a historical digest of [owner] at [seq] (and [seq - 1]) *)
+  | Digest_reply of Commitment.digest list
+  | Suspicion_note of suspicion_note
+  | Exposure_note of Evidence.t
+  | Block_announce of Block.t
+
+val tag : t -> string
+(** e.g. ["lo:commit-req"]; all tags share the ["lo"] proto prefix. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Lo_codec.Reader.Malformed on invalid input. *)
+
+val size : t -> int

@@ -1,0 +1,121 @@
+(** A full LØ node over the discrete-event simulator.
+
+    Implements Alg. 1 (mempool reconciliation with pairwise
+    commitments), the suspicion/exposure machinery of Sec. 5, and the
+    verifiable block building of Sec. 4.3. Faulty behaviours used in the
+    evaluation are selected per node via {!behavior}. *)
+
+type behavior =
+  | Honest
+  | Silent_censor
+      (** never answers protocol requests (Fig. 6's censoring faulty
+          miner) *)
+  | Tx_censor of (Tx.t -> bool)
+      (** drops matching transactions at submission and content
+          reception (Stage I/II censorship) *)
+  | Block_injector
+      (** smuggles its own uncommitted transactions into the middle of
+          committed bundles *)
+  | Block_reorderer
+      (** orders transactions inside bundles by fee instead of the
+          canonical shuffle *)
+  | Blockspace_censor of (Tx.t -> bool)
+      (** silently omits matching transactions from its blocks *)
+  | Equivocator
+      (** maintains a forked commitment log and shows different forks to
+          different peers *)
+
+type config = {
+  scheme : Lo_crypto.Signer.scheme;
+  reconcile_period : float;  (** seconds between NeighborsSync rounds *)
+  reconcile_fanout : int;  (** neighbours contacted per round (paper: 3) *)
+  request_timeout : float;  (** seconds before a retry (paper: 1 s) *)
+  max_retries : int;  (** retries before suspicion (paper: 3) *)
+  sketch_capacity : int;
+  clock_cells : int;
+  fee_threshold : int;
+  max_block_txs : int;
+  max_delta : int;  (** cap on explicit ids per commit request *)
+  digest_share_period : float;  (** latest-commitment gossip period *)
+  always_full_digests : bool;
+      (** ablation knob: ship the full sketch in every reconciliation
+          message instead of the light digest (default false) *)
+  reject_exposed_blocks : bool;
+      (** enforcement (Sec. 5.4): refuse blocks whose creator this node
+          has exposed. Off by default — the paper keeps inspection
+          separate from block validation (Sec. 4.3). *)
+  max_digests_per_peer : int;
+      (** retention bound on stored peer commitment snapshots; the
+          paper retains everything, which is fine for its runs but not
+          for unbounded deployments. Oldest snapshots (except seq 0) are
+          evicted beyond the cap (default 1024 ≈ 0.25–1.2 MB/peer). *)
+}
+
+val default_config : Lo_crypto.Signer.scheme -> config
+
+type hooks = {
+  mutable on_tx_content : Tx.t -> now:float -> unit;
+      (** content entered the mempool (Fig. 7 latency) *)
+  mutable on_block_accepted : Block.t -> now:float -> unit;
+  mutable on_exposure : accused:string -> now:float -> unit;
+  mutable on_suspicion : suspect:string -> now:float -> unit;
+  mutable on_suspicion_cleared : suspect:string -> now:float -> unit;
+  mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
+  mutable on_sketch_decode : now:float -> unit;
+      (** one sketch set-reconciliation attempt *)
+  mutable on_reconcile : now:float -> unit;
+      (** one active reconciliation round opened with a neighbour
+          (Fig. 10) *)
+}
+
+type t
+
+val create :
+  config ->
+  net:Lo_net.Network.t ->
+  mux:Lo_net.Mux.t ->
+  index:int ->
+  directory:Directory.t ->
+  signer:Lo_crypto.Signer.t ->
+  neighbors:int list ->
+  behavior:behavior ->
+  t
+
+val start : t -> unit
+(** Register handlers and schedule the periodic reconciliation and
+    digest-share timers (staggered by a random offset). *)
+
+val index : t -> int
+val node_id : t -> string
+val behavior : t -> behavior
+val hooks : t -> hooks
+val mempool : t -> Mempool.t
+val commitment_log : t -> Commitment.Log.t
+val accountability : t -> Accountability.t
+val neighbors : t -> int list
+val set_neighbors : t -> int list -> unit
+
+val submit_tx : t -> Tx.t -> unit
+(** Local client submission (Stage I). *)
+
+val build_block : t -> policy:Policy.t -> Block.t option
+(** Build (and locally accept + announce) a block on the current head
+    with the given policy; [None] if the mempool yields no transactions
+    and no block was produced. Behaviour modifiers apply here. *)
+
+val head_hash : t -> string
+val chain_height : t -> int
+val find_block : t -> height:int -> Block.t option
+
+val known_digest : t -> peer:string -> Commitment.digest option
+(** Latest stored commitment digest of a peer. *)
+
+val commitment_storage_bytes : t -> int
+(** Bytes of peer commitment digests currently retained (Sec. 6.5
+    memory metric; own log excluded). *)
+
+val missing_content_count : t -> int
+
+val ack_signing_bytes : txid:string -> string
+(** Bytes a miner signs when acknowledging a submission (Stage I); used
+    by {!Client} to verify receipts. *)

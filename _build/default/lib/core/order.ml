@@ -1,0 +1,20 @@
+let bundle_key ~seed ~bundle_seq id =
+  let w = Lo_codec.Writer.create ~initial_size:16 () in
+  Lo_codec.Writer.varint w bundle_seq;
+  Lo_codec.Writer.u32 w id;
+  Lo_crypto.Hmac.sha256 ~key:seed (Lo_codec.Writer.contents w)
+
+let sort_bundle ~seed ~bundle_seq ids =
+  let keyed =
+    List.map (fun id -> (bundle_key ~seed ~bundle_seq id, id)) ids
+  in
+  let compare (ka, ia) (kb, ib) =
+    match String.compare ka kb with 0 -> Int.compare ia ib | c -> c
+  in
+  List.map snd (List.sort compare keyed)
+
+let canonical ~seed ~bundles =
+  bundles
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.concat_map (fun (bundle_seq, ids) ->
+         sort_bundle ~seed ~bundle_seq ids)

@@ -1,0 +1,113 @@
+type t = Lo_fifo | Highest_fee
+
+let to_string = function Lo_fifo -> "fifo" | Highest_fee -> "highest-fee"
+
+type build_input = {
+  bundles : (int * int list) list;
+  find_tx : int -> Tx.t option;
+  is_settled : int -> bool;
+  fee_threshold : int;
+  max_txs : int;
+  seed : string;
+}
+
+type build_output = {
+  txids : string list;
+  bundle_sizes : int list;
+  omissions : (int * Block.omission_reason) list;
+  start_seq : int;
+  covered_seq : int;
+}
+
+let build_fifo input =
+  let bundles =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) input.bundles
+  in
+  (* Skip the fully settled bundle prefix: those transactions are
+     already in the chain, and re-listing them every block would bloat
+     blocks forever. *)
+  let rec split_prefix start = function
+    | (seq, ids) :: rest
+      when seq = start + 1 && List.for_all input.is_settled ids ->
+        split_prefix seq rest
+    | rest -> (start, rest)
+  in
+  let start_seq, bundles = split_prefix 0 bundles in
+  let txids = ref [] and sizes_rev = ref [] and omissions = ref [] in
+  let total = ref 0 and covered = ref start_seq in
+  (* Bundles are taken whole, in order, until blockspace runs out: a
+     partially included bundle would be indistinguishable from
+     censorship. *)
+  (try
+     List.iter
+       (fun (seq, ids) ->
+         let included = ref [] in
+         let bundle_omissions = ref [] in
+         List.iter
+           (fun id ->
+             if input.is_settled id then
+               bundle_omissions := (id, Block.Settled) :: !bundle_omissions
+             else
+               match input.find_tx id with
+               | None -> bundle_omissions := (id, Block.Missing_content) :: !bundle_omissions
+               | Some tx ->
+                   if tx.Tx.fee < input.fee_threshold then
+                     bundle_omissions := (id, Block.Low_fee) :: !bundle_omissions
+                   else included := tx.Tx.id :: !included)
+           ids;
+         let ordered =
+           Order.sort_bundle ~seed:input.seed ~bundle_seq:seq
+             (List.map Short_id.of_txid !included)
+         in
+         if !total + List.length ordered > input.max_txs then raise Exit;
+         (* Map the ordered short ids back to full txids. *)
+         let by_short = Hashtbl.create 16 in
+         List.iter
+           (fun txid -> Hashtbl.replace by_short (Short_id.of_txid txid) txid)
+           !included;
+         let ordered_txids =
+           List.map (fun id -> Hashtbl.find by_short id) ordered
+         in
+         txids := !txids @ ordered_txids;
+         sizes_rev := List.length ordered_txids :: !sizes_rev;
+         omissions := !omissions @ List.rev !bundle_omissions;
+         total := !total + List.length ordered_txids;
+         covered := seq)
+       bundles
+   with Exit -> ());
+  {
+    txids = !txids;
+    bundle_sizes = List.rev !sizes_rev;
+    omissions = !omissions;
+    start_seq;
+    covered_seq = !covered;
+  }
+
+let build_highest_fee input =
+  let all =
+    List.concat_map (fun (_, ids) -> ids) input.bundles
+    |> List.filter (fun id -> not (input.is_settled id))
+    |> List.filter_map input.find_tx
+    |> List.filter (fun tx -> tx.Tx.fee >= input.fee_threshold)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Int.compare b.Tx.fee a.Tx.fee with
+        | 0 -> String.compare a.Tx.id b.Tx.id
+        | c -> c)
+      all
+  in
+  let chosen = List.filteri (fun i _ -> i < input.max_txs) sorted in
+  {
+    txids = List.map (fun tx -> tx.Tx.id) chosen;
+    bundle_sizes = [];
+    omissions = [];
+    start_seq = 0;
+    covered_seq = 0;
+  }
+
+let build policy input =
+  match policy with
+  | Lo_fifo -> build_fifo input
+  | Highest_fee -> build_highest_fee input

@@ -1,0 +1,36 @@
+(** Block-building policies (Table 1 and Fig. 8).
+
+    [Lo_fifo] is the paper's verifiable canonical build: all committed
+    bundles in order, fee threshold applied, intra-bundle canonical
+    shuffle. [Highest_fee] is the incumbent policy of public
+    blockchains — pick the most profitable transactions regardless of
+    arrival order — used as the baseline in Fig. 8 (left). *)
+
+type t = Lo_fifo | Highest_fee
+
+val to_string : t -> string
+
+type build_input = {
+  bundles : (int * int list) list;  (** (seq, committed short ids) *)
+  find_tx : int -> Tx.t option;
+  is_settled : int -> bool;
+      (** already included in an earlier block of the chain *)
+  fee_threshold : int;
+  max_txs : int;  (** blockspace cap *)
+  seed : string;  (** previous block hash *)
+}
+
+type build_output = {
+  txids : string list;  (** block order *)
+  bundle_sizes : int list;
+  omissions : (int * Block.omission_reason) list;
+  start_seq : int;  (** fully settled bundle prefix, skipped entirely *)
+  covered_seq : int;
+}
+
+val build : t -> build_input -> build_output
+(** For [Highest_fee] the bundle structure is ignored: the result has
+    [covered_seq = 0] and everything in one implicit sequence (such
+    blocks fail LØ inspection by construction, which is the point of the
+    comparison). Blockspace overflow under [Lo_fifo] truncates whole
+    trailing bundles and is reported via [covered_seq]. *)

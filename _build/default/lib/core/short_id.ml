@@ -1,0 +1,10 @@
+let max_value = 0xFFFFFFFF
+
+let of_txid txid =
+  if String.length txid < 8 then invalid_arg "Short_id.of_txid: id too short";
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code txid.[i]
+  done;
+  (* Map the 62 usable bits onto [1, 2^32 - 1]. *)
+  ((!v land max_int) mod max_value) + 1

@@ -1,0 +1,13 @@
+(** 32-bit short transaction ids.
+
+    The reconciliation layer works on compact ids — "the 32-bit integer
+    representation of transaction hashes" (paper Sec. 4.2) — which are
+    exactly the PinSketch field elements. Short ids are nonzero by
+    construction (0 is not representable in a PinSketch). *)
+
+val of_txid : string -> int
+(** Derived from the leading bytes of a 32-byte transaction id; uniform
+    over [\[1, 2^32 - 1\]]. *)
+
+val max_value : int
+(** 2^32 - 1. *)

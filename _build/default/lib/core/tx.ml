@@ -1,0 +1,90 @@
+module Writer = Lo_codec.Writer
+module Reader = Lo_codec.Reader
+module Signer = Lo_crypto.Signer
+
+type t = {
+  id : string;
+  origin : string;
+  fee : int;
+  created_at : float;
+  payload : string;
+  signature : string;
+}
+
+let max_payload_size = 16 * 1024
+
+let micros_of_time ts = int_of_float (Float.round (ts *. 1e6))
+let time_of_micros us = float_of_int us /. 1e6
+
+let encode_unsigned w ~origin ~fee ~created_at ~payload =
+  Writer.fixed w origin;
+  Writer.varint w fee;
+  Writer.u64 w (micros_of_time created_at);
+  Writer.bytes w payload
+
+let encode w t =
+  encode_unsigned w ~origin:t.origin ~fee:t.fee ~created_at:t.created_at
+    ~payload:t.payload;
+  Writer.fixed w t.signature
+
+let signing_bytes ~origin ~fee ~created_at ~payload =
+  let w = Writer.create () in
+  encode_unsigned w ~origin ~fee ~created_at ~payload;
+  Writer.contents w
+
+let create ~signer ~fee ~created_at ~payload =
+  if fee < 0 then invalid_arg "Tx.create: negative fee";
+  if String.length payload > max_payload_size then
+    invalid_arg "Tx.create: payload too large";
+  let origin = Signer.id signer in
+  let unsigned = signing_bytes ~origin ~fee ~created_at ~payload in
+  let signature = Signer.sign signer unsigned in
+  let id = Lo_crypto.Sha256.digest_list [ unsigned; signature ] in
+  { id; origin; fee; created_at; payload; signature }
+
+let short_id t = Short_id.of_txid t.id
+
+let decode r =
+  let origin = Reader.fixed r Signer.id_size in
+  let fee = Reader.varint r in
+  let created_at = time_of_micros (Reader.u64 r) in
+  let payload = Reader.bytes r in
+  if String.length payload > max_payload_size then
+    raise (Reader.Malformed "tx payload too large");
+  let signature = Reader.fixed r Signer.signature_size in
+  let unsigned = signing_bytes ~origin ~fee ~created_at ~payload in
+  let id = Lo_crypto.Sha256.digest_list [ unsigned; signature ] in
+  { id; origin; fee; created_at; payload; signature }
+
+let to_string t =
+  let w = Writer.create () in
+  encode w t;
+  Writer.contents w
+
+let of_string s =
+  let r = Reader.of_string s in
+  let t = decode r in
+  Reader.expect_end r;
+  t
+
+let encoded_size t = String.length (to_string t)
+
+let prevalidate scheme t =
+  if t.fee < 0 then Error "negative fee"
+  else if String.length t.payload > max_payload_size then Error "oversized payload"
+  else begin
+    let unsigned =
+      signing_bytes ~origin:t.origin ~fee:t.fee ~created_at:t.created_at
+        ~payload:t.payload
+    in
+    if Signer.verify scheme ~id:t.origin ~msg:unsigned ~signature:t.signature
+    then Ok ()
+    else Error "invalid signature"
+  end
+
+let equal a b = String.equal a.id b.id
+
+let pp fmt t =
+  Format.fprintf fmt "tx[%s fee=%d size=%dB]"
+    (Lo_crypto.Hex.encode (String.sub t.id 0 6))
+    t.fee (String.length t.payload)

@@ -1,0 +1,1 @@
+lib/crypto/hmac_drbg.ml: Array Buffer Char Hmac String

@@ -1,0 +1,1 @@
+lib/crypto/limbs.ml: Array Stdlib

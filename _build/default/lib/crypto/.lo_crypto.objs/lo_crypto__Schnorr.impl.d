@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Secp256k1 Sha256 String Uint256

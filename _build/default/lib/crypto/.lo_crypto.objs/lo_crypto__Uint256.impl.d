@@ -1,0 +1,1 @@
+lib/crypto/uint256.ml: Array Bytes Char Format Hex Limbs String

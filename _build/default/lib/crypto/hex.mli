@@ -1,0 +1,11 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s]. *)
+
+val decode : string -> string
+(** [decode h] parses a hexadecimal string (upper or lower case).
+    @raise Invalid_argument if [h] has odd length or a non-hex character. *)
+
+val decode_opt : string -> string option
+(** [decode_opt h] is [Some (decode h)], or [None] if [h] is malformed. *)

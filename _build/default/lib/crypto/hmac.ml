@@ -1,0 +1,21 @@
+let block_size = 64
+
+let derive_pads key =
+  let key =
+    if String.length key > block_size then Sha256.digest key else key
+  in
+  let ipad = Bytes.make block_size '\x36' in
+  let opad = Bytes.make block_size '\x5c' in
+  for i = 0 to String.length key - 1 do
+    let c = Char.code key.[i] in
+    Bytes.set ipad i (Char.chr (c lxor 0x36));
+    Bytes.set opad i (Char.chr (c lxor 0x5c))
+  done;
+  (Bytes.unsafe_to_string ipad, Bytes.unsafe_to_string opad)
+
+let sha256_list ~key parts =
+  let ipad, opad = derive_pads key in
+  let inner = Sha256.digest_list (ipad :: parts) in
+  Sha256.digest_list [ opad; inner ]
+
+let sha256 ~key msg = sha256_list ~key [ msg ]

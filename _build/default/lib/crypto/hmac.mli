@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key]. *)
+
+val sha256_list : key:string -> string list -> string
+(** Tag of the concatenation of the given message parts. *)

@@ -1,0 +1,50 @@
+type t = { mutable key : string; mutable value : string }
+
+let update t provided =
+  t.key <- Hmac.sha256_list ~key:t.key [ t.value; "\x00"; provided ];
+  t.value <- Hmac.sha256 ~key:t.key t.value;
+  if provided <> "" then begin
+    t.key <- Hmac.sha256_list ~key:t.key [ t.value; "\x01"; provided ];
+    t.value <- Hmac.sha256 ~key:t.key t.value
+  end
+
+let create ~seed =
+  let t = { key = String.make 32 '\x00'; value = String.make 32 '\x01' } in
+  update t seed;
+  t
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.value <- Hmac.sha256 ~key:t.key t.value;
+    Buffer.add_string buf t.value
+  done;
+  update t "";
+  Buffer.sub buf 0 n
+
+let uniform_int t bound =
+  if bound <= 0 then invalid_arg "Hmac_drbg.uniform_int";
+  if bound = 1 then 0
+  else begin
+    (* Draw 56-bit values; reject above the largest multiple of [bound]
+       to avoid modulo bias. *)
+    let limit = 1 lsl 56 in
+    let cutoff = limit - (limit mod bound) in
+    let rec draw () =
+      let b = generate t 7 in
+      let v = ref 0 in
+      for i = 0 to 6 do
+        v := (!v lsl 8) lor Char.code b.[i]
+      done;
+      if !v < cutoff then !v mod bound else draw ()
+    in
+    draw ()
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = uniform_int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

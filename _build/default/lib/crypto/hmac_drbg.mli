@@ -1,0 +1,24 @@
+(** Deterministic random byte generator in the style of NIST SP 800-90A
+    HMAC_DRBG (SHA-256 instance, no reseeding).
+
+    Used wherever the protocol needs verifiable pseudo-randomness — most
+    importantly the canonical intra-bundle shuffle seeded by the previous
+    block hash (paper Sec. 4.3) — and in tests that need reproducible
+    entropy. *)
+
+type t
+
+val create : seed:string -> t
+(** Instantiate from arbitrary seed material. Equal seeds yield equal
+    output streams. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces the next [n] bytes of the stream. *)
+
+val uniform_int : t -> int -> int
+(** [uniform_int t bound] draws an unbiased integer in [\[0, bound)] by
+    rejection sampling. [bound] must be positive. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle driven by the stream. Deterministic in
+    the seed, so any party with the seed can reproduce the permutation. *)

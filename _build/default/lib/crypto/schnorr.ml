@@ -1,0 +1,63 @@
+type secret_key = Uint256.t
+type public_key = Secp256k1.point
+
+let n = Secp256k1.n
+
+(* Hash arbitrary bytes onto the scalar field, rejecting 0. *)
+let hash_to_scalar parts =
+  let rec go parts =
+    let h = Uint256.of_bytes_be (Sha256.digest_list parts) in
+    let s = Uint256.mod_reduce ~modulus:n h in
+    if Uint256.is_zero s then go (parts @ [ "retry" ]) else s
+  in
+  go parts
+
+let keypair_of_seed seed =
+  let sk = hash_to_scalar [ "lo-keygen"; seed ] in
+  (sk, Secp256k1.mul sk Secp256k1.g)
+
+let public_key sk = Secp256k1.mul sk Secp256k1.g
+let public_key_bytes = Secp256k1.encode_compressed
+
+let public_key_of_bytes s =
+  match Secp256k1.decode_compressed s with
+  | Some pt when not (Secp256k1.is_infinity pt) -> Some pt
+  | Some _ | None -> None
+
+let secret_key_bytes = Uint256.to_bytes_be
+
+let affine_x pt =
+  match Secp256k1.to_affine pt with
+  | Some (x, _) -> x
+  | None -> invalid_arg "Schnorr: unexpected point at infinity"
+
+let challenge ~rx ~pk msg =
+  hash_to_scalar
+    [ "lo-schnorr"; Uint256.to_bytes_be rx; public_key_bytes pk; msg ]
+
+let sign sk msg =
+  let pk = public_key sk in
+  let k = hash_to_scalar [ "lo-nonce"; Uint256.to_bytes_be sk; msg ] in
+  let r = Secp256k1.mul k Secp256k1.g in
+  let rx = affine_x r in
+  let e = challenge ~rx ~pk msg in
+  let s =
+    Uint256.mod_add ~modulus:n k (Uint256.mod_mul ~modulus:n e sk)
+  in
+  Uint256.to_bytes_be rx ^ Uint256.to_bytes_be s
+
+let verify pk ~msg ~signature =
+  String.length signature = 64
+  &&
+  let rx = Uint256.of_bytes_be (String.sub signature 0 32) in
+  let s = Uint256.of_bytes_be (String.sub signature 32 32) in
+  Uint256.compare s n < 0
+  && (not (Secp256k1.is_infinity pk))
+  &&
+  let e = challenge ~rx ~pk msg in
+  (* R' = s*G - e*P should equal the R whose x-coordinate was signed. *)
+  let r' =
+    Secp256k1.add (Secp256k1.mul s Secp256k1.g)
+      (Secp256k1.neg (Secp256k1.mul e pk))
+  in
+  (not (Secp256k1.is_infinity r')) && Uint256.equal (affine_x r') rx

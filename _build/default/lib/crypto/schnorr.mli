@@ -1,0 +1,25 @@
+(** Schnorr signatures over secp256k1 (BIP340-flavoured, simplified).
+
+    Deterministic nonces are derived from the secret key and message, so
+    signing needs no entropy source. Signatures are 64 bytes
+    (R.x || s); public keys are 33-byte compressed points. *)
+
+type secret_key
+type public_key
+
+val keypair_of_seed : string -> secret_key * public_key
+(** Derive a keypair deterministically from arbitrary seed bytes (the
+    seed is hashed onto the scalar field; a zero result is rejected by
+    re-hashing). *)
+
+val public_key : secret_key -> public_key
+val public_key_bytes : public_key -> string
+(** 33-byte compressed encoding; doubles as the node identity. *)
+
+val public_key_of_bytes : string -> public_key option
+val secret_key_bytes : secret_key -> string
+
+val sign : secret_key -> string -> string
+(** [sign sk msg] is a 64-byte signature over [msg]. *)
+
+val verify : public_key -> msg:string -> signature:string -> bool

@@ -1,0 +1,182 @@
+let p =
+  Uint256.of_hex
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+
+let n =
+  Uint256.of_hex
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
+
+let gx =
+  Uint256.of_hex
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"
+
+let gy =
+  Uint256.of_hex
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"
+
+(* --- Field arithmetic with fast reduction: p = 2^256 - c, c = 2^32+977.
+   For any t, t = hi*2^256 + lo = hi*c + lo (mod p); folding at most
+   three times brings t below 2^256 + small, then conditional subtracts
+   finish the job. --- *)
+
+let c_limbs = [| 0x03D1; 0x0000; 0x0001 |] (* 2^32 + 977 in 16-bit limbs *)
+let p_limbs = Uint256.to_limbs p
+
+let reduce_p limbs_in =
+  let t = ref limbs_in in
+  let split () =
+    let l = Array.length !t in
+    if l <= 16 then None
+    else
+      let hi = Array.sub !t 16 (l - 16) in
+      if Limbs.is_zero hi then None else Some (Array.sub !t 0 16, hi)
+  in
+  let continue = ref true in
+  while !continue do
+    match split () with
+    | None -> continue := false
+    | Some (lo, hi) -> t := Limbs.add (Limbs.mul hi c_limbs) lo
+  done;
+  let t = ref (Limbs.resize !t 16) in
+  while Limbs.compare !t p_limbs >= 0 do
+    t := Limbs.resize (Limbs.sub !t p_limbs) 16
+  done;
+  Uint256.of_limbs !t
+
+let field_mul a b = reduce_p (Limbs.mul (Uint256.to_limbs a) (Uint256.to_limbs b))
+let field_sq a = field_mul a a
+let field_add a b = Uint256.mod_add ~modulus:p a b
+let field_sub a b = Uint256.mod_sub ~modulus:p a b
+
+let field_pow b e =
+  let result = ref Uint256.one and acc = ref b in
+  for i = 0 to Uint256.num_bits e - 1 do
+    if Uint256.bit e i then result := field_mul !result !acc;
+    acc := field_sq !acc
+  done;
+  !result
+
+let field_inv a =
+  if Uint256.is_zero a then invalid_arg "Secp256k1.field_inv: zero";
+  field_pow a (Uint256.mod_sub ~modulus:p Uint256.zero (Uint256.of_int 2))
+
+(* p = 3 (mod 4): the candidate square root of [a] is a^((p+1)/4). The
+   exponent is derived from [p] rather than hardcoded. *)
+let sqrt_exp =
+  let p_plus_1 = Limbs.add p_limbs [| 1 |] in
+  let q, r = Limbs.divmod p_plus_1 [| 4 |] in
+  assert (Limbs.is_zero r);
+  Uint256.of_limbs q
+
+let field_sqrt a =
+  let r = field_pow a sqrt_exp in
+  if Uint256.equal (field_sq r) a then Some r else None
+
+let seven = Uint256.of_int 7
+
+let is_on_curve ~x ~y =
+  Uint256.compare x p < 0
+  && Uint256.compare y p < 0
+  && Uint256.equal (field_sq y) (field_add (field_mul (field_sq x) x) seven)
+
+(* --- Jacobian points: (X, Y, Z) represents (X/Z^2, Y/Z^3); Z = 0 is the
+   point at infinity. --- *)
+
+type point = { x : Uint256.t; y : Uint256.t; z : Uint256.t }
+
+let infinity = { x = Uint256.one; y = Uint256.one; z = Uint256.zero }
+let is_infinity pt = Uint256.is_zero pt.z
+
+let of_affine ~x ~y =
+  if not (is_on_curve ~x ~y) then
+    invalid_arg "Secp256k1.of_affine: point not on curve";
+  { x; y; z = Uint256.one }
+
+let to_affine pt =
+  if is_infinity pt then None
+  else
+    let zi = field_inv pt.z in
+    let zi2 = field_sq zi in
+    Some (field_mul pt.x zi2, field_mul pt.y (field_mul zi2 zi))
+
+let neg pt = if is_infinity pt then pt else { pt with y = field_sub Uint256.zero pt.y }
+
+let double pt =
+  if is_infinity pt || Uint256.is_zero pt.y then infinity
+  else begin
+    let y2 = field_sq pt.y in
+    let s = field_mul (Uint256.of_int 4) (field_mul pt.x y2) in
+    let m = field_mul (Uint256.of_int 3) (field_sq pt.x) in
+    let x3 = field_sub (field_sq m) (field_add s s) in
+    let y3 =
+      field_sub (field_mul m (field_sub s x3))
+        (field_mul (Uint256.of_int 8) (field_sq y2))
+    in
+    let z3 = field_mul (field_add pt.y pt.y) pt.z in
+    { x = x3; y = y3; z = z3 }
+  end
+
+let add pt1 pt2 =
+  if is_infinity pt1 then pt2
+  else if is_infinity pt2 then pt1
+  else begin
+    let z1z1 = field_sq pt1.z and z2z2 = field_sq pt2.z in
+    let u1 = field_mul pt1.x z2z2 and u2 = field_mul pt2.x z1z1 in
+    let s1 = field_mul pt1.y (field_mul z2z2 pt2.z) in
+    let s2 = field_mul pt2.y (field_mul z1z1 pt1.z) in
+    if Uint256.equal u1 u2 then
+      if Uint256.equal s1 s2 then double pt1 else infinity
+    else begin
+      let h = field_sub u2 u1 in
+      let r = field_sub s2 s1 in
+      let h2 = field_sq h in
+      let h3 = field_mul h2 h in
+      let u1h2 = field_mul u1 h2 in
+      let x3 = field_sub (field_sub (field_sq r) h3) (field_add u1h2 u1h2) in
+      let y3 = field_sub (field_mul r (field_sub u1h2 x3)) (field_mul s1 h3) in
+      let z3 = field_mul h (field_mul pt1.z pt2.z) in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
+
+let mul scalar pt =
+  let acc = ref infinity in
+  for i = Uint256.num_bits scalar - 1 downto 0 do
+    acc := double !acc;
+    if Uint256.bit scalar i then acc := add !acc pt
+  done;
+  !acc
+
+let g = of_affine ~x:gx ~y:gy
+
+let equal pt1 pt2 =
+  match (to_affine pt1, to_affine pt2) with
+  | None, None -> true
+  | Some (x1, y1), Some (x2, y2) -> Uint256.equal x1 x2 && Uint256.equal y1 y2
+  | _ -> false
+
+let encode_compressed pt =
+  match to_affine pt with
+  | None -> String.make 33 '\000'
+  | Some (x, y) ->
+      let parity = if Uint256.bit y 0 then '\x03' else '\x02' in
+      String.make 1 parity ^ Uint256.to_bytes_be x
+
+let decode_compressed s =
+  if String.length s <> 33 then None
+  else if s = String.make 33 '\000' then Some infinity
+  else
+    match s.[0] with
+    | '\x02' | '\x03' -> begin
+        let x = Uint256.of_bytes_be (String.sub s 1 32) in
+        if Uint256.compare x p >= 0 then None
+        else
+          let rhs = field_add (field_mul (field_sq x) x) seven in
+          match field_sqrt rhs with
+          | None -> None
+          | Some y ->
+              let want_odd = s.[0] = '\x03' in
+              let y = if Uint256.bit y 0 = want_odd then y else field_sub Uint256.zero y in
+              Some { x; y; z = Uint256.one }
+      end
+    | _ -> None

@@ -1,0 +1,52 @@
+(** The secp256k1 elliptic curve, y^2 = x^3 + 7 over F_p, implemented
+    from scratch on {!Uint256}.
+
+    Points are carried in Jacobian coordinates internally; the affine
+    view is exposed for encoding and equality checks. This is a
+    correctness-oriented implementation for the reproduction — it is
+    deliberately not constant-time and must not be used to protect real
+    funds. *)
+
+val p : Uint256.t
+(** Base field prime, 2^256 - 2^32 - 977. *)
+
+val n : Uint256.t
+(** Order of the generator (prime). *)
+
+type point
+
+val infinity : point
+val is_infinity : point -> bool
+
+val g : point
+(** The standard generator. *)
+
+val of_affine : x:Uint256.t -> y:Uint256.t -> point
+(** @raise Invalid_argument if (x, y) is not on the curve. *)
+
+val to_affine : point -> (Uint256.t * Uint256.t) option
+(** [None] for the point at infinity. *)
+
+val is_on_curve : x:Uint256.t -> y:Uint256.t -> bool
+val neg : point -> point
+val add : point -> point -> point
+val double : point -> point
+
+val mul : Uint256.t -> point -> point
+(** Scalar multiplication (double-and-add). *)
+
+val equal : point -> point -> bool
+
+val encode_compressed : point -> string
+(** 33-byte SEC1 compressed encoding (02/03 prefix). Infinity encodes as
+    a single zero byte followed by 32 zero bytes. *)
+
+val decode_compressed : string -> point option
+(** Inverse of {!encode_compressed}; [None] on malformed input or points
+    off the curve. *)
+
+(**/**)
+
+val field_mul : Uint256.t -> Uint256.t -> Uint256.t
+val field_sqrt : Uint256.t -> Uint256.t option
+(** Square root mod p when it exists (p = 3 mod 4). Exposed for tests. *)

@@ -1,0 +1,31 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch on native integers.
+
+    Digests are returned as raw 32-byte strings; use {!Hex.encode} for a
+    printable form. The incremental interface hashes arbitrarily long
+    inputs fed in chunks. *)
+
+type ctx
+(** Mutable hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context for an empty message. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs all bytes of [s]. *)
+
+val feed_bytes : ctx -> bytes -> int -> int -> unit
+(** [feed_bytes ctx b off len] absorbs [len] bytes of [b] from [off]. *)
+
+val finalize : ctx -> string
+(** Pads and returns the 32-byte digest. The context must not be reused. *)
+
+val digest : string -> string
+(** One-shot digest of a string. *)
+
+val digest_list : string list -> string
+(** Digest of the concatenation of the given strings (no extra copies of
+    the whole message are made). *)
+
+val hash_to_int : string -> int
+(** First 62 bits of [digest s] as a non-negative OCaml [int]; a cheap,
+    stable content fingerprint used for hash-partitioning. *)

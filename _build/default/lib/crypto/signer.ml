@@ -1,0 +1,53 @@
+type t = { id : string; sign : string -> string }
+
+type scheme = {
+  name : string;
+  make : seed:string -> t;
+  verify : id:string -> msg:string -> signature:string -> bool;
+}
+
+let id t = t.id
+let sign t msg = t.sign msg
+let make scheme ~seed = scheme.make ~seed
+let verify scheme ~id ~msg ~signature = scheme.verify ~id ~msg ~signature
+let scheme_name scheme = scheme.name
+let id_size = 33
+let signature_size = 64
+
+let schnorr =
+  {
+    name = "schnorr";
+    make =
+      (fun ~seed ->
+        let sk, pk = Schnorr.keypair_of_seed seed in
+        { id = Schnorr.public_key_bytes pk; sign = Schnorr.sign sk });
+    verify =
+      (fun ~id ~msg ~signature ->
+        match Schnorr.public_key_of_bytes id with
+        | None -> false
+        | Some pk -> Schnorr.verify pk ~msg ~signature);
+  }
+
+let simulation () =
+  (* id -> MAC key registry, local to this scheme instance. *)
+  let registry : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let make ~seed =
+    let key = Sha256.digest_list [ "sim-signer-key"; seed ] in
+    let id = "\x01" ^ Sha256.digest_list [ "sim-signer-id"; seed ] in
+    Hashtbl.replace registry id key;
+    let sign msg =
+      let tag = Hmac.sha256 ~key msg in
+      tag ^ String.make 32 '\000'
+    in
+    { id; sign }
+  in
+  let verify ~id ~msg ~signature =
+    String.length signature = 64
+    &&
+    match Hashtbl.find_opt registry id with
+    | None -> false
+    | Some key ->
+        let tag = Hmac.sha256 ~key msg in
+        String.equal signature (tag ^ String.make 32 '\000')
+  in
+  { name = "simulation"; make; verify }

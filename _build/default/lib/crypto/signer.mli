@@ -1,0 +1,40 @@
+(** Pluggable signing backends.
+
+    All protocol code signs and verifies through this interface, so the
+    same node logic can run with real Schnorr signatures (tests,
+    examples) or with a fast HMAC-based simulation signer (large-scale
+    experiments). Both backends produce 33-byte identities and 64-byte
+    signatures so that bandwidth accounting is identical. *)
+
+type t
+(** A signing identity: a public id plus the ability to sign. *)
+
+type scheme
+(** A signature scheme: creates signers and verifies signatures. *)
+
+val id : t -> string
+(** The 33-byte public identity (public key bytes). *)
+
+val sign : t -> string -> string
+(** 64-byte signature over a message. *)
+
+val make : scheme -> seed:string -> t
+(** Deterministically derive a signer from seed bytes. *)
+
+val verify : scheme -> id:string -> msg:string -> signature:string -> bool
+val scheme_name : scheme -> string
+
+val schnorr : scheme
+(** Real Schnorr over secp256k1; anyone can verify from the id alone. *)
+
+val simulation : unit -> scheme
+(** Fast HMAC-SHA256 backend for simulations. Verification consults a
+    process-local registry populated at signer creation, so it only
+    works inside one simulation run — never across processes and never
+    for adversarial settings outside controlled experiments. *)
+
+val id_size : int
+(** 33 bytes, both schemes. *)
+
+val signature_size : int
+(** 64 bytes, both schemes. *)

@@ -1,0 +1,57 @@
+(** Unsigned 256-bit integers with modular arithmetic.
+
+    Backed by 16-bit limbs (see [Limbs]); all values are in
+    [\[0, 2^256)]. Modular operations take the modulus explicitly, so the
+    same module serves both the secp256k1 base field and its scalar
+    field. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Embed a non-negative OCaml int. *)
+
+val of_bytes_be : string -> t
+(** From a 32-byte big-endian string. @raise Invalid_argument on other
+    lengths. *)
+
+val to_bytes_be : t -> string
+(** 32-byte big-endian encoding. *)
+
+val of_hex : string -> t
+(** From up to 64 hex digits (shorter strings are left-padded with 0). *)
+
+val to_hex : t -> string
+(** 64 lowercase hex digits. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val bit : t -> int -> bool
+val num_bits : t -> int
+
+val add : t -> t -> t
+(** Addition modulo 2^256 (wraps silently). *)
+
+val mod_reduce : modulus:t -> t -> t
+val mod_add : modulus:t -> t -> t -> t
+val mod_sub : modulus:t -> t -> t -> t
+val mod_mul : modulus:t -> t -> t -> t
+val mod_pow : modulus:t -> t -> t -> t
+(** [mod_pow ~modulus b e] is [b^e mod modulus] by square-and-multiply. *)
+
+val mod_inv_prime : modulus:t -> t -> t
+(** Inverse modulo a prime via Fermat's little theorem.
+    @raise Invalid_argument on zero input. *)
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val to_limbs : t -> int array
+(** Internal: expose the 16 little-endian 16-bit limbs (copied). *)
+
+val of_limbs : int array -> t
+(** Internal: from little-endian 16-bit limbs (value must fit 256 bits). *)

@@ -1,0 +1,1 @@
+lib/net/event_queue.ml: Array

@@ -1,0 +1,1 @@
+lib/net/latency.ml: Array Lo_crypto

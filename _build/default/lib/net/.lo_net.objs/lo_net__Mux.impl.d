@@ -1,0 +1,1 @@
+lib/net/mux.ml: Hashtbl Network String

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Event_queue Float Hashtbl Latency List Rng String

@@ -1,0 +1,1 @@
+lib/net/peer_sampler.ml: Array Hashtbl Int64 List Mux Network Rng String

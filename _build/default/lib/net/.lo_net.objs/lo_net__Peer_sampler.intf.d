@@ -1,0 +1,1 @@
+lib/net/peer_sampler.mli: Mux Network Rng

@@ -1,0 +1,14 @@
+(** Binary-heap priority queue of timestamped events.
+
+    Ties break on insertion order, which keeps simulations fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val add : 'a t -> time:float -> 'a -> unit
+val peek_time : 'a t -> float option
+val pop : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

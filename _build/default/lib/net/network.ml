@@ -1,0 +1,179 @@
+type node = int
+
+type event =
+  | Deliver of { src : node; dst : node; tag : string; payload : string }
+  | Timer of (t -> unit)
+
+and t = {
+  num_nodes : int;
+  latency : Latency.t;
+  jitter : float;
+  mutable loss_rate : float;
+  rng : Rng.t;
+  queue : event Event_queue.t;
+  mutable clock : float;
+  handlers : handler option array;
+  down : bool array;
+  mutable filter : (src:node -> dst:node -> tag:string -> bool) option;
+  node_delay : float array;
+  bytes_sent : int array;
+  bytes_received : int array;
+  mutable messages : int;
+  mutable total_bytes : int;
+  tag_bytes : (string, int ref) Hashtbl.t;
+}
+
+and handler = t -> from:node -> tag:string -> string -> unit
+
+let create ?(latency = Latency.default) ?(jitter = 0.1) ?(loss_rate = 0.)
+    ~num_nodes ~seed () =
+  if num_nodes <= 0 then invalid_arg "Network.create";
+  if loss_rate < 0. || loss_rate >= 1. then invalid_arg "Network.create: loss_rate";
+  {
+    num_nodes;
+    latency;
+    jitter;
+    loss_rate;
+    rng = Rng.create seed;
+    queue = Event_queue.create ();
+    clock = 0.;
+    handlers = Array.make num_nodes None;
+    down = Array.make num_nodes false;
+    filter = None;
+    node_delay = Array.make num_nodes 0.;
+    bytes_sent = Array.make num_nodes 0;
+    bytes_received = Array.make num_nodes 0;
+    messages = 0;
+    total_bytes = 0;
+    tag_bytes = Hashtbl.create 16;
+  }
+
+let num_nodes t = t.num_nodes
+let now t = t.clock
+let rng t = t.rng
+let city_of t node = Latency.city_of_node t.latency node
+let latency_model t = t.latency
+
+let check_node t n what =
+  if n < 0 || n >= t.num_nodes then invalid_arg ("Network: bad node in " ^ what)
+
+let set_handler t node handler =
+  check_node t node "set_handler";
+  t.handlers.(node) <- Some handler
+
+let account_tag t tag n =
+  match Hashtbl.find_opt t.tag_bytes tag with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t.tag_bytes tag (ref n)
+
+let send t ~src ~dst ~tag payload =
+  check_node t src "send src";
+  check_node t dst "send dst";
+  let allowed =
+    match t.filter with None -> true | Some f -> f ~src ~dst ~tag
+  in
+  if allowed && not t.down.(dst) then begin
+    let size = String.length payload in
+    t.bytes_sent.(src) <- t.bytes_sent.(src) + size;
+    t.messages <- t.messages + 1;
+    t.total_bytes <- t.total_bytes + size;
+    account_tag t tag size;
+    let base =
+      if src = dst then 0.
+      else Latency.one_way t.latency (city_of t src) (city_of t dst)
+    in
+    let jit =
+      if t.jitter <= 0. || base <= 0. then 0.
+      else base *. t.jitter *. (Rng.float t.rng 2.0 -. 1.0)
+    in
+    let delay = Float.max 0. (base +. jit) +. t.node_delay.(src) in
+    let lost =
+      t.loss_rate > 0. && src <> dst && Rng.float t.rng 1.0 < t.loss_rate
+    in
+    if not lost then
+      Event_queue.add t.queue ~time:(t.clock +. delay)
+        (Deliver { src; dst; tag; payload })
+  end
+
+let schedule_at t ~at f =
+  if at < t.clock then invalid_arg "Network.schedule_at: past";
+  Event_queue.add t.queue ~time:at (Timer f)
+
+let schedule t ~delay f = schedule_at t ~at:(t.clock +. delay) f
+
+let set_down t node v =
+  check_node t node "set_down";
+  t.down.(node) <- v
+
+let is_down t node =
+  check_node t node "is_down";
+  t.down.(node)
+
+let set_delivery_filter t f = t.filter <- f
+
+let set_loss_rate t r =
+  if r < 0. || r >= 1. then invalid_arg "Network.set_loss_rate";
+  t.loss_rate <- r
+
+let set_node_delay t node d =
+  check_node t node "set_node_delay";
+  if d < 0. then invalid_arg "Network.set_node_delay";
+  t.node_delay.(node) <- d
+
+let dispatch t event =
+  match event with
+  | Timer f -> f t
+  | Deliver { src; dst; tag; payload } ->
+      if not t.down.(dst) then begin
+        t.bytes_received.(dst) <- t.bytes_received.(dst) + String.length payload;
+        match t.handlers.(dst) with
+        | None -> ()
+        | Some handler -> handler t ~from:src ~tag payload
+      end
+
+let run_until t until =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= until -> begin
+        match Event_queue.pop t.queue with
+        | Some (time, event) ->
+            t.clock <- Float.max t.clock time;
+            dispatch t event
+        | None -> continue := false
+      end
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- Float.max t.clock until
+
+let run_until_idle ?(max_time = infinity) t =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop t.queue with
+    | Some (time, event) when time <= max_time ->
+        t.clock <- Float.max t.clock time;
+        dispatch t event
+    | Some _ | None -> continue := false
+  done
+
+let bytes_sent_by t node =
+  check_node t node "bytes_sent_by";
+  t.bytes_sent.(node)
+
+let bytes_received_by t node =
+  check_node t node "bytes_received_by";
+  t.bytes_received.(node)
+
+let messages_sent t = t.messages
+let total_bytes t = t.total_bytes
+
+let bytes_by_tag t =
+  Hashtbl.fold (fun tag r acc -> (tag, !r) :: acc) t.tag_bytes []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset_accounting t =
+  Array.fill t.bytes_sent 0 t.num_nodes 0;
+  Array.fill t.bytes_received 0 t.num_nodes 0;
+  t.messages <- 0;
+  t.total_bytes <- 0;
+  Hashtbl.reset t.tag_bytes

@@ -1,0 +1,76 @@
+(** Discrete-event network simulation engine.
+
+    Nodes are dense integer ids. Protocol implementations register a
+    message handler per node and exchange opaque byte strings; the
+    engine delivers them after the city-to-city one-way latency (plus
+    optional jitter) and accounts every byte, broken down by a caller
+    supplied tag — which is what the bandwidth-overhead figures are
+    computed from. All scheduling is deterministic in the seed. *)
+
+type t
+type node = int
+
+type handler = t -> from:node -> tag:string -> string -> unit
+
+val create :
+  ?latency:Latency.t ->
+  ?jitter:float ->
+  ?loss_rate:float ->
+  num_nodes:int ->
+  seed:int ->
+  unit ->
+  t
+(** [jitter] is the fraction of the base latency used as the half-width
+    of a uniform perturbation (default 0.1). [loss_rate] drops each
+    message independently with the given probability (default 0;
+    failure-injection knob — self-sends are never dropped). *)
+
+val set_loss_rate : t -> float -> unit
+
+val set_node_delay : t -> node -> float -> unit
+(** Extra one-way delay added to every message sent by this node
+    (failure injection: an overloaded or throttled peer). 0 clears. *)
+
+val num_nodes : t -> int
+val now : t -> float
+val rng : t -> Rng.t
+(** The engine's root generator; protocols should [Rng.split] it. *)
+
+val city_of : t -> node -> int
+val latency_model : t -> Latency.t
+val set_handler : t -> node -> handler -> unit
+
+val send : t -> src:node -> dst:node -> tag:string -> string -> unit
+(** Queue a message for delivery. Self-sends are delivered with zero
+    latency. Dropped silently if the destination is down or a delivery
+    filter rejects it. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+val schedule_at : t -> at:float -> (t -> unit) -> unit
+
+val set_down : t -> node -> bool -> unit
+(** A down node loses all messages addressed to it (crash model);
+    messages already in flight are also lost on arrival. *)
+
+val is_down : t -> node -> bool
+
+val set_delivery_filter : t -> (src:node -> dst:node -> tag:string -> bool) option -> unit
+(** Adversarial/partition hook: return [false] to drop a message at
+    send time. *)
+
+val run_until : t -> float -> unit
+(** Process events with timestamp [<=] the given time; afterwards
+    [now t] equals that time. *)
+
+val run_until_idle : ?max_time:float -> t -> unit
+
+(** {1 Accounting} *)
+
+val bytes_sent_by : t -> node -> int
+val bytes_received_by : t -> node -> int
+val messages_sent : t -> int
+val total_bytes : t -> int
+val bytes_by_tag : t -> (string * int) list
+(** Tag -> cumulative payload bytes, sorted by tag. *)
+
+val reset_accounting : t -> unit

@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+let split t = { state = mix (next t) }
+
+(* 62 uniform bits as a non-negative OCaml int. *)
+let bits t = Int64.to_int (next t) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then bits t land (bound - 1)
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let cutoff = max_int - (max_int mod bound) in
+    let rec go () =
+      let v = bits t in
+      if v < cutoff then v mod bound else go ()
+    in
+    go ()
+  end
+
+let float t bound = bound *. (float_of_int (bits t) /. float_of_int max_int)
+let bool t = bits t land 1 = 1
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with [] -> invalid_arg "Rng.pick_list: empty" | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  let k = min k n in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  (* Box–Muller. *)
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)

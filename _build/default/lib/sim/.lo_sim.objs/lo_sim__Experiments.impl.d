@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Block Commitment Float Fun Hashtbl List Lo_baselines Lo_core Lo_crypto Lo_net Lo_sketch Lo_workload Metrics Node Option Policy Printf Report Scenario String Tx Unix

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Float List Printf String

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Accountability Array Directory Fun List Lo_core Lo_crypto Lo_net Lo_workload Node Printf Tx

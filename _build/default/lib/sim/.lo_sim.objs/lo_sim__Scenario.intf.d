@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Lo_core Lo_crypto Lo_net Lo_workload

@@ -1,0 +1,134 @@
+(** The paper's evaluation, experiment by experiment (Sec. 6).
+
+    Every function runs self-contained simulations at a configurable
+    (laptop) scale, prints a paper-style table/series via {!Report}, and
+    returns the measured numbers so tests and benches can assert on the
+    shapes. Absolute values differ from the paper's 10,000-node cluster;
+    EXPERIMENTS.md records both. *)
+
+type scale = {
+  nodes : int;
+  reps : int;  (** independent repetitions averaged *)
+  rate : float;  (** workload, transactions per second *)
+  duration : float;  (** workload length, seconds *)
+  seed : int;
+}
+
+val default_scale : scale
+val scaled : ?factor:float -> scale -> scale
+(** Multiply node count by [factor] (for quick/full switching). *)
+
+(** {1 Fig. 6 — resilience to malicious miners} *)
+
+type fig6_point = {
+  fraction : float;
+  suspicion_time : float;  (** avg time for correct nodes to suspect all faulty *)
+  suspicion_complete : float;  (** fraction of (correct, faulty) pairs suspected *)
+  exposure_spread : float;
+      (** time from first exposure to all correct nodes exposing *)
+  exposure_complete : float;
+}
+
+val fig6 : ?scale:scale -> ?fractions:float list -> unit -> fig6_point list
+
+(** {1 Fig. 7 — mempool inclusion latency} *)
+
+type fig7_result = {
+  mean_latency : float;
+  p50 : float;
+  p95 : float;
+  density_edges : (float * float) array;
+  density : float array;
+  samples : int;
+  mean_interactions : float;
+      (** average number of reconciliation rounds a node opened between
+          a transaction's creation and its arrival — the paper's
+          "convergence after interacting with 5 to 6 nodes" *)
+}
+
+val fig7 : ?scale:scale -> unit -> fig7_result
+
+(** {1 Fig. 8 — block inclusion latency} *)
+
+type fig8_policy_result = {
+  policy : string;
+  mean : float;
+  stddev : float;
+  p50_b : float;
+  p95_b : float;
+  included : int;
+  low_fee_mean : float;  (** mean latency of the cheapest-quartile txs *)
+  high_fee_mean : float;  (** mean latency of the priciest-quartile txs *)
+}
+
+val fig8_left : ?scale:scale -> unit -> fig8_policy_result list
+(** FIFO (LØ) vs Highest-Fee, 12 s blocks. *)
+
+val fig8_right : ?scale:scale -> ?sizes:int list -> unit -> (int * float) list
+(** (system size, mean inclusion latency) for the FIFO policy. *)
+
+(** {1 Fig. 9 — bandwidth overhead} *)
+
+type fig9_row = {
+  protocol : string;
+  overhead_bytes : int;
+  overhead_per_node_s : float;
+  content_latency : float;  (** mean content-arrival latency, seconds *)
+}
+
+val fig9 : ?scale:scale -> unit -> fig9_row list
+
+(** {1 Fig. 10 — reconciliations per minute vs workload} *)
+
+val fig10 : ?scale:scale -> ?rates:float list -> unit -> (float * float) list
+(** (tx/s, average sketch reconciliations per node per minute). *)
+
+(** {1 Sec. 6.5 — memory and CPU overhead} *)
+
+type decode_cost = {
+  diff : int;
+  monolithic_ms : float;
+  partitioned_ms : float;
+  partition_reconciliations : int;
+}
+
+type memcpu_result = {
+  decode_costs : decode_cost list;
+  commitment_sizes : (float * int) list;  (** (tx/min, digest bytes) *)
+  memory_10k_nodes : int;  (** bytes to retain one digest per 10k peers *)
+  storage_per_node : int;  (** measured commitment-log bytes after a run *)
+}
+
+val memcpu : ?scale:scale -> ?diffs:int list -> unit -> memcpu_result
+
+(** {1 Ablations — the design choices DESIGN.md calls out} *)
+
+type ablation_result = {
+  light_overhead : int;  (** LØ overhead bytes with light digests (default) *)
+  full_overhead : int;  (** same run shipping the full sketch every message *)
+  light_latency : float;
+  full_latency : float;
+  share_period_exposure : (float * float) list;
+      (** digest-share period (s) -> mean time to first network-wide
+          exposure of an equivocator *)
+}
+
+val ablation : ?scale:scale -> unit -> ablation_result
+(** (a) Light vs full digests: how much of Fig. 9's advantage comes from
+    the clock-first wire format. (b) Digest-share period vs equivocation
+    exposure latency: the cost/latency dial of commitment gossip. *)
+
+(** {1 Trace replay} *)
+
+type replay_result = {
+  trace_txs : int;
+  trace_duration : float;
+  replay_mean_latency : float;
+  replay_p95 : float;
+  delivered : int;  (** content deliveries (txs x nodes) *)
+}
+
+val replay : ?scale:scale -> trace:Lo_workload.Trace.record list -> unit -> replay_result
+(** Run the Fig. 7 dissemination measurement on an externally supplied
+    transaction trace (the paper replays an Ethereum trace; [lo replay
+    --trace FILE] feeds a CSV through this). *)

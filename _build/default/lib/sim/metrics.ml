@@ -1,0 +1,119 @@
+module Stats = struct
+  type t = {
+    mutable values_rev : float list;
+    mutable count : int;
+    mutable sum : float;
+    mutable sum_sq : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    mutable sorted : float array option;
+  }
+
+  let create () =
+    {
+      values_rev = [];
+      count = 0;
+      sum = 0.;
+      sum_sq = 0.;
+      min_v = infinity;
+      max_v = neg_infinity;
+      sorted = None;
+    }
+
+  let add t v =
+    t.values_rev <- v :: t.values_rev;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    t.sum_sq <- t.sum_sq +. (v *. v);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    t.sorted <- None
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+  let stddev t =
+    if t.count < 2 then 0.
+    else begin
+      let n = float_of_int t.count in
+      let var = (t.sum_sq /. n) -. ((t.sum /. n) ** 2.) in
+      sqrt (Float.max 0. var)
+    end
+
+  let min t = if t.count = 0 then 0. else t.min_v
+  let max t = if t.count = 0 then 0. else t.max_v
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.of_list t.values_rev in
+        Array.sort Float.compare a;
+        t.sorted <- Some a;
+        a
+
+  let percentile t p =
+    let a = sorted t in
+    let n = Array.length a in
+    if n = 0 then 0.
+    else begin
+      let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+      a.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
+    end
+
+  let values t = List.rev t.values_rev
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 || hi <= lo then invalid_arg "Histogram.create";
+    { lo; hi; counts = Array.make bins 0; total = 0 }
+
+  let add t v =
+    let bins = Array.length t.counts in
+    let idx =
+      int_of_float (float_of_int bins *. (v -. t.lo) /. (t.hi -. t.lo))
+    in
+    let idx = Stdlib.max 0 (Stdlib.min (bins - 1) idx) in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1
+
+  let total t = t.total
+
+  let bin_edges t =
+    let bins = Array.length t.counts in
+    let w = (t.hi -. t.lo) /. float_of_int bins in
+    Array.init bins (fun i ->
+        (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w)))
+
+  let counts t = Array.copy t.counts
+
+  let density t =
+    if t.total = 0 then Array.make (Array.length t.counts) 0.
+    else
+      Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+end
+
+module Timing = struct
+  type t = {
+    starts : (string, float) Hashtbl.t;
+    finished : (string, unit) Hashtbl.t;
+  }
+
+  let create () = { starts = Hashtbl.create 256; finished = Hashtbl.create 256 }
+  let started t ~key ~at = Hashtbl.replace t.starts key at
+
+  let finish t ~key ~at =
+    if Hashtbl.mem t.finished key then None
+    else
+      match Hashtbl.find_opt t.starts key with
+      | None -> None
+      | Some start ->
+          Hashtbl.add t.finished key ();
+          Some (at -. start)
+
+  let start_time t ~key = Hashtbl.find_opt t.starts key
+  let pending t = Hashtbl.length t.starts - Hashtbl.length t.finished
+end

@@ -1,0 +1,47 @@
+(** Statistics collectors for experiments. *)
+
+module Stats : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.5] is the median (nearest-rank on the collected
+      samples). 0 when empty. *)
+
+  val values : t -> float list
+end
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  (** Out-of-range samples clamp into the edge bins. *)
+
+  val total : t -> int
+  val bin_edges : t -> (float * float) array
+  val counts : t -> int array
+  val density : t -> float array
+  (** Normalised so the bins sum to 1 (zeros when empty). *)
+end
+
+(** Latency bookkeeping: start times by key, durations out. *)
+module Timing : sig
+  type t
+
+  val create : unit -> t
+  val started : t -> key:string -> at:float -> unit
+  val finish : t -> key:string -> at:float -> float option
+  (** Duration since [started], recorded once per (key) pair; repeat
+      finishes return [None]. *)
+
+  val start_time : t -> key:string -> float option
+  val pending : t -> int
+end

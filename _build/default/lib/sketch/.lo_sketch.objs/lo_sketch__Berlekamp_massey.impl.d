@@ -1,0 +1,1 @@
+lib/sketch/berlekamp_massey.ml: Array Gf2m Poly

@@ -1,0 +1,1 @@
+lib/sketch/berlekamp_massey.mli: Gf2m Poly

@@ -1,0 +1,1 @@
+lib/sketch/gf2m.mli:

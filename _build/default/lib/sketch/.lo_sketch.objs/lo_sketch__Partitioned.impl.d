@@ -1,0 +1,1 @@
+lib/sketch/partitioned.ml: Gf2m List Queue Sketch

@@ -1,0 +1,1 @@
+lib/sketch/partitioned.mli: Gf2m

@@ -1,0 +1,1 @@
+lib/sketch/poly.ml: Array Gf2m

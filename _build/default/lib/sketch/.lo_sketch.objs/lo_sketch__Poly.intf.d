@@ -1,0 +1,1 @@
+lib/sketch/poly.mli: Gf2m

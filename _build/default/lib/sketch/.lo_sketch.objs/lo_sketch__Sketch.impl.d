@@ -1,0 +1,1 @@
+lib/sketch/sketch.ml: Array Berlekamp_massey Gf2m List Lo_codec Poly

@@ -1,0 +1,1 @@
+lib/sketch/sketch.mli: Gf2m Lo_codec

@@ -1,0 +1,1 @@
+lib/sketch/strata.ml: Array Gf2m Int64 List Lo_codec Sketch

@@ -1,0 +1,1 @@
+lib/sketch/strata.mli: Gf2m Lo_codec

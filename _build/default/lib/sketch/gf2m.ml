@@ -1,0 +1,182 @@
+type t = {
+  m : int;
+  full : int;
+  mask : int;
+  mod_shifts : int array; (* set-bit positions of the low modulus terms *)
+  scratch : int array; (* 16-entry window table reused across mul calls *)
+}
+
+let bits f = f.m
+let mask f = f.mask
+let order_minus_one f = f.mask
+let add a b = a lxor b
+
+(* Reduce a carryless product (degree <= 2m-2 <= 62, so it fits a native
+   int) modulo x^m + modulus: fold the high part down through the sparse
+   low terms until everything is below degree m. *)
+let reduce f p =
+  let p = ref p in
+  while !p lsr f.m <> 0 do
+    let hi = !p lsr f.m in
+    let lo = !p land f.mask in
+    let folded = ref lo in
+    Array.iter (fun s -> folded := !folded lxor (hi lsl s)) f.mod_shifts;
+    p := !folded
+  done;
+  !p
+
+(* Carryless multiplication with a 4-bit window, then reduction. With
+   a, b < 2^32 the raw product has degree <= 62 and fits a 63-bit int. *)
+let mul f a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let tab = f.scratch in
+    tab.(1) <- a;
+    tab.(2) <- a lsl 1;
+    tab.(3) <- tab.(2) lxor a;
+    tab.(4) <- a lsl 2;
+    tab.(5) <- tab.(4) lxor a;
+    tab.(6) <- tab.(4) lxor tab.(2);
+    tab.(7) <- tab.(6) lxor a;
+    tab.(8) <- a lsl 3;
+    tab.(9) <- tab.(8) lxor a;
+    tab.(10) <- tab.(8) lxor tab.(2);
+    tab.(11) <- tab.(10) lxor a;
+    tab.(12) <- tab.(8) lxor tab.(4);
+    tab.(13) <- tab.(12) lxor a;
+    tab.(14) <- tab.(12) lxor tab.(2);
+    tab.(15) <- tab.(14) lxor a;
+    (* Top nibble of [b] is handled unshifted so no intermediate exceeds
+       degree 62. *)
+    let p = ref tab.((b lsr 28) land 0xF) in
+    for i = 6 downto 0 do
+      p := (!p lsl 4) lxor tab.((b lsr (4 * i)) land 0xF)
+    done;
+    reduce f !p
+  end
+
+(* Squaring = spreading each bit to the even positions; an 8-bit spread
+   table does it in four lookups. *)
+let spread8 =
+  Array.init 256 (fun b ->
+      let v = ref 0 in
+      for i = 0 to 7 do
+        if b lsr i land 1 = 1 then v := !v lor (1 lsl (2 * i))
+      done;
+      !v)
+
+let sq f a =
+  let p =
+    spread8.(a land 0xFF)
+    lor (spread8.((a lsr 8) land 0xFF) lsl 16)
+    lor (spread8.((a lsr 16) land 0xFF) lsl 32)
+  in
+  let hi = (a lsr 24) land 0xFF in
+  if hi = 0 then reduce f p
+  else begin
+    (* Bits 48..62 of the square come from bits 24..31 of [a]; bit 31
+       would land on position 62, still inside a native int. *)
+    let p_hi = spread8.(hi) in
+    reduce f (p lor (p_hi lsl 48))
+  end
+
+let pow f a k =
+  if k < 0 then invalid_arg "Gf2m.pow: negative exponent";
+  let r = ref 1 and base = ref a and k = ref k in
+  while !k <> 0 do
+    if !k land 1 = 1 then r := mul f !r !base;
+    base := sq f !base;
+    k := !k lsr 1
+  done;
+  !r
+
+let inv f a =
+  if a = 0 then raise Division_by_zero;
+  pow f a (f.mask - 1)
+
+let div f a b = mul f a (inv f b)
+
+let trace f a =
+  let acc = ref 0 and cur = ref a in
+  for _ = 1 to f.m do
+    acc := !acc lxor !cur;
+    cur := sq f !cur
+  done;
+  !acc
+
+(* Irreducibility check for x^m + modulus over GF(2): f is irreducible
+   iff x^(2^m) = x (mod f) and gcd(x^(2^(m/p)) - x, f) = 1 for every
+   prime p dividing m. We work in the quotient ring via this very field
+   representation, which is sound for the Frobenius computations even
+   before irreducibility is established. *)
+let frobenius_iterate f times =
+  (* x^(2^times) in the quotient ring, starting from the element x = 2. *)
+  let cur = ref 2 in
+  for _ = 1 to times do
+    cur := sq f !cur
+  done;
+  !cur
+
+let prime_divisors m =
+  let rec go m p acc =
+    if p * p > m then if m > 1 then m :: acc else acc
+    else if m mod p = 0 then
+      let rec strip m = if m mod p = 0 then strip (m / p) else m in
+      go (strip m) (p + 1) (p :: acc)
+    else go m (p + 1) acc
+  in
+  go m 2 []
+
+(* gcd(poly represented by [a] (an element = low-degree poly), f) where f
+   is the reduction polynomial of full degree m. Polynomial gcd over
+   GF(2) on plain ints. *)
+let gcd_with_modulus f a =
+  let deg v =
+    let rec go d = if v lsr d = 0 then d - 1 else go (d + 1) in
+    if v = 0 then -1 else go 1
+  in
+  let rec gcd a b =
+    if b = 0 then a
+    else begin
+      (* a mod b by long division over GF(2) *)
+      let db = deg b in
+      let a = ref a in
+      while deg !a >= db do
+        a := !a lxor (b lsl (deg !a - db))
+      done;
+      gcd b !a
+    end
+  in
+  gcd f.full a
+
+let is_irreducible f =
+  frobenius_iterate f f.m = 2
+  && List.for_all
+       (fun p ->
+         let x_frob = frobenius_iterate f (f.m / p) in
+         gcd_with_modulus f (x_frob lxor 2) = 1)
+       (prime_divisors f.m)
+
+let make ~m ~modulus =
+  if m < 2 || m > 32 then invalid_arg "Gf2m.make: m out of [2,32]";
+  if modulus land 1 = 0 then invalid_arg "Gf2m.make: modulus must have constant term";
+  if modulus lsr m <> 0 then invalid_arg "Gf2m.make: modulus degree too high";
+  let mod_shifts =
+    List.filter (fun s -> modulus lsr s land 1 = 1) (List.init m Fun.id)
+    |> Array.of_list
+  in
+  let f =
+    {
+      m;
+      full = (1 lsl m) lor modulus;
+      mask = (1 lsl m) - 1;
+      mod_shifts;
+      scratch = Array.make 16 0;
+    }
+  in
+  if not (is_irreducible f) then invalid_arg "Gf2m.make: reducible polynomial";
+  f
+
+let gf8 = make ~m:8 ~modulus:0x1B
+let gf16 = make ~m:16 ~modulus:0x2B
+let gf32 = make ~m:32 ~modulus:0x8D

@@ -1,0 +1,49 @@
+(** Binary finite fields GF(2^m) for 2 <= m <= 32.
+
+    Elements are OCaml ints in [\[0, 2^m)] interpreted as polynomials
+    over GF(2); arithmetic is modulo a fixed irreducible polynomial.
+    These fields carry the PinSketch syndromes: the paper maps each
+    transaction id to its 32-bit representation, i.e. an element of
+    GF(2^32). *)
+
+type t
+(** A field descriptor (size and reduction polynomial). *)
+
+val make : m:int -> modulus:int -> t
+(** [make ~m ~modulus] builds GF(2^m) reduced by x^m + [modulus] where
+    [modulus] encodes the low-order terms. The polynomial is checked for
+    irreducibility. @raise Invalid_argument if out of range or
+    reducible. *)
+
+val gf8 : t
+(** GF(2^8), x^8 + x^4 + x^3 + x + 1 (the AES field). *)
+
+val gf16 : t
+(** GF(2^16), x^16 + x^5 + x^3 + x + 1. *)
+
+val gf32 : t
+(** GF(2^32), x^32 + x^7 + x^3 + x^2 + 1 — the field used for
+    transaction-id sketches, as in libminisketch. *)
+
+val bits : t -> int
+val order_minus_one : t -> int
+(** 2^m - 1, the multiplicative group order. *)
+
+val mask : t -> int
+(** 2^m - 1 as a bit mask; also the largest element. *)
+
+val add : int -> int -> int
+(** Addition = XOR (characteristic 2); provided for symmetry. *)
+
+val mul : t -> int -> int -> int
+val sq : t -> int -> int
+val pow : t -> int -> int -> int
+(** [pow f a k] for [k >= 0]; [pow f a 0 = 1]. *)
+
+val inv : t -> int -> int
+(** @raise Division_by_zero on 0. *)
+
+val div : t -> int -> int -> int
+
+val trace : t -> int -> int
+(** Absolute trace Tr(a) = a + a^2 + a^4 + ... + a^(2^(m-1)), in {0,1}. *)

@@ -1,0 +1,70 @@
+type stats = {
+  sketches_built : int;
+  reconciliations : int;
+  decode_failures : int;
+  bytes_exchanged : int;
+  max_depth : int;
+}
+
+let empty_stats =
+  {
+    sketches_built = 0;
+    reconciliations = 0;
+    decode_failures = 0;
+    bytes_exchanged = 0;
+    max_depth = 0;
+  }
+
+let sketch_pair field capacity local remote =
+  let sl = Sketch.of_list ~field ~capacity local in
+  let sr = Sketch.of_list ~field ~capacity remote in
+  let merged = Sketch.merge sl sr in
+  (merged, 2 * Sketch.serialized_size sl)
+
+let reconcile ?(field = Gf2m.gf32) ~capacity ~local ~remote () =
+  let stats = ref empty_stats in
+  let diff = ref [] in
+  (* Partition (depth, value): ids whose low [depth] bits equal [value]. *)
+  let queue = Queue.create () in
+  Queue.add (0, 0, local, remote) queue;
+  while not (Queue.is_empty queue) do
+    let depth, value, l, r = Queue.pop queue in
+    let merged, bytes = sketch_pair field capacity l r in
+    stats :=
+      {
+        !stats with
+        sketches_built = !stats.sketches_built + 2;
+        reconciliations = !stats.reconciliations + 1;
+        bytes_exchanged = !stats.bytes_exchanged + bytes;
+        max_depth = max !stats.max_depth depth;
+      };
+    match Sketch.decode merged with
+    | Ok elements -> diff := List.rev_append elements !diff
+    | Error `Decode_failure ->
+        stats := { !stats with decode_failures = !stats.decode_failures + 1 };
+        if depth >= Gf2m.bits field then
+          (* Cannot split further; give up on this partition (ids are
+             uniform hashes, so in practice this is unreachable). *)
+          ()
+        else begin
+          let bit = 1 lsl depth in
+          let part p xs = List.filter (fun e -> e land bit = if p then bit else 0) xs in
+          Queue.add (depth + 1, value, part false l, part false r) queue;
+          Queue.add (depth + 1, value lor bit, part true l, part true r) queue
+        end
+  done;
+  (!stats, !diff)
+
+let reconcile_monolithic ?(field = Gf2m.gf32) ~capacity ~local ~remote () =
+  let merged, bytes = sketch_pair field capacity local remote in
+  let stats =
+    {
+      empty_stats with
+      sketches_built = 2;
+      reconciliations = 1;
+      bytes_exchanged = bytes;
+    }
+  in
+  match Sketch.decode merged with
+  | Ok elements -> (stats, Some elements)
+  | Error `Decode_failure -> ({ stats with decode_failures = 1 }, None)

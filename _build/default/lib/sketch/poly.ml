@@ -1,0 +1,150 @@
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let normalize a =
+  let n = Array.length a in
+  let rec top i = if i >= 0 && a.(i) = 0 then top (i - 1) else i in
+  let d = top (n - 1) in
+  if d = n - 1 then a else Array.sub a 0 (d + 1)
+
+let constant c = if c = 0 then zero else [| c |]
+let of_coeffs cs = normalize (Array.of_list cs)
+let degree a = Array.length a - 1
+let is_zero a = Array.length a = 0
+let equal (a : t) (b : t) = a = b
+let coeff a i = if i < Array.length a then a.(i) else 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  normalize (Array.init (max la lb) (fun i -> coeff a i lxor coeff b i))
+
+let scale f c a =
+  if c = 0 then zero else normalize (Array.map (fun x -> Gf2m.mul f c x) a)
+
+let mul f a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let out = Array.make (degree a + degree b + 1) 0 in
+    Array.iteri
+      (fun i ai ->
+        if ai <> 0 then
+          Array.iteri
+            (fun j bj -> out.(i + j) <- out.(i + j) lxor Gf2m.mul f ai bj)
+            b)
+      a;
+    normalize out
+  end
+
+let divmod f a b =
+  if is_zero b then raise Division_by_zero;
+  let db = degree b in
+  let lead_inv = Gf2m.inv f b.(db) in
+  let r = Array.copy a in
+  let da = degree a in
+  if da < db then (zero, normalize r)
+  else begin
+    let q = Array.make (da - db + 1) 0 in
+    for i = da downto db do
+      if r.(i) <> 0 then begin
+        let factor = Gf2m.mul f r.(i) lead_inv in
+        q.(i - db) <- factor;
+        for j = 0 to db do
+          r.(i - db + j) <- r.(i - db + j) lxor Gf2m.mul f factor b.(j)
+        done
+      end
+    done;
+    (normalize q, normalize r)
+  end
+
+let rem f a b = snd (divmod f a b)
+
+let monic f a =
+  if is_zero a then a
+  else
+    let lead = a.(degree a) in
+    if lead = 1 then a else scale f (Gf2m.inv f lead) a
+
+let rec gcd f a b = if is_zero b then monic f a else gcd f b (rem f a b)
+
+let eval f a x =
+  (* Horner's rule. *)
+  let acc = ref 0 in
+  for i = degree a downto 0 do
+    acc := Gf2m.mul f !acc x lxor a.(i)
+  done;
+  !acc
+
+let square_mod f a ~modulus =
+  if is_zero a then zero
+  else begin
+    let out = Array.make ((2 * degree a) + 1) 0 in
+    Array.iteri (fun i ai -> out.(2 * i) <- Gf2m.sq f ai) a;
+    rem f (normalize out) modulus
+  end
+
+let mul_mod f a b ~modulus = rem f (mul f a b) modulus
+
+let frobenius_fixed f p =
+  if degree p < 1 then false
+  else begin
+    (* x^(2^m) mod p via m modular squarings of x. *)
+    let x = rem f [| 0; 1 |] p in
+    let cur = ref x in
+    for _ = 1 to Gf2m.bits f do
+      cur := square_mod f !cur ~modulus:p
+    done;
+    equal !cur x
+  end
+
+let trace_mod f ~beta ~modulus =
+  let bx = rem f [| 0; beta |] modulus in
+  let acc = ref bx and cur = ref bx in
+  for _ = 2 to Gf2m.bits f do
+    cur := square_mod f !cur ~modulus;
+    acc := add !acc !cur
+  done;
+  !acc
+
+let roots f p =
+  if is_zero p then None
+  else begin
+    let exception Split_failure in
+    (* [find p betas acc] accumulates the roots of monic squarefree [p]. *)
+    let rec find p next_beta acc =
+      match degree p with
+      | 0 -> acc
+      | 1 ->
+          (* monic: x + c, root c *)
+          p.(0) :: acc
+      | _ ->
+          let rec split beta tries =
+            if tries > Gf2m.bits f + 64 then raise Split_failure
+            else begin
+              let t = trace_mod f ~beta ~modulus:p in
+              let g = gcd f p t in
+              let dg = degree g in
+              if dg > 0 && dg < degree p then g
+              else
+                (* also try Tr(beta x) + 1 via gcd with t+1 *)
+                let g' = gcd f p (add t one) in
+                let dg' = degree g' in
+                if dg' > 0 && dg' < degree p then g'
+                else split (Gf2m.mul f beta 2 lxor 1) (tries + 1)
+            end
+          in
+          let g = split next_beta 0 in
+          let h, r = divmod f p g in
+          assert (is_zero r);
+          let acc = find (monic f g) (Gf2m.mul f next_beta 3 lxor 5) acc in
+          find (monic f h) (Gf2m.mul f next_beta 3 lxor 7) acc
+    in
+    let p = monic f p in
+    if not (frobenius_fixed f p) then
+      if degree p = 0 then Some [] else None
+    else
+      match find p 1 [] with
+      | roots -> Some roots
+      | exception Split_failure -> None
+  end

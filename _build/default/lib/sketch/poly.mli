@@ -1,0 +1,55 @@
+(** Dense univariate polynomials over GF(2^m).
+
+    Coefficient arrays are little-endian ([coeffs.(i)] multiplies x^i)
+    and normalised (no trailing zero coefficients, so the zero
+    polynomial is the empty array). These carry the decoder side of
+    PinSketch: locator polynomials, modular Frobenius powers, and the
+    trace polynomials used for root splitting. *)
+
+type t = int array
+
+val zero : t
+val one : t
+val constant : int -> t
+val of_coeffs : int list -> t
+val degree : t -> int
+(** Degree; -1 for the zero polynomial. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val coeff : t -> int -> int
+val add : t -> t -> t
+(** Coefficient-wise XOR. *)
+
+val scale : Gf2m.t -> int -> t -> t
+val mul : Gf2m.t -> t -> t -> t
+val divmod : Gf2m.t -> t -> t -> t * t
+(** Euclidean division. @raise Division_by_zero on a zero divisor. *)
+
+val rem : Gf2m.t -> t -> t -> t
+val gcd : Gf2m.t -> t -> t -> t
+(** Monic greatest common divisor. *)
+
+val monic : Gf2m.t -> t -> t
+val eval : Gf2m.t -> t -> int -> int
+val square_mod : Gf2m.t -> t -> modulus:t -> t
+(** Frobenius squaring mod a polynomial: in characteristic 2,
+    (sum a_i x^i)^2 = sum a_i^2 x^(2i), then reduced. *)
+
+val mul_mod : Gf2m.t -> t -> t -> modulus:t -> t
+
+val frobenius_fixed : Gf2m.t -> t -> bool
+(** [frobenius_fixed f p] checks x^(2^m) = x (mod p): true iff [p] is a
+    product of distinct linear factors over GF(2^m), i.e. fully
+    decodable. *)
+
+val trace_mod : Gf2m.t -> beta:int -> modulus:t -> t
+(** Tr(beta * x) reduced mod the given polynomial — the splitting
+    polynomial for root isolation. *)
+
+val roots : Gf2m.t -> t -> int list option
+(** All roots of a squarefree, fully-split polynomial, found by
+    recursive trace splitting. Returns [None] when the polynomial is not
+    a product of distinct linear factors (decode failure). The zero
+    polynomial and constants yield [Some \[\]] / [None] as appropriate:
+    constants have no roots, zero is rejected. *)

@@ -1,0 +1,104 @@
+module Writer = Lo_codec.Writer
+module Reader = Lo_codec.Reader
+
+type t = { field : Gf2m.t; capacity : int; syndromes : int array }
+
+let create ?(field = Gf2m.gf32) ~capacity () =
+  if capacity <= 0 then invalid_arg "Sketch.create: capacity";
+  { field; capacity; syndromes = Array.make capacity 0 }
+
+let field t = t.field
+let capacity t = t.capacity
+let copy t = { t with syndromes = Array.copy t.syndromes }
+
+let add t e =
+  if e <= 0 || e > Gf2m.mask t.field then invalid_arg "Sketch.add: element";
+  (* Accumulate odd powers e^1, e^3, e^5, ... *)
+  let e2 = Gf2m.sq t.field e in
+  let p = ref e in
+  for i = 0 to t.capacity - 1 do
+    t.syndromes.(i) <- t.syndromes.(i) lxor !p;
+    if i < t.capacity - 1 then p := Gf2m.mul t.field !p e2
+  done
+
+let add_all t es = List.iter (add t) es
+
+let of_list ?field ~capacity es =
+  let t = create ?field ~capacity () in
+  add_all t es;
+  t
+
+let merge a b =
+  if Gf2m.bits a.field <> Gf2m.bits b.field || a.capacity <> b.capacity then
+    invalid_arg "Sketch.merge: incompatible sketches";
+  {
+    a with
+    syndromes = Array.init a.capacity (fun i -> a.syndromes.(i) lxor b.syndromes.(i));
+  }
+
+let truncate t ~capacity =
+  if capacity <= 0 then invalid_arg "Sketch.truncate: capacity";
+  if capacity >= t.capacity then t
+  else { t with capacity; syndromes = Array.sub t.syndromes 0 capacity }
+
+let is_empty t = Array.for_all (fun s -> s = 0) t.syndromes
+
+let decode t =
+  if is_empty t then Ok []
+  else begin
+    let f = t.field in
+    let c = t.capacity in
+    (* Full syndrome sequence s_1..s_2c; even entries from Frobenius:
+       s_2k = s_k^2. [ss] is 1-indexed. *)
+    let ss = Array.make ((2 * c) + 1) 0 in
+    for k = 1 to 2 * c do
+      ss.(k) <-
+        (if k land 1 = 1 then t.syndromes.((k - 1) / 2)
+         else Gf2m.sq f ss.(k / 2))
+    done;
+    let locator, l = Berlekamp_massey.run f (Array.sub ss 1 (2 * c)) in
+    if l = 0 || Poly.degree locator <> l then Error `Decode_failure
+    else
+      match Poly.roots f locator with
+      | None -> Error `Decode_failure
+      | Some roots when List.length roots <> l -> Error `Decode_failure
+      | Some roots when List.mem 0 roots -> Error `Decode_failure
+      | Some roots ->
+          let elements = List.map (Gf2m.inv f) roots in
+          (* Re-encode to rule out spurious decodes beyond capacity. *)
+          let check = create ~field:f ~capacity:c () in
+          add_all check elements;
+          if Array.for_all2 ( = ) check.syndromes t.syndromes then Ok elements
+          else Error `Decode_failure
+  end
+
+let syndrome_bytes field = (Gf2m.bits field + 7) / 8
+let serialized_size t = 1 + 2 + (t.capacity * syndrome_bytes t.field)
+
+let encode w t =
+  Writer.u8 w (Gf2m.bits t.field);
+  Writer.u16 w t.capacity;
+  let nb = syndrome_bytes t.field in
+  Array.iter
+    (fun s ->
+      for i = nb - 1 downto 0 do
+        Writer.u8 w ((s lsr (8 * i)) land 0xFF)
+      done)
+    t.syndromes
+
+let decode_wire ?(field = Gf2m.gf32) r =
+  let m = Reader.u8 r in
+  if m <> Gf2m.bits field then raise (Reader.Malformed "sketch field size");
+  let capacity = Reader.u16 r in
+  if capacity = 0 then raise (Reader.Malformed "sketch capacity");
+  let nb = syndrome_bytes field in
+  let syndromes =
+    Array.init capacity (fun _ ->
+        let v = ref 0 in
+        for _ = 1 to nb do
+          v := (!v lsl 8) lor Reader.u8 r
+        done;
+        if !v > Gf2m.mask field then raise (Reader.Malformed "sketch syndrome");
+        !v)
+  in
+  { field; capacity; syndromes }

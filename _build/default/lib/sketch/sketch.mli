@@ -1,0 +1,60 @@
+(** PinSketch set sketches (the data structure behind Minisketch).
+
+    A sketch of capacity [c] over GF(2^m) stores the [c] odd power sums
+    (syndromes) s_1, s_3, ..., s_(2c-1) of the set elements. Sketches of
+    two sets XOR together into a sketch of their symmetric difference,
+    which decodes exactly when the difference has at most [c] elements —
+    that is the reconciliation primitive of the paper's commitments
+    (Sec. 4.2). Elements are nonzero field elements; the LØ layer maps
+    32-byte transaction ids onto nonzero 32-bit short ids. *)
+
+type t
+
+val create : ?field:Gf2m.t -> capacity:int -> unit -> t
+(** Empty sketch; default field GF(2^32). @raise Invalid_argument if
+    [capacity <= 0]. *)
+
+val field : t -> Gf2m.t
+val capacity : t -> int
+val copy : t -> t
+
+val add : t -> int -> unit
+(** Toggle an element's membership (adding twice removes it — sketches
+    are symmetric-difference accumulators).
+    @raise Invalid_argument if the element is 0 or out of field range. *)
+
+val add_all : t -> int list -> unit
+
+val of_list : ?field:Gf2m.t -> capacity:int -> int list -> t
+
+val merge : t -> t -> t
+(** XOR of syndromes = sketch of the symmetric difference.
+    @raise Invalid_argument on mismatched field or capacity. *)
+
+val truncate : t -> capacity:int -> t
+(** A PinSketch of capacity [c] contains every smaller sketch as a
+    syndrome prefix; [truncate] takes that prefix. Decoding a truncated
+    sketch is much cheaper when an external estimate (LØ uses the Bloom
+    clock) bounds the difference well below the full capacity.
+    Capacities above the sketch's own are clamped. *)
+
+val is_empty : t -> bool
+(** True iff all syndromes are zero (difference empty, or — with
+    negligible probability for honest inputs — a decode-resistant
+    collision). *)
+
+val decode : t -> (int list, [ `Decode_failure ]) result
+(** Recover the elements of the (symmetric-difference) set, unordered.
+    Fails when the difference exceeds the capacity. A successful decode
+    is verified by re-encoding, so a wrong set is never returned. *)
+
+val serialized_size : t -> int
+(** Bytes on the wire: 4 bytes per syndrome for GF(2^32) plus a small
+    header. *)
+
+val encode : Lo_codec.Writer.t -> t -> unit
+
+val decode_wire : ?field:Gf2m.t -> Lo_codec.Reader.t -> t
+(** Read a sketch; the field must match the expected deployment field
+    ([Gf2m.gf32] by default). @raise Lo_codec.Reader.Malformed on bad
+    input. *)

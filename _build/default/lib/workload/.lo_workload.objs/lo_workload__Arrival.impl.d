@@ -1,0 +1,1 @@
+lib/workload/arrival.ml: List Lo_net

@@ -1,0 +1,1 @@
+lib/workload/fee_model.ml: Float Lo_net

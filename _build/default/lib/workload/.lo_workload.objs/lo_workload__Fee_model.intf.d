@@ -1,0 +1,1 @@
+lib/workload/fee_model.mli: Lo_net

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Arrival Buffer Fee_model List Lo_net Printf String Tx_gen

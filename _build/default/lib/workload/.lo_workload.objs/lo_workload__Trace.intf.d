@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Fee_model Lo_net Tx_gen

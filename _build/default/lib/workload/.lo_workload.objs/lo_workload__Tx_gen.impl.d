@@ -1,0 +1,1 @@
+lib/workload/tx_gen.ml: Arrival Buffer Fee_model List Lo_crypto Lo_net Printf

@@ -1,0 +1,1 @@
+lib/workload/tx_gen.mli: Fee_model Lo_net

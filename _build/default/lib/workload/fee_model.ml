@@ -1,0 +1,46 @@
+module Rng = Lo_net.Rng
+
+type t = { mu : float; sigma : float; minimum : int }
+
+let default = { mu = 3.0; sigma = 1.1; minimum = 1 }
+
+let draw rng t =
+  let v = Rng.lognormal rng ~mu:t.mu ~sigma:t.sigma in
+  max t.minimum (int_of_float (Float.round v))
+
+(* Inverse error function via the Giles (2012) polynomial approximation;
+   accurate to ~1e-6, far beyond what threshold selection needs. *)
+let erfinv x =
+  if x <= -1. || x >= 1. then invalid_arg "erfinv: domain";
+  let w = -.log ((1. -. x) *. (1. +. x)) in
+  if w < 5. then begin
+    let w = w -. 2.5 in
+    let p = 2.81022636e-08 in
+    let p = 3.43273939e-07 +. (p *. w) in
+    let p = -3.5233877e-06 +. (p *. w) in
+    let p = -4.39150654e-06 +. (p *. w) in
+    let p = 0.00021858087 +. (p *. w) in
+    let p = -0.00125372503 +. (p *. w) in
+    let p = -0.00417768164 +. (p *. w) in
+    let p = 0.246640727 +. (p *. w) in
+    let p = 1.50140941 +. (p *. w) in
+    p *. x
+  end
+  else begin
+    let w = sqrt w -. 3. in
+    let p = -0.000200214257 in
+    let p = 0.000100950558 +. (p *. w) in
+    let p = 0.00134934322 +. (p *. w) in
+    let p = -0.00367342844 +. (p *. w) in
+    let p = 0.00573950773 +. (p *. w) in
+    let p = -0.0076224613 +. (p *. w) in
+    let p = 0.00943887047 +. (p *. w) in
+    let p = 1.00167406 +. (p *. w) in
+    let p = 2.83297682 +. (p *. w) in
+    p *. x
+  end
+
+let quantile t q =
+  if q <= 0. || q >= 1. then invalid_arg "Fee_model.quantile: q in (0,1)";
+  let z = sqrt 2. *. erfinv ((2. *. q) -. 1.) in
+  max t.minimum (int_of_float (Float.round (exp (t.mu +. (t.sigma *. z)))))

@@ -1,0 +1,19 @@
+(** Transaction-fee model.
+
+    Stands in for the Ethereum fee trace used by the paper ([Pierro &
+    Rocha 2019]): empirical gas prices are heavy-tailed and well
+    approximated by a log-normal distribution. Fees are integer
+    "gwei-like" units; only their ranking matters to the experiments
+    (the Highest-Fee policy and the fee-threshold filter). *)
+
+type t = { mu : float; sigma : float; minimum : int }
+
+val default : t
+(** mu/sigma calibrated to give a median around 20 units with a long
+    tail into the thousands, minimum fee 1. *)
+
+val draw : Lo_net.Rng.t -> t -> int
+
+val quantile : t -> float -> int
+(** Closed-form log-normal quantile (for choosing thresholds in
+    experiments); clamped to [minimum]. *)

@@ -1,0 +1,43 @@
+module Rng = Lo_net.Rng
+
+type spec = {
+  created_at : float;
+  origin : int;
+  fee : int;
+  size : int;
+  nonce : int;
+}
+
+type config = {
+  rate : float;
+  duration : float;
+  tx_size : int;
+  fee_model : Fee_model.t;
+}
+
+let default_config =
+  { rate = 20.; duration = 60.; tx_size = 250; fee_model = Fee_model.default }
+
+let generate rng config ~num_nodes =
+  if num_nodes <= 0 then invalid_arg "Tx_gen.generate";
+  let times = Arrival.poisson_times rng ~rate:config.rate ~duration:config.duration in
+  List.mapi
+    (fun i t ->
+      {
+        created_at = t;
+        origin = Rng.int rng num_nodes;
+        fee = Fee_model.draw rng config.fee_model;
+        size = config.tx_size;
+        nonce = i;
+      })
+    times
+
+let payload spec =
+  (* Cheap deterministic filler: repeat a nonce-derived pattern. *)
+  let seed = Printf.sprintf "tx-payload-%d-%d" spec.nonce spec.fee in
+  let block = Lo_crypto.Sha256.digest seed in
+  let buf = Buffer.create spec.size in
+  while Buffer.length buf < spec.size do
+    Buffer.add_string buf block
+  done;
+  Buffer.sub buf 0 spec.size

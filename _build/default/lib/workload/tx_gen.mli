@@ -1,0 +1,32 @@
+(** Synthetic transaction workload generation.
+
+    Produces the stream of client transactions injected into a
+    simulation: Poisson arrivals at a configurable rate, log-normal
+    fees, fixed 250-byte payloads (the paper's per-transaction size),
+    and an origin node chosen uniformly — the client submits to that
+    miner first (Stage I of the paper's pipeline). *)
+
+type spec = {
+  created_at : float;  (** submission time, seconds from run start *)
+  origin : int;  (** node the client submits to *)
+  fee : int;
+  size : int;  (** payload bytes *)
+  nonce : int;  (** unique per spec; seeds the payload *)
+}
+
+type config = {
+  rate : float;  (** transactions per second *)
+  duration : float;  (** seconds of workload *)
+  tx_size : int;  (** payload size; the paper uses 250 bytes *)
+  fee_model : Fee_model.t;
+}
+
+val default_config : config
+(** 20 tx/s (the paper's default), 60 s, 250-byte transactions. *)
+
+val generate : Lo_net.Rng.t -> config -> num_nodes:int -> spec list
+(** Specs ordered by [created_at]. *)
+
+val payload : spec -> string
+(** Deterministic pseudo-payload of [size] bytes derived from the
+    nonce. *)

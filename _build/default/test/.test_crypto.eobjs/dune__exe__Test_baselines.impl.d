@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bytes Char Flood Fun List Lo_baselines Lo_codec Lo_core Lo_crypto Lo_net Narwhal Peer_review Printf String

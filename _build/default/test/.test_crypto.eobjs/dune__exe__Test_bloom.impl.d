@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Bloom Bloom_clock List Lo_bloom Lo_codec Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest List Lo_codec QCheck2 QCheck_alcotest String

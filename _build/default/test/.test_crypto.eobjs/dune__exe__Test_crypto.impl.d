@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Fun Hex Hmac Hmac_drbg List Lo_crypto Merkle Printf QCheck2 QCheck_alcotest Schnorr Secp256k1 Sha256 Signer String Uint256

@@ -1,0 +1,1 @@
+test/test_enforcement.ml: Accountability Alcotest Array Client Commitment Directory Enforcement Evidence List Lo_core Lo_crypto Lo_net Mempool Messages Node Policy Printf String Tx

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Float List Lo_core Lo_net Lo_sim Lo_workload Metrics Report Scenario Sys

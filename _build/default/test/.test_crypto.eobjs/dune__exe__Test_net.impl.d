@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Event_queue Fun Latency List Lo_net Mux Network Peer_sampler QCheck2 QCheck_alcotest Rng Topology

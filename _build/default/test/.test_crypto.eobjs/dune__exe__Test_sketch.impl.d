@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Berlekamp_massey Fun Gf2m Hashtbl List Lo_codec Lo_net Lo_sketch Partitioned Poly Printf QCheck2 QCheck_alcotest Sketch Strata

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Arrival Fee_model List Lo_net Lo_workload String Trace Tx_gen

@@ -1,0 +1,2 @@
+  $ ../../bin/lo.exe selfcheck
+  $ ../../bin/lo.exe no-such-figure 2>/dev/null

@@ -1,0 +1,18 @@
+The substrate self-check is fully deterministic:
+
+  $ ../../bin/lo.exe selfcheck
+  sha256 empty-string vector                   ok
+  sha256 'abc' vector                          ok
+  hmac rfc4231 vector                          ok
+  secp256k1 generator order                    ok
+  schnorr sign/verify                          ok
+  schnorr rejects wrong message                ok
+  pinsketch symmetric difference               ok
+  gf(2^32) field inverse                       ok
+  commitment digest verifies                   ok
+  all self-checks passed.
+
+Unknown subcommands fail cleanly:
+
+  $ ../../bin/lo.exe no-such-figure 2>/dev/null
+  [124]

@@ -1,0 +1,3 @@
+  $ ../../examples/quickstart.exe
+  $ ../../examples/censorship_demo.exe
+  $ ../../examples/sandwich_demo.exe

@@ -1,0 +1,31 @@
+The example programs are deterministic end to end; these transcripts
+pin their observable behaviour.
+
+  $ ../../examples/quickstart.exe
+  Started 5 honest miners (fully connected overlay).
+    submitted ab1f6833 (fee 30) to miner 0
+    submitted 10210d94 (fee 12) to miner 1
+    submitted dff59d5b (fee 55) to miner 2
+    submitted e35b74d4 (fee 7) to miner 3
+  miner 0: mempool=4, committed bundles=4
+  miner 1: mempool=4, committed bundles=3
+  miner 2: mempool=4, committed bundles=4
+  miner 3: mempool=4, committed bundles=4
+  miner 4: mempool=4, committed bundles=3
+  miner 0 built block 1: 4 txs over bundles 1..4
+  inspection violations: 0 (expected 0)
+  suspicions: 0, exposures: 0 (expected 0, 0)
+  quickstart done.
+
+  $ ../../examples/censorship_demo.exe
+  competing bid submitted to miner 5; sniper's bid to miner 0
+  miner 0 mempool: 2 txs, committed: 2 ids
+  sniper's block: height 1, 1 txs; own bid included: true; competing bid included: false
+  miners holding verifiable proof of censorship: 14/14
+  censorship detected and attributed — demo done.
+
+  $ ../../examples/sandwich_demo.exe
+  attacker's block: 8 txs over bundles 1..4
+  first injection detection: miner 4 at 8.06s
+  miners holding verifiable proof of injection: 14/14
+  front-running attempt exposed — demo done.

@@ -1,0 +1,117 @@
+(* Tests for lo_codec: scalar roundtrips, framing, malformed-input
+   rejection, and property tests over random values. *)
+
+module W = Lo_codec.Writer
+module R = Lo_codec.Reader
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let encode f =
+  let w = W.create () in
+  f w;
+  W.contents w
+
+let scalar_tests =
+  [
+    Alcotest.test_case "u8 roundtrip" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let r = R.of_string (encode (fun w -> W.u8 w v)) in
+            check_int "u8" v (R.u8 r))
+          [ 0; 1; 127; 128; 255 ]);
+    Alcotest.test_case "u8 range checked" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Writer.u8: out of range")
+          (fun () -> ignore (encode (fun w -> W.u8 w (-1))));
+        Alcotest.check_raises "big" (Invalid_argument "Writer.u8: out of range")
+          (fun () -> ignore (encode (fun w -> W.u8 w 256))));
+    Alcotest.test_case "u16 big-endian" `Quick (fun () ->
+        check_str "bytes" "\x12\x34" (encode (fun w -> W.u16 w 0x1234)));
+    Alcotest.test_case "u32 big-endian" `Quick (fun () ->
+        check_str "bytes" "\xde\xad\xbe\xef"
+          (encode (fun w -> W.u32 w 0xDEADBEEF)));
+    Alcotest.test_case "u64 roundtrip" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            let r = R.of_string (encode (fun w -> W.u64 w v)) in
+            check_int "u64" v (R.u64 r))
+          [ 0; 1; 1 lsl 40; max_int ]);
+    Alcotest.test_case "varint sizes" `Quick (fun () ->
+        check_int "1 byte" 1 (String.length (encode (fun w -> W.varint w 127)));
+        check_int "2 bytes" 2 (String.length (encode (fun w -> W.varint w 128)));
+        check_int "2 bytes" 2 (String.length (encode (fun w -> W.varint w 16383)));
+        check_int "3 bytes" 3 (String.length (encode (fun w -> W.varint w 16384))));
+    qtest "varint roundtrip" QCheck2.Gen.(int_bound max_int) (fun v ->
+        let r = R.of_string (encode (fun w -> W.varint w v)) in
+        R.varint r = v && R.at_end r);
+    qtest "u32 roundtrip" QCheck2.Gen.(int_bound 0xFFFFFFFF) (fun v ->
+        let r = R.of_string (encode (fun w -> W.u32 w v)) in
+        R.u32 r = v);
+    Alcotest.test_case "bool roundtrip" `Quick (fun () ->
+        let r = R.of_string (encode (fun w -> W.bool w true; W.bool w false)) in
+        check_bool "t" true (R.bool r);
+        check_bool "f" false (R.bool r));
+    Alcotest.test_case "bool rejects 2" `Quick (fun () ->
+        let r = R.of_string "\x02" in
+        Alcotest.check_raises "malformed" (R.Malformed "bool") (fun () ->
+            ignore (R.bool r)));
+  ]
+
+let composite_tests =
+  [
+    Alcotest.test_case "bytes roundtrip" `Quick (fun () ->
+        let r = R.of_string (encode (fun w -> W.bytes w "hello")) in
+        check_str "payload" "hello" (R.bytes r));
+    Alcotest.test_case "fixed roundtrip" `Quick (fun () ->
+        let r = R.of_string (encode (fun w -> W.fixed w "abcd")) in
+        check_str "payload" "abcd" (R.fixed r 4));
+    Alcotest.test_case "list roundtrip" `Quick (fun () ->
+        let xs = [ 3; 1; 4; 1; 5 ] in
+        let r = R.of_string (encode (fun w -> W.list w (W.varint w) xs)) in
+        check_bool "equal" true (R.list r R.varint = xs));
+    Alcotest.test_case "empty list" `Quick (fun () ->
+        let r = R.of_string (encode (fun w -> W.list w (W.varint w) [])) in
+        check_bool "empty" true (R.list r R.varint = []));
+    Alcotest.test_case "expect_end catches trailing bytes" `Quick (fun () ->
+        let r = R.of_string "\x00\x01" in
+        ignore (R.u8 r);
+        Alcotest.check_raises "trailing" (R.Malformed "trailing bytes")
+          (fun () -> R.expect_end r));
+    Alcotest.test_case "truncated input raises" `Quick (fun () ->
+        let r = R.of_string "\x01" in
+        Alcotest.check_raises "short" (R.Malformed "truncated u32") (fun () ->
+            ignore (R.u32 r)));
+    Alcotest.test_case "bogus list count rejected" `Quick (fun () ->
+        (* claims 100 elements but has almost no payload *)
+        let r = R.of_string "\x64\x01" in
+        Alcotest.check_raises "count" (R.Malformed "list count exceeds input")
+          (fun () -> ignore (R.list r R.varint)));
+    Alcotest.test_case "varint too long rejected" `Quick (fun () ->
+        let r = R.of_string (String.make 10 '\xff') in
+        Alcotest.check_raises "long" (R.Malformed "varint too long") (fun () ->
+            ignore (R.varint r)));
+    qtest "mixed sequence roundtrip"
+      QCheck2.Gen.(
+        quad (int_bound 255) (int_bound max_int) (small_string ~gen:char)
+          (list_size (int_bound 10) (int_bound 0xFFFF)))
+      (fun (a, b, s, xs) ->
+        let payload =
+          encode (fun w ->
+              W.u8 w a;
+              W.varint w b;
+              W.bytes w s;
+              W.list w (W.u16 w) xs)
+        in
+        let r = R.of_string payload in
+        R.u8 r = a && R.varint r = b && R.bytes r = s
+        && R.list r R.u16 = xs
+        && R.at_end r);
+  ]
+
+let () =
+  Alcotest.run "lo_codec"
+    [ ("scalars", scalar_tests); ("composites", composite_tests) ]

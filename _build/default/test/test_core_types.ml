@@ -1,0 +1,892 @@
+(* Unit tests for lo_core data types: transactions, short ids,
+   commitments and their consistency checks, canonical ordering, the
+   mempool store, blocks, build policies, the inspector, evidence
+   verification, accountability bookkeeping, and message codecs. *)
+
+open Lo_core
+module Signer = Lo_crypto.Signer
+
+let scheme = Signer.simulation ()
+let alice = Signer.make scheme ~seed:"alice"
+let bob = Signer.make scheme ~seed:"bob"
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mk_tx ?(signer = alice) ?(fee = 10) ?(created_at = 1.5) payload =
+  Tx.create ~signer ~fee ~created_at ~payload
+
+(* ---------------- Tx ---------------- *)
+
+let tx_tests =
+  [
+    Alcotest.test_case "roundtrip" `Quick (fun () ->
+        let tx = mk_tx "hello" in
+        let tx' = Tx.of_string (Tx.to_string tx) in
+        check_bool "equal" true (Tx.equal tx tx');
+        check_str "id" (Lo_crypto.Hex.encode tx.Tx.id) (Lo_crypto.Hex.encode tx'.Tx.id);
+        check_int "fee" tx.Tx.fee tx'.Tx.fee);
+    Alcotest.test_case "prevalidates" `Quick (fun () ->
+        check_bool "valid" true (Tx.prevalidate scheme (mk_tx "x") = Ok ()));
+    Alcotest.test_case "tampered payload fails" `Quick (fun () ->
+        let tx = mk_tx "hello" in
+        let raw = Bytes.of_string (Tx.to_string tx) in
+        (* payload bytes sit after origin(33)+fee+time; flip one near the end
+           before the 64-byte signature *)
+        let pos = Bytes.length raw - 65 in
+        Bytes.set raw pos (Char.chr (Char.code (Bytes.get raw pos) lxor 1));
+        let tx' = Tx.of_string (Bytes.to_string raw) in
+        check_bool "invalid" true (Tx.prevalidate scheme tx' <> Ok ()));
+    Alcotest.test_case "distinct payloads distinct ids" `Quick (fun () ->
+        check_bool "ids differ" false
+          (String.equal (mk_tx "a").Tx.id (mk_tx "b").Tx.id));
+    Alcotest.test_case "negative fee rejected at creation" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Tx.create: negative fee")
+          (fun () -> ignore (mk_tx ~fee:(-1) "x")));
+    Alcotest.test_case "oversized payload rejected" `Quick (fun () ->
+        Alcotest.check_raises "big"
+          (Invalid_argument "Tx.create: payload too large") (fun () ->
+            ignore (mk_tx (String.make (Tx.max_payload_size + 1) 'x'))));
+    Alcotest.test_case "created_at survives microsecond encoding" `Quick (fun () ->
+        let tx = mk_tx ~created_at:123.456789 "x" in
+        let tx' = Tx.of_string (Tx.to_string tx) in
+        check_bool "close" true (abs_float (tx'.Tx.created_at -. 123.456789) < 1e-5));
+    qtest "short ids in range" QCheck2.Gen.(small_string ~gen:char) (fun payload ->
+        let tx = mk_tx payload in
+        let s = Tx.short_id tx in
+        s >= 1 && s <= Short_id.max_value);
+  ]
+
+(* ---------------- Commitment ---------------- *)
+
+let mk_log ?(signer = alice) () = Commitment.Log.create ~signer ()
+
+let commitment_tests =
+  [
+    Alcotest.test_case "fresh log has signed seq-0 digest" `Quick (fun () ->
+        let log = mk_log () in
+        let d = Commitment.Log.current_digest log in
+        check_int "seq" 0 d.Commitment.seq;
+        check_int "counter" 0 d.Commitment.counter;
+        check_bool "verifies" true (Commitment.verify scheme d));
+    Alcotest.test_case "append grows seq and counter" `Quick (fun () ->
+        let log = mk_log () in
+        (match Commitment.Log.append log ~source:None ~ids:[ 11; 22 ] with
+        | Some d ->
+            check_int "seq" 1 d.Commitment.seq;
+            check_int "counter" 2 d.Commitment.counter
+        | None -> Alcotest.fail "append failed");
+        check_bool "contains" true (Commitment.Log.contains log 11));
+    Alcotest.test_case "duplicate ids dropped" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 5 ]);
+        check_bool "no-op" true
+          (Commitment.Log.append log ~source:None ~ids:[ 5 ] = None);
+        check_int "counter" 1 (Commitment.Log.counter log));
+    Alcotest.test_case "invalid ids dropped" `Quick (fun () ->
+        let log = mk_log () in
+        check_bool "none" true
+          (Commitment.Log.append log ~source:None ~ids:[ 0; -3 ] = None));
+    Alcotest.test_case "digest wire roundtrip (full and light)" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 7; 9 ]);
+        List.iter
+          (fun d ->
+            let w = Lo_codec.Writer.create () in
+            Commitment.encode w d;
+            let d' = Commitment.decode (Lo_codec.Reader.of_string (Lo_codec.Writer.contents w)) in
+            check_bool "content" true (Commitment.equal_content d d');
+            check_bool "verifies" true (Commitment.verify scheme d');
+            check_bool "form preserved" true
+              (Commitment.is_full d = Commitment.is_full d'))
+          [ Commitment.Log.current_digest log;
+            Commitment.Log.current_digest_light log ]);
+    Alcotest.test_case "light digest verifies via sketch hash" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 3 ]);
+        let light = Commitment.Log.current_digest_light log in
+        check_bool "light" false (Commitment.is_full light);
+        check_bool "verifies" true (Commitment.verify scheme light));
+    Alcotest.test_case "corrupted sketch fails verification" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 3 ]);
+        let d = Commitment.Log.current_digest log in
+        let other = Lo_sketch.Sketch.create ~capacity:Commitment.default_sketch_capacity () in
+        Lo_sketch.Sketch.add other 99;
+        let forged = { d with Commitment.sketch = Some other } in
+        check_bool "rejected" false (Commitment.verify scheme forged));
+    Alcotest.test_case "extension consistent" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 1; 2 ]);
+        let d1 = Commitment.Log.current_digest log in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 3 ]);
+        let d2 = Commitment.Log.current_digest log in
+        match Commitment.check_extension ~older:d1 ~newer:d2 () with
+        | Commitment.Consistent ids -> check_bool "delta" true (ids = [ 3 ])
+        | _ -> Alcotest.fail "expected Consistent");
+    Alcotest.test_case "same-seq different content inconsistent" `Quick (fun () ->
+        let log_a = mk_log () and log_b = mk_log () in
+        ignore (Commitment.Log.append log_a ~source:None ~ids:[ 1 ]);
+        ignore (Commitment.Log.append log_b ~source:None ~ids:[ 2 ]);
+        let da = Commitment.Log.current_digest log_a in
+        let db = Commitment.Log.current_digest log_b in
+        check_bool "inconsistent" true
+          (Commitment.check_extension ~older:da ~newer:db () = Commitment.Inconsistent));
+    Alcotest.test_case "counter shrink inconsistent" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 1; 2; 3 ]);
+        let d1 = Commitment.Log.current_digest log in
+        let log2 = mk_log () in
+        ignore (Commitment.Log.append log2 ~source:None ~ids:[ 9 ]);
+        ignore (Commitment.Log.append log2 ~source:None ~ids:[ 10 ]);
+        let d2 = Commitment.Log.current_digest log2 in
+        (* d1.seq=1 counter=3; d2.seq=2 counter=2 -> counters shrink *)
+        check_bool "inconsistent" true
+          (Commitment.check_extension ~older:d1 ~newer:d2 () = Commitment.Inconsistent));
+    Alcotest.test_case "divergent sets inconsistent via sketch" `Quick (fun () ->
+        let log_a = mk_log () and log_b = mk_log () in
+        ignore (Commitment.Log.append log_a ~source:None ~ids:[ 1 ]);
+        let da = Commitment.Log.current_digest log_a in
+        ignore (Commitment.Log.append log_b ~source:None ~ids:[ 2 ]);
+        ignore (Commitment.Log.append log_b ~source:None ~ids:[ 3 ]);
+        let db = Commitment.Log.current_digest log_b in
+        (* da: {1} seq1; db: {2,3} seq2; counter diff 1 but set diff 3 *)
+        check_bool "inconsistent" true
+          (Commitment.check_extension ~older:da ~newer:db () = Commitment.Inconsistent));
+    Alcotest.test_case "light extension only plausible" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 1 ]);
+        let d1 = Commitment.Log.current_digest_light log in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 2 ]);
+        let d2 = Commitment.Log.current_digest_light log in
+        check_bool "plausible" true
+          (Commitment.check_extension ~older:d1 ~newer:d2 () = Commitment.Plausible));
+    Alcotest.test_case "clock regression caught even when light" `Quick (fun () ->
+        let log_a = mk_log () and log_b = mk_log () in
+        (* make b diverge enough to violate dominance with high probability *)
+        ignore (Commitment.Log.append log_a ~source:None ~ids:(List.init 40 (fun i -> i + 1)));
+        let da = Commitment.Log.current_digest_light log_a in
+        ignore (Commitment.Log.append log_b ~source:None ~ids:(List.init 41 (fun i -> i + 1000)));
+        ignore (Commitment.Log.append log_b ~source:None ~ids:[ 5000 ]);
+        let db = Commitment.Log.current_digest_light log_b in
+        check_bool "inconsistent" true
+          (Commitment.check_extension ~older:da ~newer:db () = Commitment.Inconsistent));
+    Alcotest.test_case "digest_at retains history" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 1 ]);
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 2 ]);
+        check_bool "seq0" true (Commitment.Log.digest_at log ~seq:0 <> None);
+        check_bool "seq1" true (Commitment.Log.digest_at log ~seq:1 <> None);
+        check_bool "seq2" true (Commitment.Log.digest_at log ~seq:2 <> None);
+        check_bool "seq3" true (Commitment.Log.digest_at log ~seq:3 = None));
+    Alcotest.test_case "bundles in order with sources" `Quick (fun () ->
+        let log = mk_log () in
+        ignore (Commitment.Log.append log ~source:None ~ids:[ 1 ]);
+        ignore (Commitment.Log.append log ~source:(Some "peer") ~ids:[ 2; 3 ]);
+        match Commitment.Log.bundles log with
+        | [ b1; b2 ] ->
+            check_int "seq1" 1 b1.Commitment.Log.seq;
+            check_bool "src" true (b2.Commitment.Log.source = Some "peer");
+            check_bool "ids" true (Commitment.Log.all_ids log = [ 1; 2; 3 ])
+        | _ -> Alcotest.fail "expected two bundles");
+    Alcotest.test_case "ids_in_cells covers all ids" `Quick (fun () ->
+        let log = mk_log () in
+        let ids = List.init 30 (fun i -> (i * 7919) + 1) in
+        ignore (Commitment.Log.append log ~source:None ~ids);
+        let cells = List.init Commitment.default_clock_cells Fun.id in
+        let everything = Commitment.Log.ids_in_cells log cells in
+        check_bool "all" true
+          (List.sort compare everything = List.sort compare ids));
+  ]
+
+(* ---------------- Order ---------------- *)
+
+let order_tests =
+  [
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let ids = [ 5; 9; 1; 7 ] in
+        check_bool "same" true
+          (Order.sort_bundle ~seed:"s" ~bundle_seq:1 ids
+          = Order.sort_bundle ~seed:"s" ~bundle_seq:1 ids));
+    Alcotest.test_case "permutation of input" `Quick (fun () ->
+        let ids = List.init 20 (fun i -> i + 1) in
+        let out = Order.sort_bundle ~seed:"s" ~bundle_seq:3 ids in
+        check_bool "perm" true (List.sort compare out = List.sort compare ids));
+    Alcotest.test_case "seed changes order" `Quick (fun () ->
+        let ids = List.init 20 (fun i -> i + 1) in
+        check_bool "differ" false
+          (Order.sort_bundle ~seed:"s1" ~bundle_seq:1 ids
+          = Order.sort_bundle ~seed:"s2" ~bundle_seq:1 ids));
+    Alcotest.test_case "bundle seq changes order" `Quick (fun () ->
+        let ids = List.init 20 (fun i -> i + 1) in
+        check_bool "differ" false
+          (Order.sort_bundle ~seed:"s" ~bundle_seq:1 ids
+          = Order.sort_bundle ~seed:"s" ~bundle_seq:2 ids));
+    Alcotest.test_case "input order irrelevant" `Quick (fun () ->
+        let ids = List.init 20 (fun i -> i + 1) in
+        check_bool "same" true
+          (Order.sort_bundle ~seed:"s" ~bundle_seq:1 ids
+          = Order.sort_bundle ~seed:"s" ~bundle_seq:1 (List.rev ids)));
+    qtest "canonical = concatenation of sorted bundles" ~count:50
+      QCheck2.Gen.(
+        list_size (int_range 1 5)
+          (list_size (int_range 1 6) (int_range 1 100000)))
+      (fun raw ->
+        let bundles = List.mapi (fun i ids -> (i + 1, List.sort_uniq compare ids)) raw in
+        let direct = Order.canonical ~seed:"k" ~bundles in
+        let manual =
+          List.concat_map
+            (fun (seq, ids) -> Order.sort_bundle ~seed:"k" ~bundle_seq:seq ids)
+            bundles
+        in
+        direct = manual);
+    Alcotest.test_case "canonical respects bundle order" `Quick (fun () ->
+        let bundles = [ (2, [ 30; 31 ]); (1, [ 10; 11 ]) ] in
+        let out = Order.canonical ~seed:"s" ~bundles in
+        let first_two = [ List.nth out 0; List.nth out 1 ] in
+        check_bool "bundle 1 first" true
+          (List.sort compare first_two = [ 10; 11 ]));
+  ]
+
+(* ---------------- Mempool ---------------- *)
+
+let mempool_tests =
+  [
+    Alcotest.test_case "add and find" `Quick (fun () ->
+        let m = Mempool.create () in
+        let tx = mk_tx "a" in
+        (match Mempool.add m ~tx ~received_at:1.0 ~from_peer:None with
+        | `Added e -> check_int "short" (Tx.short_id tx) e.Mempool.short_id
+        | `Duplicate -> Alcotest.fail "duplicate?");
+        check_bool "mem" true (Mempool.mem_short m (Tx.short_id tx));
+        check_bool "find id" true (Mempool.find_id m tx.Tx.id <> None);
+        check_int "size" 1 (Mempool.size m));
+    Alcotest.test_case "duplicate detected" `Quick (fun () ->
+        let m = Mempool.create () in
+        let tx = mk_tx "a" in
+        ignore (Mempool.add m ~tx ~received_at:1.0 ~from_peer:None);
+        check_bool "dup" true
+          (Mempool.add m ~tx ~received_at:2.0 ~from_peer:None = `Duplicate));
+    Alcotest.test_case "arrival order preserved" `Quick (fun () ->
+        let m = Mempool.create () in
+        let txs = List.init 5 (fun i -> mk_tx (string_of_int i)) in
+        List.iteri
+          (fun i tx ->
+            ignore (Mempool.add m ~tx ~received_at:(float_of_int i) ~from_peer:None))
+          txs;
+        let order = List.map (fun e -> e.Mempool.tx.Tx.id) (Mempool.entries_in_arrival_order m) in
+        check_bool "order" true (order = List.map (fun tx -> tx.Tx.id) txs));
+    Alcotest.test_case "payload bytes accumulate" `Quick (fun () ->
+        let m = Mempool.create () in
+        ignore (Mempool.add m ~tx:(mk_tx "aaa") ~received_at:0. ~from_peer:None);
+        check_bool "bytes" true (Mempool.total_payload_bytes m > 0));
+  ]
+
+(* ---------------- Block ---------------- *)
+
+let mk_block ?(signer = alice) ?(height = 1) ?(start_seq = 0) ?(commit_seq = 1)
+    ?(fee_threshold = 0) ?txids ?bundle_sizes ?(appendix = 0) ?(omissions = [])
+    () =
+  let txids = Option.value txids ~default:[ (mk_tx "t1").Tx.id ] in
+  let bundle_sizes =
+    Option.value bundle_sizes ~default:[ List.length txids - appendix ]
+  in
+  Block.create ~signer ~height ~prev_hash:Block.genesis_hash ~start_seq
+    ~commit_seq ~fee_threshold ~txids ~bundle_sizes ~appendix ~omissions
+    ~timestamp:5.0
+
+let block_tests =
+  [
+    Alcotest.test_case "roundtrip" `Quick (fun () ->
+        let b = mk_block () in
+        let b' = Block.of_string (Block.to_string b) in
+        check_str "hash" (Lo_crypto.Hex.encode (Block.hash b))
+          (Lo_crypto.Hex.encode (Block.hash b'));
+        check_bool "verify" true (Block.verify_signature scheme b'));
+    Alcotest.test_case "tampered signature fails" `Quick (fun () ->
+        let b = mk_block () in
+        let raw = Bytes.of_string (Block.to_string b) in
+        Bytes.set raw (Bytes.length raw - 1)
+          (Char.chr (Char.code (Bytes.get raw (Bytes.length raw - 1)) lxor 1));
+        let b' = Block.of_string (Bytes.to_string raw) in
+        check_bool "invalid" false (Block.verify_signature scheme b'));
+    Alcotest.test_case "structure checked at creation" `Quick (fun () ->
+        Alcotest.check_raises "bad" (Invalid_argument "Block.create: bad structure")
+          (fun () -> ignore (mk_block ~bundle_sizes:[ 5 ] ())));
+    Alcotest.test_case "bundle partition" `Quick (fun () ->
+        let t1 = mk_tx "a" and t2 = mk_tx "b" and t3 = mk_tx "c" in
+        let b =
+          mk_block ~commit_seq:2
+            ~txids:[ t1.Tx.id; t2.Tx.id; t3.Tx.id ]
+            ~bundle_sizes:[ 2; 1 ] ()
+        in
+        (match Block.bundle_txids b with
+        | [ (1, b1); (2, b2) ] ->
+            check_int "b1" 2 (List.length b1);
+            check_int "b2" 1 (List.length b2)
+        | _ -> Alcotest.fail "bad partition");
+        check_bool "appendix empty" true (Block.appendix_txids b = []));
+    Alcotest.test_case "start_seq offsets bundle numbering" `Quick (fun () ->
+        let t1 = mk_tx "a" in
+        let b =
+          mk_block ~start_seq:3 ~commit_seq:4 ~txids:[ t1.Tx.id ]
+            ~bundle_sizes:[ 1 ] ()
+        in
+        match Block.bundle_txids b with
+        | [ (4, _) ] -> ()
+        | _ -> Alcotest.fail "expected bundle 4");
+    Alcotest.test_case "appendix split" `Quick (fun () ->
+        let t1 = mk_tx "a" and t2 = mk_tx "b" in
+        let b =
+          mk_block ~commit_seq:1 ~txids:[ t1.Tx.id; t2.Tx.id ]
+            ~bundle_sizes:[ 1 ] ~appendix:1 ()
+        in
+        check_bool "appendix" true (Block.appendix_txids b = [ t2.Tx.id ]));
+    Alcotest.test_case "omissions roundtrip" `Quick (fun () ->
+        let b =
+          mk_block
+            ~omissions:[ (42, Block.Low_fee); (43, Block.Missing_content); (44, Block.Settled) ]
+            ()
+        in
+        let b' = Block.of_string (Block.to_string b) in
+        check_bool "omissions" true (b'.Block.omissions = b.Block.omissions));
+  ]
+
+(* ---------------- Policy ---------------- *)
+
+let policy_tests =
+  let t_low = mk_tx ~fee:1 "low" in
+  let t_mid = mk_tx ~fee:10 "mid" in
+  let t_high = mk_tx ~fee:100 "high" in
+  let table =
+    List.map (fun tx -> (Tx.short_id tx, tx)) [ t_low; t_mid; t_high ]
+  in
+  let find_tx id = List.assoc_opt id table in
+  let input ?(is_settled = fun _ -> false) ?(fee_threshold = 0) ?(max_txs = 100)
+      bundles =
+    { Policy.bundles; find_tx; is_settled; fee_threshold; max_txs; seed = "seed" }
+  in
+  [
+    Alcotest.test_case "fifo keeps bundle order" `Quick (fun () ->
+        let out =
+          Policy.build Policy.Lo_fifo
+            (input [ (1, [ Tx.short_id t_low ]); (2, [ Tx.short_id t_high ]) ])
+        in
+        check_bool "order" true (out.Policy.txids = [ t_low.Tx.id; t_high.Tx.id ]);
+        check_int "covered" 2 out.Policy.covered_seq;
+        check_bool "sizes" true (out.Policy.bundle_sizes = [ 1; 1 ]));
+    Alcotest.test_case "fifo fee threshold omits" `Quick (fun () ->
+        let out =
+          Policy.build Policy.Lo_fifo
+            (input ~fee_threshold:5
+               [ (1, [ Tx.short_id t_low; Tx.short_id t_high ]) ])
+        in
+        check_bool "only high" true (out.Policy.txids = [ t_high.Tx.id ]);
+        check_bool "omission" true
+          (out.Policy.omissions = [ (Tx.short_id t_low, Block.Low_fee) ]));
+    Alcotest.test_case "fifo missing content omitted" `Quick (fun () ->
+        let out = Policy.build Policy.Lo_fifo (input [ (1, [ 424242 ]) ]) in
+        check_bool "empty" true (out.Policy.txids = []);
+        check_bool "omission" true
+          (out.Policy.omissions = [ (424242, Block.Missing_content) ]));
+    Alcotest.test_case "fifo settled prefix skipped" `Quick (fun () ->
+        let settled id = id = Tx.short_id t_low in
+        let out =
+          Policy.build Policy.Lo_fifo
+            (input ~is_settled:settled
+               [ (1, [ Tx.short_id t_low ]); (2, [ Tx.short_id t_mid ]) ])
+        in
+        check_int "start" 1 out.Policy.start_seq;
+        check_bool "only mid" true (out.Policy.txids = [ t_mid.Tx.id ]));
+    Alcotest.test_case "fifo blockspace truncates whole bundles" `Quick (fun () ->
+        let out =
+          Policy.build Policy.Lo_fifo
+            (input ~max_txs:1
+               [ (1, [ Tx.short_id t_low ]);
+                 (2, [ Tx.short_id t_mid; Tx.short_id t_high ]) ])
+        in
+        check_int "covered" 1 out.Policy.covered_seq;
+        check_bool "one tx" true (out.Policy.txids = [ t_low.Tx.id ]));
+    Alcotest.test_case "highest fee sorts by fee" `Quick (fun () ->
+        let out =
+          Policy.build Policy.Highest_fee
+            (input
+               [ (1, [ Tx.short_id t_low; Tx.short_id t_high; Tx.short_id t_mid ]) ])
+        in
+        check_bool "order" true
+          (out.Policy.txids = [ t_high.Tx.id; t_mid.Tx.id; t_low.Tx.id ]));
+    Alcotest.test_case "highest fee respects cap" `Quick (fun () ->
+        let out =
+          Policy.build Policy.Highest_fee
+            (input ~max_txs:1
+               [ (1, [ Tx.short_id t_low; Tx.short_id t_high ]) ])
+        in
+        check_bool "top only" true (out.Policy.txids = [ t_high.Tx.id ]));
+    Alcotest.test_case "fifo canonical intra-bundle order" `Quick (fun () ->
+        let bundle = [ Tx.short_id t_low; Tx.short_id t_mid; Tx.short_id t_high ] in
+        let out = Policy.build Policy.Lo_fifo (input [ (1, bundle) ]) in
+        let expected = Order.sort_bundle ~seed:"seed" ~bundle_seq:1 bundle in
+        check_bool "canonical" true
+          (List.map Short_id.of_txid out.Policy.txids = expected));
+  ]
+
+(* ---------------- Inspector & Evidence ---------------- *)
+
+let inspector_tests =
+  (* Build a convincing scenario: a creator log with two bundles. *)
+  let creator = Signer.make scheme ~seed:"creator" in
+  let txs = List.init 6 (fun i -> mk_tx ~fee:(10 + i) (Printf.sprintf "tx%d" i)) in
+  let log = Commitment.Log.create ~signer:creator () in
+  let bundle1 = List.filteri (fun i _ -> i < 3) txs in
+  let bundle2 = List.filteri (fun i _ -> i >= 3) txs in
+  ignore (Commitment.Log.append log ~source:None ~ids:(List.map Tx.short_id bundle1));
+  ignore (Commitment.Log.append log ~source:None ~ids:(List.map Tx.short_id bundle2));
+  let knowledge =
+    {
+      Inspector.bundle_of_seq =
+        (fun seq ->
+          match seq with
+          | 1 -> Some (List.map Tx.short_id bundle1)
+          | 2 -> Some (List.map Tx.short_id bundle2)
+          | _ -> None);
+      find_tx =
+        (fun id -> List.find_opt (fun tx -> Tx.short_id tx = id) txs);
+      settled_height = (fun _ -> None);
+    }
+  in
+  let honest_block ?(omissions = []) ?(drop = []) ?(extra = []) ?(shuffle = false) () =
+    let bundle_ids seq b =
+      let ids =
+        List.map Tx.short_id b
+        |> List.filter (fun id -> not (List.mem id drop))
+      in
+      let ordered = Order.sort_bundle ~seed:Block.genesis_hash ~bundle_seq:seq ids in
+      let ordered = if shuffle then List.rev ordered else ordered in
+      List.map
+        (fun id ->
+          (List.find (fun tx -> Tx.short_id tx = id) txs).Tx.id)
+        ordered
+    in
+    let b1 = bundle_ids 1 bundle1 and b2 = bundle_ids 2 bundle2 in
+    let extra_ids = List.map (fun (tx : Tx.t) -> tx.Tx.id) extra in
+    Block.create ~signer:creator ~height:1 ~prev_hash:Block.genesis_hash
+      ~start_seq:0 ~commit_seq:2 ~fee_threshold:0
+      ~txids:(b1 @ b2 @ extra_ids)
+      ~bundle_sizes:[ List.length b1; List.length b2 ]
+      ~appendix:(List.length extra_ids) ~omissions ~timestamp:3.0
+  in
+  [
+    Alcotest.test_case "honest block is clean" `Quick (fun () ->
+        let report = Inspector.inspect (honest_block ()) knowledge in
+        check_bool "clean" true (Inspector.clean report);
+        check_bool "verified" true (report.Inspector.unverified_bundles = []));
+    Alcotest.test_case "silent omission = censorship" `Quick (fun () ->
+        let victim = List.hd txs in
+        let block = honest_block ~drop:[ Tx.short_id victim ] () in
+        let report = Inspector.inspect block knowledge in
+        check_bool "violation" true
+          (List.exists
+             (function
+               | Inspector.Blockspace_censorship { short_id; _ } ->
+                   short_id = Tx.short_id victim
+               | _ -> false)
+             report.Inspector.violations));
+    Alcotest.test_case "false low-fee claim detected" `Quick (fun () ->
+        let victim = List.hd txs in
+        let block =
+          honest_block ~drop:[ Tx.short_id victim ]
+            ~omissions:[ (Tx.short_id victim, Block.Low_fee) ] ()
+        in
+        let report = Inspector.inspect block knowledge in
+        check_bool "violation" true
+          (List.exists
+             (function
+               | Inspector.False_omission_claim _ -> true
+               | _ -> false)
+             report.Inspector.violations));
+    Alcotest.test_case "missing-content claim unverifiable not violation" `Quick
+      (fun () ->
+        let victim = List.hd txs in
+        let block =
+          honest_block ~drop:[ Tx.short_id victim ]
+            ~omissions:[ (Tx.short_id victim, Block.Missing_content) ] ()
+        in
+        let report = Inspector.inspect block knowledge in
+        check_bool "clean" true (Inspector.clean report);
+        check_bool "tracked" true (report.Inspector.unverifiable_omissions <> []));
+    Alcotest.test_case "reordering detected" `Quick (fun () ->
+        let report = Inspector.inspect (honest_block ~shuffle:true ()) knowledge in
+        check_bool "violation" true
+          (List.exists
+             (function Inspector.Reordering _ -> true | _ -> false)
+             report.Inspector.violations));
+    Alcotest.test_case "foreign appendix tx = injection" `Quick (fun () ->
+        let foreign = mk_tx ~signer:bob "foreign" in
+        let know_with_foreign =
+          { knowledge with
+            Inspector.find_tx =
+              (fun id ->
+                if id = Tx.short_id foreign then Some foreign
+                else knowledge.Inspector.find_tx id) }
+        in
+        let report =
+          Inspector.inspect (honest_block ~extra:[ foreign ] ()) know_with_foreign
+        in
+        check_bool "violation" true
+          (List.exists
+             (function
+               | Inspector.Injection { bundle_seq = None; _ } -> true
+               | _ -> false)
+             report.Inspector.violations));
+    Alcotest.test_case "unknown bundles reported unverified" `Quick (fun () ->
+        let know_nothing =
+          { knowledge with Inspector.bundle_of_seq = (fun _ -> None) }
+        in
+        let report = Inspector.inspect (honest_block ()) know_nothing in
+        check_bool "clean" true (Inspector.clean report);
+        check_bool "unverified" true
+          (report.Inspector.unverified_bundles = [ 1; 2 ]));
+    (* Evidence *)
+    Alcotest.test_case "censorship evidence verifies" `Quick (fun () ->
+        let victim = List.nth txs 3 (* in bundle 2 *) in
+        let block = honest_block ~drop:[ Tx.short_id victim ] () in
+        let older = Option.get (Commitment.Log.digest_at log ~seq:1) in
+        let newer = Option.get (Commitment.Log.digest_at log ~seq:2) in
+        let ev =
+          Evidence.Block_bundle_violation { block; older; newer; omitted_tx = Some victim }
+        in
+        check_bool "valid" true (Evidence.verify scheme ev));
+    Alcotest.test_case "censorship evidence for included tx fails" `Quick (fun () ->
+        let tx = List.nth txs 3 in
+        let block = honest_block () in
+        let older = Option.get (Commitment.Log.digest_at log ~seq:1) in
+        let newer = Option.get (Commitment.Log.digest_at log ~seq:2) in
+        let ev =
+          Evidence.Block_bundle_violation { block; older; newer; omitted_tx = Some tx }
+        in
+        check_bool "invalid" false (Evidence.verify scheme ev));
+    Alcotest.test_case "reorder evidence verifies" `Quick (fun () ->
+        let block = honest_block ~shuffle:true () in
+        let older = Option.get (Commitment.Log.digest_at log ~seq:1) in
+        let newer = Option.get (Commitment.Log.digest_at log ~seq:2) in
+        let ev =
+          Evidence.Block_bundle_violation { block; older; newer; omitted_tx = None }
+        in
+        check_bool "valid" true (Evidence.verify scheme ev));
+    Alcotest.test_case "reorder evidence on honest block fails" `Quick (fun () ->
+        let block = honest_block () in
+        let older = Option.get (Commitment.Log.digest_at log ~seq:1) in
+        let newer = Option.get (Commitment.Log.digest_at log ~seq:2) in
+        let ev =
+          Evidence.Block_bundle_violation { block; older; newer; omitted_tx = None }
+        in
+        check_bool "invalid" false (Evidence.verify scheme ev));
+    Alcotest.test_case "conflicting digests evidence verifies" `Quick (fun () ->
+        let log_a = Commitment.Log.create ~signer:creator () in
+        let log_b = Commitment.Log.create ~signer:creator () in
+        ignore (Commitment.Log.append log_a ~source:None ~ids:[ 1 ]);
+        ignore (Commitment.Log.append log_b ~source:None ~ids:[ 2 ]);
+        let ev =
+          Evidence.Conflicting_digests
+            {
+              older = Commitment.Log.current_digest log_a;
+              newer = Commitment.Log.current_digest log_b;
+            }
+        in
+        check_bool "valid" true (Evidence.verify scheme ev);
+        check_bool "accused" true
+          (String.equal (Evidence.accused ev) (Signer.id creator)));
+    Alcotest.test_case "consistent digests are not evidence" `Quick (fun () ->
+        let older = Option.get (Commitment.Log.digest_at log ~seq:1) in
+        let newer = Option.get (Commitment.Log.digest_at log ~seq:2) in
+        let ev = Evidence.Conflicting_digests { older; newer } in
+        check_bool "invalid" false (Evidence.verify scheme ev));
+    Alcotest.test_case "evidence wire roundtrip" `Quick (fun () ->
+        let victim = List.nth txs 3 in
+        let block = honest_block ~drop:[ Tx.short_id victim ] () in
+        let older = Option.get (Commitment.Log.digest_at log ~seq:1) in
+        let newer = Option.get (Commitment.Log.digest_at log ~seq:2) in
+        let ev =
+          Evidence.Block_bundle_violation { block; older; newer; omitted_tx = Some victim }
+        in
+        let w = Lo_codec.Writer.create () in
+        Evidence.encode w ev;
+        let ev' = Evidence.decode (Lo_codec.Reader.of_string (Lo_codec.Writer.contents w)) in
+        check_bool "still valid" true (Evidence.verify scheme ev'));
+  ]
+
+(* ---------------- Accountability ---------------- *)
+
+let evidence_soundness_tests =
+  [
+    qtest "honest digest pairs never verify as evidence" ~count:40
+      QCheck2.Gen.(
+        pair (list_size (int_range 1 6) (list_size (int_range 1 5) (int_range 1 1000000)))
+          (int_range 0 5))
+      (fun (bundles, pick) ->
+        let signer = Signer.make scheme ~seed:"sound" in
+        let log = Commitment.Log.create ~signer () in
+        List.iter
+          (fun ids -> ignore (Commitment.Log.append log ~source:None ~ids))
+          bundles;
+        let top = Commitment.Log.seq log in
+        let s1 = pick mod (top + 1) in
+        let s2 = s1 + ((pick / 2) mod (top - s1 + 1)) in
+        match
+          (Commitment.Log.digest_at log ~seq:s1, Commitment.Log.digest_at log ~seq:s2)
+        with
+        | Some older, Some newer ->
+            not (Evidence.verify scheme (Evidence.Conflicting_digests { older; newer }))
+        | _ -> true);
+    qtest "forked same-seq digests always verify as evidence" ~count:40
+      QCheck2.Gen.(pair (int_range 1 1000000) (int_range 1 1000000))
+      (fun (a, b) ->
+        QCheck2.assume (a <> b);
+        let signer = Signer.make scheme ~seed:"forked" in
+        let log_a = Commitment.Log.create ~signer () in
+        let log_b = Commitment.Log.create ~signer () in
+        ignore (Commitment.Log.append log_a ~source:None ~ids:[ a ]);
+        ignore (Commitment.Log.append log_b ~source:None ~ids:[ b ]);
+        Evidence.verify scheme
+          (Evidence.Conflicting_digests
+             {
+               older = Commitment.Log.current_digest log_a;
+               newer = Commitment.Log.current_digest log_b;
+             }));
+    Alcotest.test_case "evidence from a different signer is rejected" `Quick
+      (fun () ->
+        (* digests signed by X cannot expose Y, and unsigned forgeries
+           fail verification *)
+        let sx = Signer.make scheme ~seed:"signer-x" in
+        let log_a = Commitment.Log.create ~signer:sx () in
+        let log_b = Commitment.Log.create ~signer:sx () in
+        ignore (Commitment.Log.append log_a ~source:None ~ids:[ 1 ]);
+        ignore (Commitment.Log.append log_b ~source:None ~ids:[ 2 ]);
+        let da = Commitment.Log.current_digest log_a in
+        let db = Commitment.Log.current_digest log_b in
+        (* re-owner the newer digest without re-signing *)
+        let forged = { db with Commitment.owner = Signer.id bob } in
+        check_bool "owner mismatch rejected" false
+          (Evidence.verify scheme
+             (Evidence.Conflicting_digests { older = da; newer = forged })));
+  ]
+
+let accountability_tests =
+  let dummy_evidence () =
+    let log_a = Commitment.Log.create ~signer:bob () in
+    let log_b = Commitment.Log.create ~signer:bob () in
+    ignore (Commitment.Log.append log_a ~source:None ~ids:[ 1 ]);
+    ignore (Commitment.Log.append log_b ~source:None ~ids:[ 2 ]);
+    Evidence.Conflicting_digests
+      {
+        older = Commitment.Log.current_digest log_a;
+        newer = Commitment.Log.current_digest log_b;
+      }
+  in
+  [
+    Alcotest.test_case "default trusted" `Quick (fun () ->
+        let t = Accountability.create () in
+        check_bool "trusted" true (Accountability.status t "x" = Accountability.Trusted));
+    Alcotest.test_case "suspect and clear" `Quick (fun () ->
+        let t = Accountability.create () in
+        Accountability.suspect t ~peer:"p" ~now:1.0 ~reason:"timeout";
+        check_bool "suspected" true (Accountability.is_suspected t "p");
+        Accountability.clear_suspicion t ~peer:"p";
+        check_bool "cleared" false (Accountability.is_suspected t "p"));
+    Alcotest.test_case "re-suspect keeps original time" `Quick (fun () ->
+        let t = Accountability.create () in
+        Accountability.suspect t ~peer:"p" ~now:1.0 ~reason:"a";
+        Accountability.suspect t ~peer:"p" ~now:9.0 ~reason:"b";
+        match Accountability.status t "p" with
+        | Accountability.Suspected s ->
+            Alcotest.(check (float 1e-9)) "since" 1.0 s.Accountability.since
+        | _ -> Alcotest.fail "not suspected");
+    Alcotest.test_case "exposure is sticky" `Quick (fun () ->
+        let t = Accountability.create () in
+        check_bool "new" true (Accountability.expose t ~peer:"p" (dummy_evidence ()));
+        check_bool "repeat" false (Accountability.expose t ~peer:"p" (dummy_evidence ()));
+        Accountability.clear_suspicion t ~peer:"p";
+        check_bool "still" true (Accountability.is_exposed t "p"));
+    Alcotest.test_case "suspicion cannot downgrade exposure" `Quick (fun () ->
+        let t = Accountability.create () in
+        ignore (Accountability.expose t ~peer:"p" (dummy_evidence ()));
+        Accountability.suspect t ~peer:"p" ~now:1.0 ~reason:"r";
+        check_bool "exposed" true (Accountability.is_exposed t "p"));
+    Alcotest.test_case "counts" `Quick (fun () ->
+        let t = Accountability.create () in
+        Accountability.suspect t ~peer:"a" ~now:0. ~reason:"r";
+        ignore (Accountability.expose t ~peer:"b" (dummy_evidence ()));
+        check_bool "counts" true (Accountability.counts t = (1, 1)));
+  ]
+
+(* ---------------- Messages ---------------- *)
+
+let messages_tests =
+  let log = mk_log () in
+  let _ = Commitment.Log.append log ~source:None ~ids:[ 1; 2 ] in
+  let digest = Commitment.Log.current_digest log in
+  let light = Commitment.Log.current_digest_light log in
+  let roundtrip msg =
+    let msg' = Messages.decode (Messages.encode msg) in
+    Messages.encode msg' = Messages.encode msg
+  in
+  [
+    Alcotest.test_case "all variants roundtrip" `Quick (fun () ->
+        let tx = mk_tx "m" in
+        let block = mk_block ~txids:[ tx.Tx.id ] () in
+        let msgs =
+          [
+            Messages.Submit tx;
+            Messages.Commit_request { digest = light; delta = [ 1; 2 ]; want = [ 3 ]; appended = [ 1 ] };
+            Messages.Commit_response { digest = light; want = []; delta = [ 9 ]; appended = [] };
+            Messages.Tx_batch [ tx; mk_tx "m2" ];
+            Messages.Digest_share digest;
+            Messages.Digest_request { owner = Signer.id alice; seq = 4 };
+            Messages.Digest_reply [ digest; light ];
+            Messages.Suspicion_note
+              { suspect = Signer.id bob; reporter = Signer.id alice;
+                last_digest = Some light; reason = "timeout" };
+            Messages.Suspicion_note
+              { suspect = Signer.id bob; reporter = Signer.id alice;
+                last_digest = None; reason = "" };
+            Messages.Block_announce block;
+          ]
+        in
+        List.iter (fun m -> check_bool (Messages.tag m) true (roundtrip m)) msgs);
+    Alcotest.test_case "tags are namespaced" `Quick (fun () ->
+        check_str "proto" "lo" (Lo_net.Mux.proto_of_tag (Messages.tag (Messages.Tx_batch []))));
+    Alcotest.test_case "junk rejected" `Quick (fun () ->
+        check_bool "raises" true
+          (match Messages.decode "\xff junk" with
+          | exception Lo_codec.Reader.Malformed _ -> true
+          | _ -> false));
+    Alcotest.test_case "light digests keep messages small" `Quick (fun () ->
+        let light_req =
+          Messages.Commit_request { digest = light; delta = []; want = []; appended = [] }
+        in
+        check_bool "small" true (Messages.size light_req < 300);
+        let full_req =
+          Messages.Commit_request { digest; delta = []; want = []; appended = [] }
+        in
+        check_bool "bigger" true (Messages.size full_req > Messages.size light_req));
+  ]
+
+let directory_tests =
+  [
+    Alcotest.test_case "bidirectional lookup" `Quick (fun () ->
+        let d = Directory.create ~ids:[| "aa"; "bb"; "cc" |] in
+        check_int "size" 3 (Directory.size d);
+        check_str "id" "bb" (Directory.id_of d 1);
+        check_bool "index" true (Directory.index_of d "cc" = Some 2);
+        check_bool "unknown" true (Directory.index_of d "zz" = None));
+  ]
+
+let settled_inspection_tests =
+  (* Settled-prefix and Settled-omission handling in the inspector. *)
+  let creator = Signer.make scheme ~seed:"settled-creator" in
+  let t1 = mk_tx "s-one" and t2 = mk_tx "s-two" in
+  let id1 = Tx.short_id t1 and id2 = Tx.short_id t2 in
+  let knowledge settled =
+    {
+      Inspector.bundle_of_seq =
+        (fun seq -> if seq = 1 then Some [ id1 ] else if seq = 2 then Some [ id2 ] else None);
+      find_tx = (fun id -> if id = id1 then Some t1 else if id = id2 then Some t2 else None);
+      settled_height = settled;
+    }
+  in
+  let block ~start_seq ~txids ~bundle_sizes ~omissions =
+    Block.create ~signer:creator ~height:5 ~prev_hash:Block.genesis_hash
+      ~start_seq ~commit_seq:2 ~fee_threshold:0 ~txids ~bundle_sizes
+      ~appendix:0 ~omissions ~timestamp:9.0
+  in
+  [
+    Alcotest.test_case "valid settled omission accepted" `Quick (fun () ->
+        let b =
+          block ~start_seq:1
+            ~txids:(Order.sort_bundle ~seed:Block.genesis_hash ~bundle_seq:2 [ id2 ]
+                    |> List.map (fun _ -> t2.Tx.id))
+            ~bundle_sizes:[ 1 ] ~omissions:[]
+        in
+        let report =
+          Inspector.inspect b (knowledge (fun id -> if id = id1 then Some 2 else None))
+        in
+        check_bool "clean" true (Inspector.clean report);
+        check_bool "prefix verified" true (report.Inspector.unverifiable_omissions = []));
+    Alcotest.test_case "unsettled prefix flagged unverifiable" `Quick (fun () ->
+        let b =
+          block ~start_seq:1
+            ~txids:[ t2.Tx.id ] ~bundle_sizes:[ 1 ] ~omissions:[]
+        in
+        let report = Inspector.inspect b (knowledge (fun _ -> None)) in
+        (* accuracy first: not a violation, but tracked *)
+        check_bool "clean" true (Inspector.clean report);
+        check_bool "tracked" true
+          (List.mem (1, id1) report.Inspector.unverifiable_omissions));
+    Alcotest.test_case "settled claim for future height unverifiable" `Quick
+      (fun () ->
+        let b =
+          block ~start_seq:0 ~txids:[ t2.Tx.id ] ~bundle_sizes:[ 0; 1 ]
+            ~omissions:[ (id1, Block.Settled) ]
+        in
+        let report =
+          Inspector.inspect b
+            (knowledge (fun id -> if id = id1 then Some 9 (* future *) else None))
+        in
+        check_bool "clean (accuracy)" true (Inspector.clean report);
+        check_bool "tracked" true
+          (List.mem (1, id1) report.Inspector.unverifiable_omissions));
+  ]
+
+let submit_ack_tests =
+  [
+    Alcotest.test_case "submit-ack roundtrip" `Quick (fun () ->
+        let tx = mk_tx "ack-me" in
+        let msg =
+          Messages.Submit_ack { txid = tx.Tx.id; ack_signature = String.make 64 's' }
+        in
+        check_bool "roundtrip" true
+          (Messages.encode (Messages.decode (Messages.encode msg)) = Messages.encode msg);
+        check_str "tag" "lo:submit-ack" (Messages.tag msg));
+    Alcotest.test_case "ack signing bytes bind the txid" `Quick (fun () ->
+        let a = Node.ack_signing_bytes ~txid:(String.make 32 'a') in
+        let b = Node.ack_signing_bytes ~txid:(String.make 32 'b') in
+        check_bool "distinct" false (String.equal a b));
+  ]
+
+let short_id_tests =
+  [
+    Alcotest.test_case "nonzero and bounded" `Quick (fun () ->
+        for i = 0 to 200 do
+          let id = Short_id.of_txid (Lo_crypto.Sha256.digest (string_of_int i)) in
+          check_bool "range" true (id >= 1 && id <= Short_id.max_value)
+        done);
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let d = Lo_crypto.Sha256.digest "x" in
+        check_int "same" (Short_id.of_txid d) (Short_id.of_txid d));
+    Alcotest.test_case "too short rejected" `Quick (fun () ->
+        Alcotest.check_raises "short"
+          (Invalid_argument "Short_id.of_txid: id too short") (fun () ->
+            ignore (Short_id.of_txid "abc")));
+  ]
+
+let () =
+  Alcotest.run "lo_core_types"
+    [
+      ("tx", tx_tests);
+      ("short-id", short_id_tests);
+      ("commitment", commitment_tests);
+      ("order", order_tests);
+      ("mempool", mempool_tests);
+      ("block", block_tests);
+      ("policy", policy_tests);
+      ("inspector-evidence", inspector_tests);
+      ("settled-inspection", settled_inspection_tests);
+      ("directory", directory_tests);
+      ("submit-ack", submit_ack_tests);
+      ("evidence-soundness", evidence_soundness_tests);
+      ("accountability", accountability_tests);
+      ("messages", messages_tests);
+    ]

@@ -1,0 +1,492 @@
+(* Tests for lo_crypto: SHA-256 against FIPS vectors, HMAC against
+   RFC 4231, the DRBG, the 256-bit bignum, the secp256k1 group law,
+   Schnorr signatures, the signer abstraction and Merkle proofs. *)
+
+open Lo_crypto
+
+let check = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------------- Hex ---------------- *)
+
+let hex_tests =
+  [
+    Alcotest.test_case "encode empty" `Quick (fun () ->
+        check "empty" "" (Hex.encode ""));
+    Alcotest.test_case "encode bytes" `Quick (fun () ->
+        check "deadbeef" "deadbeef" (Hex.encode "\xde\xad\xbe\xef"));
+    Alcotest.test_case "decode upper and lower" `Quick (fun () ->
+        check "upper" "\xde\xad" (Hex.decode "DEAD");
+        check "lower" "\xde\xad" (Hex.decode "dead"));
+    Alcotest.test_case "decode rejects odd length" `Quick (fun () ->
+        Alcotest.check_raises "odd" (Invalid_argument "Hex.decode: odd length")
+          (fun () -> ignore (Hex.decode "abc")));
+    Alcotest.test_case "decode rejects bad chars" `Quick (fun () ->
+        check_bool "none" true (Hex.decode_opt "zz" = None));
+    qtest "roundtrip" QCheck2.Gen.string (fun s ->
+        Hex.decode (Hex.encode s) = s);
+  ]
+
+(* ---------------- SHA-256 ---------------- *)
+
+let sha256_vector input expected () =
+  check "digest" expected (Hex.encode (Sha256.digest input))
+
+let sha256_tests =
+  [
+    Alcotest.test_case "empty" `Quick
+      (sha256_vector ""
+         "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    Alcotest.test_case "abc" `Quick
+      (sha256_vector "abc"
+         "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    Alcotest.test_case "two blocks" `Quick
+      (sha256_vector "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+         "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+    Alcotest.test_case "million a" `Slow
+      (sha256_vector
+         (String.make 1_000_000 'a')
+         "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+    Alcotest.test_case "exactly 64 bytes" `Quick (fun () ->
+        let s = String.make 64 'x' in
+        check_int "len" 32 (String.length (Sha256.digest s)));
+    Alcotest.test_case "incremental = one-shot" `Quick (fun () ->
+        let parts = [ "the quick "; ""; "brown fox"; " jumps" ] in
+        check "equal"
+          (Hex.encode (Sha256.digest (String.concat "" parts)))
+          (Hex.encode (Sha256.digest_list parts)));
+    qtest "chunking never matters"
+      QCheck2.Gen.(pair (string_size (int_bound 300)) (int_bound 299))
+      (fun (s, split) ->
+        let split = min split (String.length s) in
+        let a = String.sub s 0 split
+        and b = String.sub s split (String.length s - split) in
+        Sha256.digest_list [ a; b ] = Sha256.digest s);
+    Alcotest.test_case "hash_to_int non-negative and stable" `Quick (fun () ->
+        let v = Sha256.hash_to_int "stable" in
+        check_bool "non-negative" true (v >= 0);
+        check_int "stable" v (Sha256.hash_to_int "stable"));
+  ]
+
+(* ---------------- HMAC (RFC 4231) ---------------- *)
+
+let hmac_tests =
+  [
+    Alcotest.test_case "rfc4231 case 1" `Quick (fun () ->
+        check "tag"
+          "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+          (Hex.encode
+             (Hmac.sha256 ~key:(String.make 20 '\x0b') "Hi There")));
+    Alcotest.test_case "rfc4231 case 2" `Quick (fun () ->
+        check "tag"
+          "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+          (Hex.encode (Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?")));
+    Alcotest.test_case "rfc4231 case 3" `Quick (fun () ->
+        check "tag"
+          "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+          (Hex.encode
+             (Hmac.sha256 ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))));
+    Alcotest.test_case "long key is hashed" `Quick (fun () ->
+        check "tag"
+          "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+          (Hex.encode
+             (Hmac.sha256 ~key:(String.make 131 '\xaa')
+                "Test Using Larger Than Block-Size Key - Hash Key First")));
+    qtest "list = concat"
+      QCheck2.Gen.(pair (small_string ~gen:char) (list_size (int_bound 5) (small_string ~gen:char)))
+      (fun (key, parts) ->
+        Hmac.sha256_list ~key parts = Hmac.sha256 ~key (String.concat "" parts));
+  ]
+
+(* ---------------- HMAC-DRBG ---------------- *)
+
+let drbg_tests =
+  [
+    Alcotest.test_case "deterministic in seed" `Quick (fun () ->
+        let a = Hmac_drbg.create ~seed:"s" and b = Hmac_drbg.create ~seed:"s" in
+        check "equal streams"
+          (Hex.encode (Hmac_drbg.generate a 48))
+          (Hex.encode (Hmac_drbg.generate b 48)));
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Hmac_drbg.create ~seed:"s1" and b = Hmac_drbg.create ~seed:"s2" in
+        check_bool "differ" false
+          (Hmac_drbg.generate a 32 = Hmac_drbg.generate b 32));
+    Alcotest.test_case "stream advances" `Quick (fun () ->
+        let a = Hmac_drbg.create ~seed:"s" in
+        check_bool "differ" false
+          (Hmac_drbg.generate a 32 = Hmac_drbg.generate a 32));
+    Alcotest.test_case "uniform_int in range" `Quick (fun () ->
+        let d = Hmac_drbg.create ~seed:"r" in
+        for _ = 1 to 1000 do
+          let v = Hmac_drbg.uniform_int d 7 in
+          check_bool "range" true (v >= 0 && v < 7)
+        done);
+    Alcotest.test_case "uniform_int bound 1" `Quick (fun () ->
+        let d = Hmac_drbg.create ~seed:"r" in
+        check_int "zero" 0 (Hmac_drbg.uniform_int d 1));
+    Alcotest.test_case "uniform_int roughly uniform" `Quick (fun () ->
+        let d = Hmac_drbg.create ~seed:"u" in
+        let counts = Array.make 4 0 in
+        for _ = 1 to 4000 do
+          let v = Hmac_drbg.uniform_int d 4 in
+          counts.(v) <- counts.(v) + 1
+        done;
+        Array.iter
+          (fun c -> check_bool "within 20%" true (c > 800 && c < 1200))
+          counts);
+    Alcotest.test_case "shuffle is a permutation" `Quick (fun () ->
+        let d = Hmac_drbg.create ~seed:"p" in
+        let a = Array.init 50 Fun.id in
+        Hmac_drbg.shuffle d a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        check_bool "permutation" true (sorted = Array.init 50 Fun.id));
+    Alcotest.test_case "shuffle deterministic" `Quick (fun () ->
+        let mk () =
+          let d = Hmac_drbg.create ~seed:"det" in
+          let a = Array.init 20 Fun.id in
+          Hmac_drbg.shuffle d a;
+          a
+        in
+        check_bool "same" true (mk () = mk ()));
+  ]
+
+(* ---------------- Uint256 ---------------- *)
+
+let u256 = Alcotest.testable Uint256.pp Uint256.equal
+
+let uint256_tests =
+  let p17 = Uint256.of_int 17 in
+  [
+    Alcotest.test_case "of_int/to_hex" `Quick (fun () ->
+        check "hex"
+          "00000000000000000000000000000000000000000000000000000000000000ff"
+          (Uint256.to_hex (Uint256.of_int 255)));
+    Alcotest.test_case "hex roundtrip" `Quick (fun () ->
+        let h = "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff" in
+        check "roundtrip" h (Uint256.to_hex (Uint256.of_hex h)));
+    Alcotest.test_case "bytes roundtrip" `Quick (fun () ->
+        let b = Lo_crypto.Sha256.digest "x" in
+        check "roundtrip" (Hex.encode b)
+          (Hex.encode (Uint256.to_bytes_be (Uint256.of_bytes_be b))));
+    Alcotest.test_case "compare" `Quick (fun () ->
+        check_bool "lt" true (Uint256.compare (Uint256.of_int 3) (Uint256.of_int 9) < 0);
+        check_bool "eq" true (Uint256.compare p17 p17 = 0));
+    Alcotest.test_case "add wraps mod 2^256" `Quick (fun () ->
+        let max =
+          Uint256.of_hex
+            "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+        in
+        Alcotest.check u256 "wrap" Uint256.zero (Uint256.add max Uint256.one));
+    Alcotest.test_case "mod_add/mod_sub inverse" `Quick (fun () ->
+        let a = Uint256.of_int 12 and b = Uint256.of_int 9 in
+        let s = Uint256.mod_add ~modulus:p17 a b in
+        Alcotest.check u256 "sub back" a (Uint256.mod_sub ~modulus:p17 s b));
+    Alcotest.test_case "mod_mul small" `Quick (fun () ->
+        Alcotest.check u256 "12*9 mod 17 = 6" (Uint256.of_int 6)
+          (Uint256.mod_mul ~modulus:p17 (Uint256.of_int 12) (Uint256.of_int 9)));
+    Alcotest.test_case "mod_pow fermat small prime" `Quick (fun () ->
+        (* a^16 = 1 mod 17 for a != 0 *)
+        for a = 1 to 16 do
+          Alcotest.check u256 "fermat" Uint256.one
+            (Uint256.mod_pow ~modulus:p17 (Uint256.of_int a) (Uint256.of_int 16))
+        done);
+    Alcotest.test_case "mod_inv_prime" `Quick (fun () ->
+        for a = 1 to 16 do
+          let inv = Uint256.mod_inv_prime ~modulus:p17 (Uint256.of_int a) in
+          Alcotest.check u256 "a * a^-1 = 1" Uint256.one
+            (Uint256.mod_mul ~modulus:p17 (Uint256.of_int a) inv)
+        done);
+    Alcotest.test_case "num_bits" `Quick (fun () ->
+        check_int "zero" 0 (Uint256.num_bits Uint256.zero);
+        check_int "one" 1 (Uint256.num_bits Uint256.one);
+        check_int "255" 8 (Uint256.num_bits (Uint256.of_int 255));
+        check_int "256" 9 (Uint256.num_bits (Uint256.of_int 256)));
+    qtest "mod ops match OCaml ints" ~count:300
+      QCheck2.Gen.(triple (int_bound 1000000) (int_bound 1000000) (int_range 2 1000000))
+      (fun (a, b, m) ->
+        let ua = Uint256.of_int a and ub = Uint256.of_int b in
+        let um = Uint256.of_int m in
+        let ua = Uint256.mod_reduce ~modulus:um ua in
+        let ub = Uint256.mod_reduce ~modulus:um ub in
+        Uint256.equal
+          (Uint256.mod_mul ~modulus:um ua ub)
+          (Uint256.of_int (a mod m * (b mod m) mod m))
+        && Uint256.equal
+             (Uint256.mod_add ~modulus:um ua ub)
+             (Uint256.of_int (((a mod m) + (b mod m)) mod m)));
+  ]
+
+(* ---------------- secp256k1 ---------------- *)
+
+let secp_tests =
+  let open Secp256k1 in
+  [
+    Alcotest.test_case "generator on curve" `Quick (fun () ->
+        match to_affine g with
+        | Some (x, y) -> check_bool "on curve" true (is_on_curve ~x ~y)
+        | None -> Alcotest.fail "generator is infinity");
+    Alcotest.test_case "n * G = infinity" `Quick (fun () ->
+        check_bool "order" true (is_infinity (mul n g)));
+    Alcotest.test_case "2G = G + G" `Quick (fun () ->
+        check_bool "double" true (equal (double g) (add g g)));
+    Alcotest.test_case "(n-1)G = -G" `Quick (fun () ->
+        let n1 = Uint256.mod_sub ~modulus:n Uint256.zero Uint256.one in
+        check_bool "neg" true (equal (mul n1 g) (neg g)));
+    Alcotest.test_case "addition commutes" `Quick (fun () ->
+        let p2 = mul (Uint256.of_int 5) g and q = mul (Uint256.of_int 11) g in
+        check_bool "comm" true (equal (add p2 q) (add q p2)));
+    Alcotest.test_case "addition associates" `Quick (fun () ->
+        let a = mul (Uint256.of_int 3) g
+        and b = mul (Uint256.of_int 7) g
+        and c = mul (Uint256.of_int 13) g in
+        check_bool "assoc" true (equal (add (add a b) c) (add a (add b c))));
+    Alcotest.test_case "scalar distributes" `Quick (fun () ->
+        (* (5+11)G = 5G + 11G *)
+        check_bool "distrib" true
+          (equal
+             (mul (Uint256.of_int 16) g)
+             (add (mul (Uint256.of_int 5) g) (mul (Uint256.of_int 11) g))));
+    Alcotest.test_case "P + (-P) = infinity" `Quick (fun () ->
+        let p2 = mul (Uint256.of_int 42) g in
+        check_bool "inverse" true (is_infinity (add p2 (neg p2))));
+    Alcotest.test_case "infinity is neutral" `Quick (fun () ->
+        let p2 = mul (Uint256.of_int 9) g in
+        check_bool "left" true (equal (add infinity p2) p2);
+        check_bool "right" true (equal (add p2 infinity) p2));
+    Alcotest.test_case "compressed roundtrip" `Quick (fun () ->
+        for k = 1 to 20 do
+          let p2 = mul (Uint256.of_int k) g in
+          match decode_compressed (encode_compressed p2) with
+          | Some q -> check_bool "roundtrip" true (equal p2 q)
+          | None -> Alcotest.fail "decode failed"
+        done);
+    Alcotest.test_case "decode rejects off-curve x" `Quick (fun () ->
+        (* x = 5 has no square root for y^2 = x^3+7? If it decodes, the
+           point must be on the curve. *)
+        let bytes = "\x02" ^ Uint256.to_bytes_be (Uint256.of_int 5) in
+        match decode_compressed bytes with
+        | None -> ()
+        | Some p2 -> (
+            match to_affine p2 with
+            | Some (x, y) -> check_bool "on curve" true (is_on_curve ~x ~y)
+            | None -> ()));
+    Alcotest.test_case "decode rejects junk" `Quick (fun () ->
+        check_bool "short" true (decode_compressed "xx" = None);
+        check_bool "bad prefix" true
+          (decode_compressed ("\x05" ^ String.make 32 'a') = None));
+    Alcotest.test_case "field sqrt roundtrip" `Quick (fun () ->
+        let a = Uint256.of_int 1234567 in
+        let sq = field_mul a a in
+        match field_sqrt sq with
+        | Some r -> check_bool "root" true (Uint256.equal (field_mul r r) sq)
+        | None -> Alcotest.fail "sqrt of a square failed");
+  ]
+
+(* ---------------- Schnorr ---------------- *)
+
+let secp_property_tests =
+  let open Secp256k1 in
+  let small_scalar = QCheck2.Gen.int_range 1 100000 in
+  [
+    qtest "scalar homomorphism: (a+b)G = aG + bG" ~count:25
+      QCheck2.Gen.(pair small_scalar small_scalar)
+      (fun (a, b) ->
+        equal
+          (mul (Uint256.of_int (a + b)) g)
+          (add (mul (Uint256.of_int a) g) (mul (Uint256.of_int b) g)));
+    qtest "scalar composition: a(bG) = (ab)G" ~count:15
+      QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 1000))
+      (fun (a, b) ->
+        equal
+          (mul (Uint256.of_int a) (mul (Uint256.of_int b) g))
+          (mul (Uint256.of_int (a * b)) g));
+    qtest "points stay on the curve" ~count:25 small_scalar (fun k ->
+        match to_affine (mul (Uint256.of_int k) g) with
+        | Some (x, y) -> is_on_curve ~x ~y
+        | None -> false);
+    Alcotest.test_case "zero scalar gives infinity" `Quick (fun () ->
+        check_bool "zero" true (is_infinity (mul Uint256.zero g)));
+    Alcotest.test_case "scalar reduction mod n" `Quick (fun () ->
+        (* (n+5)G = 5G *)
+        let unreduced = Uint256.add n (Uint256.of_int 5) in
+        check_bool "reduces" true
+          (equal (mul unreduced g) (mul (Uint256.of_int 5) g)));
+  ]
+
+let uint256_edge_tests =
+  [
+    Alcotest.test_case "of_bytes_be wrong length rejected" `Quick (fun () ->
+        Alcotest.check_raises "short"
+          (Invalid_argument "Uint256.of_bytes_be: need 32 bytes") (fun () ->
+            ignore (Uint256.of_bytes_be "abc")));
+    Alcotest.test_case "of_hex too long rejected" `Quick (fun () ->
+        Alcotest.check_raises "long" (Invalid_argument "Uint256.of_hex: too long")
+          (fun () -> ignore (Uint256.of_hex (String.make 66 'f'))));
+    Alcotest.test_case "mod_inv of zero rejected" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Uint256.mod_inv_prime: zero") (fun () ->
+            ignore (Uint256.mod_inv_prime ~modulus:(Uint256.of_int 17) Uint256.zero)));
+    Alcotest.test_case "mod_pow exponent zero is one" `Quick (fun () ->
+        let m = Uint256.of_int 97 in
+        Alcotest.check u256 "one" Uint256.one
+          (Uint256.mod_pow ~modulus:m (Uint256.of_int 42) Uint256.zero));
+    Alcotest.test_case "mul near 2^256 boundary" `Quick (fun () ->
+        (* (2^128-1)^2 mod (2^255-19-ish prime stand-in): use secp's p *)
+        let a =
+          Uint256.of_hex "ffffffffffffffffffffffffffffffff"
+        in
+        let p = Secp256k1.p in
+        let sq = Uint256.mod_mul ~modulus:p a a in
+        (* (2^128-1)^2 = 2^256 - 2^129 + 1; mod p = (2^256 mod p) - 2^129 + 1
+           with 2^256 mod p = 2^32 + 977 *)
+        let expected =
+          Uint256.mod_sub ~modulus:p
+            (Uint256.mod_add ~modulus:p
+               (Uint256.of_hex "1000003d1")
+               Uint256.one)
+            (Uint256.of_hex "200000000000000000000000000000000")
+        in
+        Alcotest.check u256 "boundary" expected sq);
+    Alcotest.test_case "bit indexing" `Quick (fun () ->
+        let v = Uint256.of_int 0b1010 in
+        check_bool "bit1" true (Uint256.bit v 1);
+        check_bool "bit0" false (Uint256.bit v 0);
+        check_bool "bit3" true (Uint256.bit v 3);
+        check_bool "bit200" false (Uint256.bit v 200));
+  ]
+
+let schnorr_tests =
+  [
+    Alcotest.test_case "sign/verify roundtrip" `Quick (fun () ->
+        let sk, pk = Schnorr.keypair_of_seed "seed" in
+        let s = Schnorr.sign sk "message" in
+        check_int "size" 64 (String.length s);
+        check_bool "valid" true (Schnorr.verify pk ~msg:"message" ~signature:s));
+    Alcotest.test_case "wrong message rejected" `Quick (fun () ->
+        let sk, pk = Schnorr.keypair_of_seed "seed" in
+        let s = Schnorr.sign sk "message" in
+        check_bool "invalid" false (Schnorr.verify pk ~msg:"other" ~signature:s));
+    Alcotest.test_case "wrong key rejected" `Quick (fun () ->
+        let sk, _ = Schnorr.keypair_of_seed "seed-a" in
+        let _, pk_b = Schnorr.keypair_of_seed "seed-b" in
+        let s = Schnorr.sign sk "message" in
+        check_bool "invalid" false (Schnorr.verify pk_b ~msg:"message" ~signature:s));
+    Alcotest.test_case "tampered signature rejected" `Quick (fun () ->
+        let sk, pk = Schnorr.keypair_of_seed "seed" in
+        let s = Bytes.of_string (Schnorr.sign sk "message") in
+        Bytes.set s 40 (Char.chr (Char.code (Bytes.get s 40) lxor 1));
+        check_bool "invalid" false
+          (Schnorr.verify pk ~msg:"message" ~signature:(Bytes.to_string s)));
+    Alcotest.test_case "truncated signature rejected" `Quick (fun () ->
+        let _, pk = Schnorr.keypair_of_seed "seed" in
+        check_bool "invalid" false (Schnorr.verify pk ~msg:"m" ~signature:"short"));
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let sk, _ = Schnorr.keypair_of_seed "seed" in
+        check "same" (Hex.encode (Schnorr.sign sk "m")) (Hex.encode (Schnorr.sign sk "m")));
+    Alcotest.test_case "pubkey bytes roundtrip" `Quick (fun () ->
+        let _, pk = Schnorr.keypair_of_seed "seed" in
+        let b = Schnorr.public_key_bytes pk in
+        check_int "33 bytes" 33 (String.length b);
+        match Schnorr.public_key_of_bytes b with
+        | Some pk' ->
+            check "same" (Hex.encode b) (Hex.encode (Schnorr.public_key_bytes pk'))
+        | None -> Alcotest.fail "decode failed");
+  ]
+
+(* ---------------- Signer ---------------- *)
+
+let signer_scheme_tests name scheme =
+  [
+    Alcotest.test_case (name ^ ": sign/verify") `Quick (fun () ->
+        let s = Signer.make scheme ~seed:"node-1" in
+        let tag = Signer.sign s "payload" in
+        check_int "sig size" Signer.signature_size (String.length tag);
+        check_int "id size" Signer.id_size (String.length (Signer.id s));
+        check_bool "valid" true
+          (Signer.verify scheme ~id:(Signer.id s) ~msg:"payload" ~signature:tag));
+    Alcotest.test_case (name ^ ": cross-identity rejected") `Quick (fun () ->
+        let a = Signer.make scheme ~seed:"a" and b = Signer.make scheme ~seed:"b" in
+        let tag = Signer.sign a "payload" in
+        check_bool "invalid" false
+          (Signer.verify scheme ~id:(Signer.id b) ~msg:"payload" ~signature:tag));
+    Alcotest.test_case (name ^ ": deterministic identity") `Quick (fun () ->
+        let a = Signer.make scheme ~seed:"same" and b = Signer.make scheme ~seed:"same" in
+        check "ids equal" (Hex.encode (Signer.id a)) (Hex.encode (Signer.id b)));
+  ]
+
+let signer_tests =
+  signer_scheme_tests "schnorr" Signer.schnorr
+  @ signer_scheme_tests "simulation" (Signer.simulation ())
+  @ [
+      Alcotest.test_case "simulation: unknown id fails" `Quick (fun () ->
+          let scheme = Signer.simulation () in
+          check_bool "invalid" false
+            (Signer.verify scheme ~id:(String.make 33 'x') ~msg:"m"
+               ~signature:(String.make 64 'y')));
+    ]
+
+(* ---------------- Merkle ---------------- *)
+
+let merkle_tests =
+  [
+    Alcotest.test_case "empty root is stable" `Quick (fun () ->
+        check "same" (Hex.encode (Merkle.root [])) (Hex.encode (Merkle.root [])));
+    Alcotest.test_case "single leaf" `Quick (fun () ->
+        let root = Merkle.root [ "a" ] in
+        let proof = Merkle.proof [ "a" ] 0 in
+        check_bool "verifies" true (Merkle.verify ~root ~leaf:"a" proof));
+    Alcotest.test_case "proofs verify for all leaves" `Quick (fun () ->
+        let leaves = List.init 7 (fun i -> Printf.sprintf "leaf-%d" i) in
+        let root = Merkle.root leaves in
+        List.iteri
+          (fun i leaf ->
+            let proof = Merkle.proof leaves i in
+            check_bool "verifies" true (Merkle.verify ~root ~leaf proof))
+          leaves);
+    Alcotest.test_case "wrong leaf fails" `Quick (fun () ->
+        let leaves = [ "a"; "b"; "c"; "d" ] in
+        let root = Merkle.root leaves in
+        let proof = Merkle.proof leaves 1 in
+        check_bool "fails" false (Merkle.verify ~root ~leaf:"x" proof));
+    Alcotest.test_case "wrong index fails" `Quick (fun () ->
+        let leaves = [ "a"; "b"; "c"; "d" ] in
+        let root = Merkle.root leaves in
+        let proof = Merkle.proof leaves 1 in
+        check_bool "fails" false (Merkle.verify ~root ~leaf:"a" proof));
+    Alcotest.test_case "out of range raises" `Quick (fun () ->
+        Alcotest.check_raises "range"
+          (Invalid_argument "Merkle.proof: index out of range") (fun () ->
+            ignore (Merkle.proof [ "a" ] 3)));
+    Alcotest.test_case "order matters" `Quick (fun () ->
+        check_bool "different" false
+          (Merkle.root [ "a"; "b" ] = Merkle.root [ "b"; "a" ]));
+    qtest "random trees verify" ~count:50
+      QCheck2.Gen.(list_size (int_range 1 20) (small_string ~gen:char))
+      (fun leaves ->
+        let root = Merkle.root leaves in
+        List.for_all
+          (fun i ->
+            Merkle.verify ~root ~leaf:(List.nth leaves i) (Merkle.proof leaves i))
+          (List.init (List.length leaves) Fun.id));
+  ]
+
+let () =
+  Alcotest.run "lo_crypto"
+    [
+      ("hex", hex_tests);
+      ("sha256", sha256_tests);
+      ("hmac", hmac_tests);
+      ("hmac-drbg", drbg_tests);
+      ("uint256", uint256_tests);
+      ("uint256-edge", uint256_edge_tests);
+      ("secp256k1", secp_tests);
+      ("secp256k1-properties", secp_property_tests);
+      ("schnorr", schnorr_tests);
+      ("signer", signer_tests);
+      ("merkle", merkle_tests);
+    ]

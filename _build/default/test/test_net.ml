@@ -1,0 +1,453 @@
+(* Tests for lo_net: PRNG, event queue, latency model, the discrete
+   event network engine, topologies, the mux, and the peer sampler. *)
+
+open Lo_net
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------------- Rng ---------------- *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic in seed" `Quick (fun () ->
+        let a = Rng.create 1 and b = Rng.create 1 in
+        for _ = 1 to 100 do
+          check_int "same" (Rng.int a 1000) (Rng.int b 1000)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let same = ref true in
+        for _ = 1 to 20 do
+          if Rng.int a 1000000 <> Rng.int b 1000000 then same := false
+        done;
+        check_bool "diverge" false !same);
+    Alcotest.test_case "split independence" `Quick (fun () ->
+        let parent = Rng.create 5 in
+        let child = Rng.split parent in
+        let v1 = Rng.int child 1000000 in
+        (* advancing parent must not affect child's already-drawn value;
+           recreate and check determinism of the split itself *)
+        let parent2 = Rng.create 5 in
+        let child2 = Rng.split parent2 in
+        check_int "same" v1 (Rng.int child2 1000000));
+    Alcotest.test_case "int bounds" `Quick (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 7 in
+          check_bool "range" true (v >= 0 && v < 7)
+        done);
+    Alcotest.test_case "int roughly uniform" `Quick (fun () ->
+        let r = Rng.create 4 in
+        let counts = Array.make 5 0 in
+        for _ = 1 to 5000 do
+          let v = Rng.int r 5 in
+          counts.(v) <- counts.(v) + 1
+        done;
+        Array.iter (fun c -> check_bool "20%" true (c > 800 && c < 1200)) counts);
+    Alcotest.test_case "float in range" `Quick (fun () ->
+        let r = Rng.create 6 in
+        for _ = 1 to 1000 do
+          let v = Rng.float r 2.5 in
+          check_bool "range" true (v >= 0. && v < 2.5)
+        done);
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let r = Rng.create 7 in
+        let a = Array.init 100 Fun.id in
+        Rng.shuffle r a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        check_bool "permutation" true (sorted = Array.init 100 Fun.id));
+    Alcotest.test_case "sample without replacement distinct" `Quick (fun () ->
+        let r = Rng.create 8 in
+        let xs = List.init 20 Fun.id in
+        let s = Rng.sample_without_replacement r 10 xs in
+        check_int "size" 10 (List.length s);
+        check_int "distinct" 10 (List.length (List.sort_uniq compare s)));
+    Alcotest.test_case "sample larger than list" `Quick (fun () ->
+        let r = Rng.create 9 in
+        let s = Rng.sample_without_replacement r 10 [ 1; 2; 3 ] in
+        check_int "all" 3 (List.length s));
+    Alcotest.test_case "exponential positive, near mean" `Quick (fun () ->
+        let r = Rng.create 10 in
+        let sum = ref 0. in
+        for _ = 1 to 10000 do
+          let v = Rng.exponential r ~mean:2.0 in
+          check_bool "positive" true (v >= 0.);
+          sum := !sum +. v
+        done;
+        let mean = !sum /. 10000. in
+        check_bool "near 2.0" true (mean > 1.8 && mean < 2.2));
+    Alcotest.test_case "gaussian near mu" `Quick (fun () ->
+        let r = Rng.create 11 in
+        let sum = ref 0. in
+        for _ = 1 to 10000 do
+          sum := !sum +. Rng.gaussian r ~mu:5.0 ~sigma:1.0
+        done;
+        let mean = !sum /. 10000. in
+        check_bool "near 5" true (mean > 4.9 && mean < 5.1));
+    qtest "pick stays in array" QCheck2.Gen.(int_range 1 50) (fun n ->
+        let r = Rng.create n in
+        let a = Array.init n Fun.id in
+        let v = Rng.pick r a in
+        v >= 0 && v < n);
+  ]
+
+(* ---------------- Event queue ---------------- *)
+
+let event_queue_tests =
+  [
+    Alcotest.test_case "orders by time" `Quick (fun () ->
+        let q = Event_queue.create () in
+        Event_queue.add q ~time:3.0 "c";
+        Event_queue.add q ~time:1.0 "a";
+        Event_queue.add q ~time:2.0 "b";
+        check_bool "a" true (Event_queue.pop q = Some (1.0, "a"));
+        check_bool "b" true (Event_queue.pop q = Some (2.0, "b"));
+        check_bool "c" true (Event_queue.pop q = Some (3.0, "c"));
+        check_bool "empty" true (Event_queue.pop q = None));
+    Alcotest.test_case "FIFO on equal times" `Quick (fun () ->
+        let q = Event_queue.create () in
+        for i = 0 to 9 do
+          Event_queue.add q ~time:1.0 i
+        done;
+        for i = 0 to 9 do
+          check_bool "order" true (Event_queue.pop q = Some (1.0, i))
+        done);
+    Alcotest.test_case "peek does not pop" `Quick (fun () ->
+        let q = Event_queue.create () in
+        Event_queue.add q ~time:5.0 ();
+        check_bool "peek" true (Event_queue.peek_time q = Some 5.0);
+        check_int "size" 1 (Event_queue.size q));
+    Alcotest.test_case "clear" `Quick (fun () ->
+        let q = Event_queue.create () in
+        Event_queue.add q ~time:1.0 ();
+        Event_queue.clear q;
+        check_bool "empty" true (Event_queue.is_empty q));
+    qtest "pops in sorted order" ~count:100
+      QCheck2.Gen.(list_size (int_bound 100) (float_bound_inclusive 1000.))
+      (fun times ->
+        let q = Event_queue.create () in
+        List.iter (fun t -> Event_queue.add q ~time:t ()) times;
+        let rec drain acc =
+          match Event_queue.pop q with
+          | Some (t, ()) -> drain (t :: acc)
+          | None -> List.rev acc
+        in
+        let out = drain [] in
+        out = List.sort compare times);
+  ]
+
+(* ---------------- Latency ---------------- *)
+
+let latency_tests =
+  [
+    Alcotest.test_case "32 cities" `Quick (fun () ->
+        check_int "cities" 32 (Latency.num_cities Latency.default));
+    Alcotest.test_case "symmetric" `Quick (fun () ->
+        let l = Latency.default in
+        for a = 0 to 31 do
+          for b = 0 to 31 do
+            check_float "sym" (Latency.one_way l a b) (Latency.one_way l b a)
+          done
+        done);
+    Alcotest.test_case "positive and bounded" `Quick (fun () ->
+        let l = Latency.default in
+        for a = 0 to 31 do
+          for b = 0 to 31 do
+            let v = Latency.one_way l a b in
+            check_bool "pos" true (v > 0.);
+            check_bool "below 300ms" true (v < 0.3)
+          done
+        done);
+    Alcotest.test_case "same city is fast" `Quick (fun () ->
+        let l = Latency.default in
+        check_bool "fast" true (Latency.one_way l 0 0 < 0.01));
+    Alcotest.test_case "round robin assignment" `Quick (fun () ->
+        let l = Latency.default in
+        check_int "node 0" 0 (Latency.city_of_node l 0);
+        check_int "node 32" 0 (Latency.city_of_node l 32);
+        check_int "node 33" 1 (Latency.city_of_node l 33));
+    Alcotest.test_case "uniform model" `Quick (fun () ->
+        let l = Latency.uniform ~one_way:0.05 in
+        check_float "flat" 0.05 (Latency.one_way l 0 0));
+  ]
+
+(* ---------------- Network engine ---------------- *)
+
+let network_tests =
+  [
+    Alcotest.test_case "message delivery with latency" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:1 ~jitter:0. () in
+        let got = ref None in
+        Network.set_handler net 1 (fun net ~from ~tag  _payload ->
+            ignore tag;
+            got := Some (from, Network.now net));
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "hello";
+        Network.run_until net 1.0;
+        match !got with
+        | Some (from, at) ->
+            check_int "from" 0 from;
+            check_bool "delayed" true (at > 0.)
+        | None -> Alcotest.fail "not delivered");
+    Alcotest.test_case "self-send immediate" `Quick (fun () ->
+        let net = Network.create ~num_nodes:1 ~seed:1 () in
+        let at = ref (-1.) in
+        Network.set_handler net 0 (fun net ~from:_ ~tag:_  _payload ->
+            at := Network.now net);
+        Network.send net ~src:0 ~dst:0 ~tag:"t" "x";
+        Network.run_until net 1.0;
+        check_float "zero" 0.0 !at);
+    Alcotest.test_case "byte accounting" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:1 () in
+        Network.set_handler net 1 (fun _ ~from:_ ~tag:_  _payload -> ());
+        Network.send net ~src:0 ~dst:1 ~tag:"a" "12345";
+        Network.send net ~src:0 ~dst:1 ~tag:"b" "123";
+        Network.run_until net 1.0;
+        check_int "sent" 8 (Network.bytes_sent_by net 0);
+        check_int "received" 8 (Network.bytes_received_by net 1);
+        check_int "messages" 2 (Network.messages_sent net);
+        check_bool "tags" true
+          (Network.bytes_by_tag net = [ ("a", 5); ("b", 3) ]));
+    Alcotest.test_case "down node loses messages" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:1 () in
+        let got = ref 0 in
+        Network.set_handler net 1 (fun _ ~from:_ ~tag:_  _payload -> incr got);
+        Network.set_down net 1 true;
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "x";
+        Network.run_until net 1.0;
+        check_int "none" 0 !got;
+        Network.set_down net 1 false;
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "x";
+        Network.run_until net 2.0;
+        check_int "one" 1 !got);
+    Alcotest.test_case "delivery filter drops" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:1 () in
+        let got = ref 0 in
+        Network.set_handler net 1 (fun _ ~from:_ ~tag:_  _payload -> incr got);
+        Network.set_delivery_filter net
+          (Some (fun ~src:_ ~dst:_ ~tag -> tag <> "blocked"));
+        Network.send net ~src:0 ~dst:1 ~tag:"blocked" "x";
+        Network.send net ~src:0 ~dst:1 ~tag:"ok" "x";
+        Network.run_until net 1.0;
+        check_int "one" 1 !got);
+    Alcotest.test_case "timers fire in order" `Quick (fun () ->
+        let net = Network.create ~num_nodes:1 ~seed:1 () in
+        let log = ref [] in
+        Network.schedule net ~delay:2.0 (fun _ -> log := 2 :: !log);
+        Network.schedule net ~delay:1.0 (fun _ -> log := 1 :: !log);
+        Network.run_until net 3.0;
+        check_bool "order" true (List.rev !log = [ 1; 2 ]));
+    Alcotest.test_case "run_until stops at horizon" `Quick (fun () ->
+        let net = Network.create ~num_nodes:1 ~seed:1 () in
+        let fired = ref false in
+        Network.schedule net ~delay:5.0 (fun _ -> fired := true);
+        Network.run_until net 2.0;
+        check_bool "not yet" false !fired;
+        check_float "clock" 2.0 (Network.now net);
+        Network.run_until net 6.0;
+        check_bool "fired" true !fired);
+    Alcotest.test_case "deterministic across runs" `Quick (fun () ->
+        let run () =
+          let net = Network.create ~num_nodes:3 ~seed:77 () in
+          let log = ref [] in
+          for i = 0 to 2 do
+            Network.set_handler net i (fun net ~from ~tag:_  _payload ->
+                log := (i, from, Network.now net) :: !log)
+          done;
+          Network.send net ~src:0 ~dst:1 ~tag:"x" "a";
+          Network.send net ~src:1 ~dst:2 ~tag:"x" "b";
+          Network.send net ~src:2 ~dst:0 ~tag:"x" "c";
+          Network.run_until net 2.0;
+          !log
+        in
+        check_bool "same" true (run () = run ()));
+    Alcotest.test_case "reset accounting" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:1 () in
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "xyz";
+        Network.run_until net 1.0;
+        Network.reset_accounting net;
+        check_int "zero" 0 (Network.total_bytes net));
+  ]
+
+(* ---------------- Topology ---------------- *)
+
+let topology_tests =
+  [
+    Alcotest.test_case "connected" `Quick (fun () ->
+        let t = Topology.build (Rng.create 1) ~n:200 ~out_degree:8 ~max_in:125 in
+        check_bool "connected" true
+          (Topology.is_connected_subgraph t ~keep:(fun _ -> true)));
+    Alcotest.test_case "degrees reasonable" `Quick (fun () ->
+        let t = Topology.build (Rng.create 2) ~n:100 ~out_degree:8 ~max_in:125 in
+        check_bool "avg >= 8" true (Topology.average_degree t >= 8.);
+        for i = 0 to 99 do
+          check_bool "min 2" true (Topology.degree t i >= 2)
+        done);
+    Alcotest.test_case "edges are symmetric" `Quick (fun () ->
+        let t = Topology.build (Rng.create 3) ~n:50 ~out_degree:4 ~max_in:125 in
+        for i = 0 to 49 do
+          List.iter
+            (fun j -> check_bool "sym" true (List.mem i (Topology.neighbors t j)))
+            (Topology.neighbors t i)
+        done);
+    Alcotest.test_case "no self loops or duplicates" `Quick (fun () ->
+        let t = Topology.build (Rng.create 4) ~n:60 ~out_degree:6 ~max_in:125 in
+        for i = 0 to 59 do
+          let ns = Topology.neighbors t i in
+          check_bool "no self" false (List.mem i ns);
+          check_int "no dup" (List.length ns) (List.length (List.sort_uniq compare ns))
+        done);
+    Alcotest.test_case "correct core stays connected" `Quick (fun () ->
+        let malicious = Array.init 100 (fun i -> i mod 4 = 0) in
+        let t =
+          Topology.build_with_correct_core (Rng.create 5) ~malicious
+            ~out_degree:8 ~max_in:125
+        in
+        check_bool "core connected" true
+          (Topology.is_connected_subgraph t ~keep:(fun i -> not malicious.(i))));
+    Alcotest.test_case "malicious nodes get edges too" `Quick (fun () ->
+        let malicious = Array.init 50 (fun i -> i < 10) in
+        let t =
+          Topology.build_with_correct_core (Rng.create 6) ~malicious
+            ~out_degree:8 ~max_in:125
+        in
+        for i = 0 to 9 do
+          check_bool "has neighbors" true (Topology.degree t i > 0)
+        done);
+    Alcotest.test_case "malicious reach correct nodes" `Quick (fun () ->
+        let malicious = Array.init 50 (fun i -> i < 10) in
+        let t =
+          Topology.build_with_correct_core (Rng.create 7) ~malicious
+            ~out_degree:8 ~max_in:125
+        in
+        let reaches_correct = ref 0 in
+        for i = 0 to 9 do
+          if List.exists (fun j -> not malicious.(j)) (Topology.neighbors t i)
+          then incr reaches_correct
+        done;
+        check_bool "most reach" true (!reaches_correct >= 8));
+    Alcotest.test_case "inbound cap respected" `Quick (fun () ->
+        let t = Topology.build (Rng.create 8) ~n:40 ~out_degree:8 ~max_in:10 in
+        for i = 0 to 39 do
+          (* degree = in + out; out <= 8+2(ring), in <= 10+2 *)
+          check_bool "cap-ish" true (Topology.degree t i <= 22)
+        done);
+  ]
+
+(* ---------------- Mux ---------------- *)
+
+let mux_tests =
+  [
+    Alcotest.test_case "routes by proto prefix" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:1 () in
+        let mux = Mux.create net in
+        let got_a = ref 0 and got_b = ref 0 in
+        Mux.register mux 1 ~proto:"a" (fun _ ~from:_ ~tag:_  _payload -> incr got_a);
+        Mux.register mux 1 ~proto:"b" (fun _ ~from:_ ~tag:_  _payload -> incr got_b);
+        Network.send net ~src:0 ~dst:1 ~tag:"a:x" "1";
+        Network.send net ~src:0 ~dst:1 ~tag:"b:y" "2";
+        Network.send net ~src:0 ~dst:1 ~tag:"c:z" "3";
+        Network.run_until net 1.0;
+        check_int "a" 1 !got_a;
+        check_int "b" 1 !got_b);
+    Alcotest.test_case "proto_of_tag" `Quick (fun () ->
+        Alcotest.(check string) "split" "lo" (Mux.proto_of_tag "lo:commit");
+        Alcotest.(check string) "no colon" "plain" (Mux.proto_of_tag "plain"));
+  ]
+
+(* ---------------- Peer sampler ---------------- *)
+
+let sampler_tests =
+  [
+    Alcotest.test_case "uniform_sample distinct and excludes" `Quick (fun () ->
+        let rng = Rng.create 1 in
+        let s = Peer_sampler.uniform_sample rng ~n:50 ~k:10 ~exclude:(fun i -> i < 25) in
+        check_int "size" 10 (List.length s);
+        check_int "distinct" 10 (List.length (List.sort_uniq compare s));
+        List.iter (fun i -> check_bool "excluded" true (i >= 25)) s);
+    Alcotest.test_case "gossip sampler observes most of the network" `Slow (fun () ->
+        let n = 60 in
+        let net = Network.create ~num_nodes:n ~seed:33 () in
+        let mux = Mux.create net in
+        let rng = Rng.create 2 in
+        let topo = Topology.build rng ~n ~out_degree:4 ~max_in:125 in
+        let sampler =
+          Peer_sampler.create mux net ~bootstrap:(fun i -> Topology.neighbors topo i)
+        in
+        Peer_sampler.start sampler;
+        Network.run_until net 30.0;
+        (* After 30 rounds each node should have observed most peers. *)
+        let total = ref 0 in
+        for i = 0 to n - 1 do
+          total := !total + Peer_sampler.observed sampler i
+        done;
+        let avg = float_of_int !total /. float_of_int n in
+        check_bool "observed most" true (avg > float_of_int n *. 0.6));
+    Alcotest.test_case "samples roughly uniform over nodes" `Slow (fun () ->
+        let n = 40 in
+        let net = Network.create ~num_nodes:n ~seed:34 () in
+        let mux = Mux.create net in
+        let rng = Rng.create 3 in
+        let topo = Topology.build rng ~n ~out_degree:4 ~max_in:125 in
+        let sampler =
+          Peer_sampler.create mux net ~bootstrap:(fun i -> Topology.neighbors topo i)
+        in
+        Peer_sampler.start sampler;
+        Network.run_until net 40.0;
+        (* count how often each node appears in others' samples *)
+        let counts = Array.make n 0 in
+        for i = 0 to n - 1 do
+          List.iter (fun s -> counts.(s) <- counts.(s) + 1) (Peer_sampler.samples sampler i)
+        done;
+        let nonzero = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 counts in
+        check_bool "most nodes sampled somewhere" true (nonzero > n / 2));
+    Alcotest.test_case "push cap bounds flooding influence" `Slow (fun () ->
+        (* a flooding attacker pushes its id constantly; with the push
+           cap its representation stays bounded *)
+        let n = 30 in
+        let net = Network.create ~num_nodes:n ~seed:35 () in
+        let mux = Mux.create net in
+        let rng = Rng.create 4 in
+        let topo = Topology.build rng ~n ~out_degree:4 ~max_in:125 in
+        let sampler =
+          Peer_sampler.create mux net ~bootstrap:(fun i -> Topology.neighbors topo i)
+        in
+        Peer_sampler.start sampler;
+        (* attacker node 0 spams pushes every 50ms to everyone *)
+        let rec spam t =
+          for dst = 1 to n - 1 do
+            Network.send net ~src:0 ~dst ~tag:"sampler:push" ""
+          done;
+          if t < 30.0 then Network.schedule net ~delay:0.05 (fun _ -> spam (t +. 0.05))
+        in
+        Network.schedule net ~delay:0.1 (fun _ -> spam 0.1);
+        Network.run_until net 30.0;
+        (* attacker must not dominate views *)
+        let attacker_share = ref 0 and total = ref 0 in
+        for i = 1 to n - 1 do
+          List.iter
+            (fun v ->
+              incr total;
+              if v = 0 then incr attacker_share)
+            (Peer_sampler.current_view sampler i)
+        done;
+        check_bool "bounded" true
+          (float_of_int !attacker_share /. float_of_int (max 1 !total) < 0.5));
+  ]
+
+let () =
+  Alcotest.run "lo_net"
+    [
+      ("rng", rng_tests);
+      ("event-queue", event_queue_tests);
+      ("latency", latency_tests);
+      ("network", network_tests);
+      ("topology", topology_tests);
+      ("mux", mux_tests);
+      ("peer-sampler", sampler_tests);
+    ]

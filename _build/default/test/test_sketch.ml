@@ -1,0 +1,456 @@
+(* Tests for lo_sketch: GF(2^m) field laws, polynomial arithmetic,
+   Berlekamp–Massey, PinSketch encode/decode semantics, and the
+   partitioned reconciliation of Sec. 6.5. *)
+
+open Lo_sketch
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let fields = [ ("gf8", Gf2m.gf8); ("gf16", Gf2m.gf16); ("gf32", Gf2m.gf32) ]
+
+let elt_gen f = QCheck2.Gen.int_range 0 (Gf2m.mask f)
+let nonzero_gen f = QCheck2.Gen.int_range 1 (Gf2m.mask f)
+
+let field_tests =
+  List.concat_map
+    (fun (name, f) ->
+      [
+        qtest (name ^ ": mul commutes") QCheck2.Gen.(pair (elt_gen f) (elt_gen f))
+          (fun (a, b) -> Gf2m.mul f a b = Gf2m.mul f b a);
+        qtest (name ^ ": mul associates")
+          QCheck2.Gen.(triple (elt_gen f) (elt_gen f) (elt_gen f))
+          (fun (a, b, c) ->
+            Gf2m.mul f (Gf2m.mul f a b) c = Gf2m.mul f a (Gf2m.mul f b c));
+        qtest (name ^ ": distributive")
+          QCheck2.Gen.(triple (elt_gen f) (elt_gen f) (elt_gen f))
+          (fun (a, b, c) ->
+            Gf2m.mul f a (b lxor c) = Gf2m.mul f a b lxor Gf2m.mul f a c);
+        qtest (name ^ ": one is neutral") (elt_gen f) (fun a -> Gf2m.mul f a 1 = a);
+        qtest (name ^ ": zero annihilates") (elt_gen f) (fun a -> Gf2m.mul f a 0 = 0);
+        qtest (name ^ ": inverse") (nonzero_gen f) (fun a ->
+            Gf2m.mul f a (Gf2m.inv f a) = 1);
+        qtest (name ^ ": sq = mul self") (elt_gen f) (fun a ->
+            Gf2m.sq f a = Gf2m.mul f a a);
+        qtest (name ^ ": frobenius is additive")
+          QCheck2.Gen.(pair (elt_gen f) (elt_gen f))
+          (fun (a, b) -> Gf2m.sq f (a lxor b) = Gf2m.sq f a lxor Gf2m.sq f b);
+        qtest (name ^ ": order divides 2^m - 1") (nonzero_gen f) (fun a ->
+            Gf2m.pow f a (Gf2m.order_minus_one f) = 1);
+        qtest (name ^ ": trace in {0,1}") (elt_gen f) (fun a ->
+            let t = Gf2m.trace f a in
+            t = 0 || t = 1);
+        qtest (name ^ ": trace is additive")
+          QCheck2.Gen.(pair (elt_gen f) (elt_gen f))
+          (fun (a, b) -> Gf2m.trace f (a lxor b) = Gf2m.trace f a lxor Gf2m.trace f b);
+      ])
+    fields
+  @ [
+      Alcotest.test_case "reducible modulus rejected" `Quick (fun () ->
+          (* x^4 + x^2 + 1 = (x^2+x+1)^2 is reducible *)
+          match Gf2m.make ~m:4 ~modulus:0x5 with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "accepted reducible polynomial");
+      Alcotest.test_case "even modulus rejected" `Quick (fun () ->
+          match Gf2m.make ~m:8 ~modulus:0x1A with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail "accepted even modulus");
+      Alcotest.test_case "pow matches repeated mul" `Quick (fun () ->
+          let f = Gf2m.gf16 in
+          let a = 0x1234 in
+          let rec naive k = if k = 0 then 1 else Gf2m.mul f a (naive (k - 1)) in
+          for k = 0 to 10 do
+            check_int "pow" (naive k) (Gf2m.pow f a k)
+          done);
+    ]
+
+(* ---------------- Polynomials ---------------- *)
+
+let f16 = Gf2m.gf16
+
+let poly_gen f =
+  QCheck2.Gen.(map (fun l -> Poly.of_coeffs l) (list_size (int_bound 8) (elt_gen f)))
+
+let nonzero_poly_gen f =
+  QCheck2.Gen.(
+    map2
+      (fun l lead -> Poly.of_coeffs (l @ [ lead ]))
+      (list_size (int_bound 7) (elt_gen f))
+      (nonzero_gen f))
+
+let poly_tests =
+  [
+    Alcotest.test_case "normalisation" `Quick (fun () ->
+        check_int "degree" 1 (Poly.degree (Poly.of_coeffs [ 1; 2; 0; 0 ]));
+        check_bool "zero" true (Poly.is_zero (Poly.of_coeffs [ 0; 0 ])));
+    Alcotest.test_case "eval" `Quick (fun () ->
+        (* p(x) = x^2 + 3 over gf16 at x=2: 2*2 xor 3 = 4 xor 3 = 7 *)
+        let p = Poly.of_coeffs [ 3; 0; 1 ] in
+        check_int "eval" 7 (Poly.eval f16 p 2));
+    qtest "add is xor of coeffs" QCheck2.Gen.(pair (poly_gen f16) (poly_gen f16))
+      (fun (a, b) ->
+        let s = Poly.add a b in
+        List.for_all
+          (fun i -> Poly.coeff s i = Poly.coeff a i lxor Poly.coeff b i)
+          (List.init 12 Fun.id));
+    qtest "mul degree adds"
+      QCheck2.Gen.(pair (nonzero_poly_gen f16) (nonzero_poly_gen f16))
+      (fun (a, b) ->
+        Poly.degree (Poly.mul f16 a b) = Poly.degree a + Poly.degree b);
+    qtest "divmod reconstructs"
+      QCheck2.Gen.(pair (poly_gen f16) (nonzero_poly_gen f16))
+      (fun (a, b) ->
+        let q, r = Poly.divmod f16 a b in
+        Poly.equal a (Poly.add (Poly.mul f16 q b) r)
+        && (Poly.is_zero r || Poly.degree r < Poly.degree b));
+    qtest "gcd divides both"
+      QCheck2.Gen.(pair (nonzero_poly_gen f16) (nonzero_poly_gen f16))
+      (fun (a, b) ->
+        let g = Poly.gcd f16 a b in
+        let _, ra = Poly.divmod f16 a g in
+        let _, rb = Poly.divmod f16 b g in
+        Poly.is_zero ra && Poly.is_zero rb);
+    Alcotest.test_case "monic leading coeff" `Quick (fun () ->
+        let p = Poly.of_coeffs [ 3; 5; 9 ] in
+        let m = Poly.monic f16 p in
+        check_int "lead" 1 (Poly.coeff m (Poly.degree m)));
+    qtest "square_mod = mul_mod self" ~count:100
+      QCheck2.Gen.(pair (poly_gen f16) (nonzero_poly_gen f16))
+      (fun (a, m) ->
+        QCheck2.assume (Poly.degree m >= 1);
+        Poly.equal (Poly.square_mod f16 a ~modulus:m)
+          (Poly.mul_mod f16 a a ~modulus:m));
+    Alcotest.test_case "roots of known product" `Quick (fun () ->
+        (* (x-3)(x-5)(x-9) over gf16; subtraction = xor *)
+        let lin r = Poly.of_coeffs [ r; 1 ] in
+        let p = Poly.mul f16 (Poly.mul f16 (lin 3) (lin 5)) (lin 9) in
+        match Poly.roots f16 p with
+        | Some rs ->
+            check_bool "roots" true (List.sort compare rs = [ 3; 5; 9 ])
+        | None -> Alcotest.fail "no roots found");
+    Alcotest.test_case "repeated roots rejected" `Quick (fun () ->
+        let lin r = Poly.of_coeffs [ r; 1 ] in
+        let p = Poly.mul f16 (lin 3) (lin 3) in
+        check_bool "rejected" true (Poly.roots f16 p = None));
+    Alcotest.test_case "irreducible quadratic rejected" `Quick (fun () ->
+        (* x^2 + x + alpha is irreducible for some alpha; find one whose
+           roots call returns None. frobenius_fixed must be false for an
+           irreducible quadratic over the field itself... use trace: an
+           element with trace 1 makes x^2+x+a irreducible. *)
+        let a =
+          let rec find c = if Gf2m.trace f16 c = 1 then c else find (c + 1) in
+          find 1
+        in
+        let p = Poly.of_coeffs [ a; 1; 1 ] in
+        check_bool "no roots" true (Poly.roots f16 p = None));
+    qtest "random split polynomials fully factor" ~count:60
+      QCheck2.Gen.(list_size (int_range 1 12) (nonzero_gen f16))
+      (fun roots ->
+        let roots = List.sort_uniq compare roots in
+        let p =
+          List.fold_left
+            (fun acc r -> Poly.mul f16 acc (Poly.of_coeffs [ r; 1 ]))
+            Poly.one roots
+        in
+        match Poly.roots f16 p with
+        | Some rs -> List.sort compare rs = roots
+        | None -> false);
+  ]
+
+(* ---------------- Berlekamp–Massey ---------------- *)
+
+let bm_tests =
+  [
+    Alcotest.test_case "all-zero sequence" `Quick (fun () ->
+        let c, l = Berlekamp_massey.run f16 (Array.make 8 0) in
+        check_int "length" 0 l;
+        check_bool "trivial" true (Poly.equal c Poly.one));
+    Alcotest.test_case "known LFSR recovered" `Quick (fun () ->
+        (* s_i = 3*s_{i-1} xor 2*s_{i-2}; connection poly 1 + 3x + 2x^2 *)
+        let n = 12 in
+        let s = Array.make n 0 in
+        s.(0) <- 1;
+        s.(1) <- 5;
+        for i = 2 to n - 1 do
+          s.(i) <- Gf2m.mul f16 3 s.(i - 1) lxor Gf2m.mul f16 2 s.(i - 2)
+        done;
+        let c, l = Berlekamp_massey.run f16 s in
+        check_int "length" 2 l;
+        check_bool "poly" true (Poly.equal c (Poly.of_coeffs [ 1; 3; 2 ])));
+    qtest "recovered LFSR regenerates sequence" ~count:50
+      QCheck2.Gen.(list_size (int_range 4 10) (elt_gen f16))
+      (fun prefix ->
+        let s = Array.of_list (prefix @ prefix) in
+        let c, l = Berlekamp_massey.run f16 s in
+        (* check the recurrence for i >= l *)
+        let ok = ref true in
+        for i = l to Array.length s - 1 do
+          let acc = ref s.(i) in
+          for j = 1 to l do
+            acc := !acc lxor Gf2m.mul f16 (Poly.coeff c j) s.(i - j)
+          done;
+          if !acc <> 0 then ok := false
+        done;
+        !ok);
+  ]
+
+(* ---------------- Sketch ---------------- *)
+
+let rand_distinct rng n f =
+  let tbl = Hashtbl.create n in
+  let rec go acc k =
+    if k = 0 then acc
+    else begin
+      let v = 1 + Lo_net.Rng.int rng (Gf2m.mask f - 1) in
+      if Hashtbl.mem tbl v then go acc k
+      else begin
+        Hashtbl.add tbl v ();
+        go (v :: acc) (k - 1)
+      end
+    end
+  in
+  go [] n
+
+let sketch_tests =
+  [
+    Alcotest.test_case "empty decodes to empty" `Quick (fun () ->
+        let s = Sketch.create ~capacity:8 () in
+        check_bool "empty" true (Sketch.is_empty s);
+        check_bool "decode" true (Sketch.decode s = Ok []));
+    Alcotest.test_case "single element" `Quick (fun () ->
+        let s = Sketch.create ~capacity:8 () in
+        Sketch.add s 42;
+        check_bool "decode" true (Sketch.decode s = Ok [ 42 ]));
+    Alcotest.test_case "add twice removes" `Quick (fun () ->
+        let s = Sketch.create ~capacity:8 () in
+        Sketch.add s 42;
+        Sketch.add s 42;
+        check_bool "empty" true (Sketch.is_empty s));
+    Alcotest.test_case "zero rejected" `Quick (fun () ->
+        let s = Sketch.create ~capacity:4 () in
+        Alcotest.check_raises "zero" (Invalid_argument "Sketch.add: element")
+          (fun () -> Sketch.add s 0));
+    Alcotest.test_case "out-of-field rejected" `Quick (fun () ->
+        let s = Sketch.create ~field:Gf2m.gf8 ~capacity:4 () in
+        Alcotest.check_raises "range" (Invalid_argument "Sketch.add: element")
+          (fun () -> Sketch.add s 256));
+    Alcotest.test_case "merge incompatible rejected" `Quick (fun () ->
+        let a = Sketch.create ~capacity:4 () and b = Sketch.create ~capacity:8 () in
+        Alcotest.check_raises "capacity"
+          (Invalid_argument "Sketch.merge: incompatible sketches") (fun () ->
+            ignore (Sketch.merge a b)));
+    Alcotest.test_case "decode at exact capacity" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 7 in
+        let elems = rand_distinct rng 16 Gf2m.gf32 in
+        let s = Sketch.of_list ~capacity:16 elems in
+        match Sketch.decode s with
+        | Ok d -> check_bool "exact" true (List.sort compare d = List.sort compare elems)
+        | Error _ -> Alcotest.fail "decode failed at capacity");
+    Alcotest.test_case "over capacity fails" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 8 in
+        let elems = rand_distinct rng 20 Gf2m.gf32 in
+        let s = Sketch.of_list ~capacity:16 elems in
+        check_bool "fails" true (Sketch.decode s = Error `Decode_failure));
+    Alcotest.test_case "wire roundtrip" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 9 in
+        let s = Sketch.of_list ~capacity:8 (rand_distinct rng 5 Gf2m.gf32) in
+        let w = Lo_codec.Writer.create () in
+        Sketch.encode w s;
+        check_int "size" (Sketch.serialized_size s) (Lo_codec.Writer.length w);
+        let s' = Sketch.decode_wire (Lo_codec.Reader.of_string (Lo_codec.Writer.contents w)) in
+        check_bool "same decode" true (Sketch.decode s' = Sketch.decode s));
+    qtest "merge decodes symmetric difference" ~count:40
+      QCheck2.Gen.(triple (int_bound 50) (int_bound 10) (int_bound 10))
+      (fun (shared_n, only_a_n, only_b_n) ->
+        let rng = Lo_net.Rng.create (shared_n + (17 * only_a_n) + (31 * only_b_n)) in
+        let all = rand_distinct rng (shared_n + only_a_n + only_b_n) Gf2m.gf32 in
+        let rec split3 a b c na nb xs =
+          match xs with
+          | [] -> (a, b, c)
+          | x :: rest ->
+              if na > 0 then split3 (x :: a) b c (na - 1) nb rest
+              else if nb > 0 then split3 a (x :: b) c 0 (nb - 1) rest
+              else split3 a b (x :: c) 0 0 rest
+        in
+        let only_a, only_b, shared = split3 [] [] [] only_a_n only_b_n all in
+        let sa = Sketch.of_list ~capacity:32 (shared @ only_a) in
+        let sb = Sketch.of_list ~capacity:32 (shared @ only_b) in
+        match Sketch.decode (Sketch.merge sa sb) with
+        | Ok d ->
+            List.sort compare d = List.sort compare (only_a @ only_b)
+        | Error `Decode_failure -> false);
+    Alcotest.test_case "truncate is a syndrome prefix" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 11 in
+        let elems = rand_distinct rng 5 Gf2m.gf32 in
+        let big = Sketch.of_list ~capacity:32 elems in
+        let small = Sketch.truncate big ~capacity:8 in
+        check_int "capacity" 8 (Sketch.capacity small);
+        let direct = Sketch.of_list ~capacity:8 elems in
+        check_bool "same decode" true (Sketch.decode small = Sketch.decode direct));
+    Alcotest.test_case "truncate clamps above capacity" `Quick (fun () ->
+        let s = Sketch.create ~capacity:8 () in
+        check_int "clamped" 8 (Sketch.capacity (Sketch.truncate s ~capacity:100)));
+    qtest "truncated decode succeeds when diff fits" ~count:40
+      QCheck2.Gen.(int_range 1 12)
+      (fun diff ->
+        let rng = Lo_net.Rng.create (diff * 31) in
+        let elems = rand_distinct rng diff Gf2m.gf32 in
+        let big = Sketch.of_list ~capacity:64 elems in
+        Sketch.decode (Sketch.truncate big ~capacity:(diff + 4))
+        = Ok (List.sort compare elems)
+        || Sketch.decode (Sketch.truncate big ~capacity:(diff + 4))
+           = Ok elems
+        ||
+        match Sketch.decode (Sketch.truncate big ~capacity:(diff + 4)) with
+        | Ok d -> List.sort compare d = List.sort compare elems
+        | Error _ -> false);
+    qtest "order of insertion is irrelevant" ~count:50
+      QCheck2.Gen.(list_size (int_range 1 12) (int_range 1 1000))
+      (fun xs ->
+        let xs = List.sort_uniq compare xs in
+        let s1 = Sketch.of_list ~capacity:16 xs in
+        let s2 = Sketch.of_list ~capacity:16 (List.rev xs) in
+        Sketch.decode (Sketch.merge s1 s2) = Ok []);
+  ]
+
+(* ---------------- Partitioned reconciliation ---------------- *)
+
+let partitioned_tests =
+  [
+    Alcotest.test_case "identical sets need one round" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 5 in
+        let xs = rand_distinct rng 50 Gf2m.gf32 in
+        let stats, diff = Partitioned.reconcile ~capacity:16 ~local:xs ~remote:xs () in
+        check_int "rounds" 1 stats.Partitioned.reconciliations;
+        check_bool "no diff" true (diff = []));
+    Alcotest.test_case "small diff, no splits" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 6 in
+        let shared = rand_distinct rng 100 Gf2m.gf32 in
+        let extra = rand_distinct rng 5 Gf2m.gf32 in
+        let stats, diff =
+          Partitioned.reconcile ~capacity:16 ~local:(shared @ extra) ~remote:shared ()
+        in
+        check_int "rounds" 1 stats.Partitioned.reconciliations;
+        check_bool "diff" true (List.sort compare diff = List.sort compare extra));
+    Alcotest.test_case "large diff forces splits but recovers" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 7 in
+        let local = rand_distinct rng 200 Gf2m.gf32 in
+        let remote = rand_distinct rng 180 Gf2m.gf32 in
+        let stats, diff = Partitioned.reconcile ~capacity:16 ~local ~remote () in
+        check_bool "split happened" true (stats.Partitioned.decode_failures > 0);
+        let expected =
+          List.filter (fun x -> not (List.mem x remote)) local
+          @ List.filter (fun x -> not (List.mem x local)) remote
+        in
+        check_bool "recovered" true
+          (List.sort compare diff = List.sort compare expected));
+    Alcotest.test_case "monolithic fails when undersized" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 8 in
+        let local = rand_distinct rng 100 Gf2m.gf32 in
+        let stats, result =
+          Partitioned.reconcile_monolithic ~capacity:16 ~local ~remote:[] ()
+        in
+        check_int "failures" 1 stats.Partitioned.decode_failures;
+        check_bool "none" true (result = None));
+    Alcotest.test_case "monolithic succeeds when sized" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 9 in
+        let local = rand_distinct rng 30 Gf2m.gf32 in
+        let _, result =
+          Partitioned.reconcile_monolithic ~capacity:30 ~local ~remote:[] ()
+        in
+        match result with
+        | Some d -> check_bool "all" true (List.sort compare d = List.sort compare local)
+        | None -> Alcotest.fail "decode failed");
+    Alcotest.test_case "bytes accounted" `Quick (fun () ->
+        let stats, _ =
+          Partitioned.reconcile ~capacity:8 ~local:[ 1; 2; 3 ] ~remote:[ 2; 3; 4 ] ()
+        in
+        check_bool "bytes" true (stats.Partitioned.bytes_exchanged > 0));
+  ]
+
+
+
+(* ---------------- Strata estimator ---------------- *)
+
+let strata_tests =
+  [
+    Alcotest.test_case "identical sets estimate zero" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 21 in
+        let xs = rand_distinct rng 500 Gf2m.gf32 in
+        let a = Strata.of_list xs and b = Strata.of_list xs in
+        check_int "zero" 0 (Strata.estimate a b));
+    Alcotest.test_case "small diffs are exact" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 22 in
+        let shared = rand_distinct rng 300 Gf2m.gf32 in
+        let extra = rand_distinct rng 7 Gf2m.gf32 in
+        let a = Strata.of_list shared in
+        let b = Strata.of_list (shared @ extra) in
+        check_int "exact" 7 (Strata.estimate a b));
+    Alcotest.test_case "large diffs within a small factor" `Quick (fun () ->
+        List.iter
+          (fun d ->
+            let rng = Lo_net.Rng.create (23 + d) in
+            let shared = rand_distinct rng 200 Gf2m.gf32 in
+            let extra = rand_distinct rng d Gf2m.gf32 in
+            let a = Strata.of_list shared in
+            let b = Strata.of_list (shared @ extra) in
+            let est = Strata.estimate a b in
+            check_bool
+              (Printf.sprintf "diff %d est %d" d est)
+              true
+              (est >= d / 3 && est <= 3 * d))
+          [ 100; 400; 1500 ]);
+    Alcotest.test_case "wire roundtrip" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 24 in
+        let xs = rand_distinct rng 50 Gf2m.gf32 in
+        let a = Strata.of_list xs in
+        let w = Lo_codec.Writer.create () in
+        Strata.encode w a;
+        check_int "size" (Strata.serialized_size a) (Lo_codec.Writer.length w);
+        let a' = Strata.decode_wire (Lo_codec.Reader.of_string (Lo_codec.Writer.contents w)) in
+        check_int "same estimate" 0 (Strata.estimate a a'));
+    Alcotest.test_case "mismatched params rejected" `Quick (fun () ->
+        let a = Strata.create ~strata:8 () and b = Strata.create ~strata:16 () in
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Strata.estimate: mismatched estimators") (fun () ->
+            ignore (Strata.estimate a b)));
+    Alcotest.test_case "estimator can size a working sketch" `Quick (fun () ->
+        (* The intended workflow: estimate, then reconcile with 2x the
+           estimate as capacity. *)
+        let rng = Lo_net.Rng.create 25 in
+        let shared = rand_distinct rng 300 Gf2m.gf32 in
+        let extra = rand_distinct rng 60 Gf2m.gf32 in
+        let local = shared @ extra and remote = shared in
+        let est =
+          Strata.estimate (Strata.of_list local) (Strata.of_list remote)
+        in
+        check_bool "estimate in range" true (est >= 20 && est <= 180);
+        (* start from 2x the estimate, escalate on failure — at most one
+           escalation should ever be needed from a sane estimate *)
+        let rec reconcile capacity escalations =
+          let sl = Sketch.of_list ~capacity local in
+          let sr = Sketch.of_list ~capacity remote in
+          match Sketch.decode (Sketch.merge sl sr) with
+          | Ok d ->
+              check_int "full diff" 60 (List.length d);
+              check_bool "at most one escalation" true (escalations <= 1)
+          | Error `Decode_failure ->
+              if escalations > 2 then Alcotest.fail "estimate useless"
+              else reconcile (2 * capacity) (escalations + 1)
+        in
+        reconcile (max 8 (2 * est)) 0);
+  ]
+
+let () =
+  Alcotest.run "lo_sketch"
+    [
+      ("gf2m", field_tests);
+      ("poly", poly_tests);
+      ("berlekamp-massey", bm_tests);
+      ("sketch", sketch_tests);
+      ("partitioned", partitioned_tests);
+      ("strata", strata_tests);
+    ]

@@ -1,0 +1,28 @@
+.PHONY: all build test check fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The one-stop gate: everything compiles and the full test suite passes.
+check:
+	dune build && dune runtest
+
+# Formatting is checked only when ocamlformat is available; the
+# toolchain image does not ship it and installing is out of scope.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

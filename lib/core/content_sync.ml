@@ -1,0 +1,69 @@
+type t = {
+  mempool : Mempool.t;
+  missing : (int, float) Hashtbl.t; (* committed ids lacking content *)
+  adversary : Adversary.t;
+}
+
+let create ~mempool ~adversary =
+  { mempool; missing = Hashtbl.create 64; adversary }
+
+let missing_count t = Hashtbl.length t.missing
+
+let want_list t (env : Node_env.t) =
+  let acc = ref [] and count = ref 0 in
+  (try
+     Hashtbl.iter
+       (fun id _ ->
+         if !count >= env.config.max_delta then raise Exit;
+         acc := id :: !acc;
+         incr count)
+       t.missing
+   with Exit -> ());
+  !acc
+
+let mark_missing t (env : Node_env.t) ids =
+  List.iter
+    (fun id ->
+      if not (Mempool.mem_short t.mempool id) then
+        Hashtbl.replace t.missing id (env.now ()))
+    ids
+
+let commit_fresh t (env : Node_env.t) ~dedup ~known ~source ids =
+  let fresh = List.filter (fun id -> not (known id)) ids in
+  let fresh = if dedup then List.sort_uniq Int.compare fresh else fresh in
+  if fresh <> [] then begin
+    env.commit ~source:(Some source) ~ids:fresh;
+    mark_missing t env fresh
+  end;
+  fresh
+
+let serve t ids =
+  List.filter_map
+    (fun id ->
+      Option.map (fun e -> e.Mempool.tx) (Mempool.find_short t.mempool id))
+    ids
+
+let store_content t (env : Node_env.t) tx ~from_peer =
+  let short = Tx.short_id tx in
+  if not (Mempool.mem_short t.mempool short) then begin
+    match Mempool.add t.mempool ~tx ~received_at:(env.now ()) ~from_peer with
+    | `Duplicate -> ()
+    | `Added _ ->
+        Hashtbl.remove t.missing short;
+        env.hooks.on_tx_content tx ~now:(env.now ())
+  end
+
+let ingest_batch t (env : Node_env.t) ~from txs =
+  let from_id = env.id_of from in
+  List.iter
+    (fun tx ->
+      match Tx.prevalidate env.config.scheme tx with
+      | Error _ -> ()
+      | Ok () ->
+          if not (Adversary.censors_tx t.adversary tx) then begin
+            let short = Tx.short_id tx in
+            if not (Commitment.Log.contains env.primary_log short) then
+              env.commit ~source:(Some from_id) ~ids:[ short ];
+            store_content t env tx ~from_peer:(Some from_id)
+          end)
+    txs

@@ -1,0 +1,47 @@
+(** Transaction-content exchange (Stage II of Alg. 1).
+
+    Owns the table of committed-but-uncontented short ids (the
+    [missing] set), answers [want] lists, serves and ingests
+    {!Messages.Tx_batch}es, and centralises the "commit fresh ids and
+    mark their content missing" step that every reconciliation path
+    performs (Alg. 1 line 22). *)
+
+type t
+
+val create : mempool:Mempool.t -> adversary:Adversary.t -> t
+
+val missing_count : t -> int
+(** Committed ids whose content has not arrived yet. *)
+
+val want_list : t -> Node_env.t -> int list
+(** Up to [max_delta] missing ids to request from a peer. *)
+
+val mark_missing : t -> Node_env.t -> int list -> unit
+(** Note that the given committed ids lack content (no-op for ids
+    already in the mempool). *)
+
+val commit_fresh :
+  t ->
+  Node_env.t ->
+  dedup:bool ->
+  known:(int -> bool) ->
+  source:string ->
+  int list ->
+  int list
+(** Filter [ids] down to those not [known], optionally sort/dedup them,
+    commit the survivors as one bundle attributed to [source] and mark
+    their content missing. Returns the committed ids ([[]] when none
+    were fresh). The [known] predicate is caller-supplied because the
+    paths differ: requests test the (possibly forked) log shown to the
+    peer, responses test the primary log. *)
+
+val serve : t -> int list -> Tx.t list
+(** The requested transactions we can actually supply. *)
+
+val store_content : t -> Node_env.t -> Tx.t -> from_peer:string option -> unit
+(** Admit content to the mempool, clear it from the missing set and
+    fire [on_tx_content] (first arrival only). *)
+
+val ingest_batch : t -> Node_env.t -> from:int -> Tx.t list -> unit
+(** Handle a {!Messages.Tx_batch}: prevalidate, apply Stage-II
+    censorship, commit previously unseen ids and store content. *)

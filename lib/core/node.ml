@@ -1,10 +1,19 @@
+(* The node façade: wires the protocol submodules together.
+
+   The actual protocol logic lives in the layered submodules —
+   {!Reconciler} (Alg. 1 pairwise reconciliation), {!Content_sync}
+   (Stage II content exchange), {!Peer_tracker} (commitment snapshots +
+   equivocation detection), {!Block_pipeline} (build/accept/inspect) and
+   {!Adversary} (faulty behaviours). This module owns identity, the
+   commitment log(s), the message dispatch and the periodic timers, and
+   hands every submodule a {!Node_env.t} of service closures. *)
+
 module Network = Lo_net.Network
 module Mux = Lo_net.Mux
 module Rng = Lo_net.Rng
 module Signer = Lo_crypto.Signer
-module Sketch = Lo_sketch.Sketch
 
-type behavior =
+type behavior = Adversary.t =
   | Honest
   | Silent_censor
   | Tx_censor of (Tx.t -> bool)
@@ -13,7 +22,7 @@ type behavior =
   | Blockspace_censor of (Tx.t -> bool)
   | Equivocator
 
-type config = {
+type config = Node_env.config = {
   scheme : Signer.scheme;
   reconcile_period : float;
   reconcile_fanout : int;
@@ -30,25 +39,9 @@ type config = {
   max_digests_per_peer : int;
 }
 
-let default_config scheme =
-  {
-    scheme;
-    reconcile_period = 1.0;
-    reconcile_fanout = 3;
-    request_timeout = 1.0;
-    max_retries = 3;
-    sketch_capacity = Commitment.default_sketch_capacity;
-    clock_cells = Commitment.default_clock_cells;
-    fee_threshold = 0;
-    max_block_txs = 2000;
-    max_delta = 100;
-    digest_share_period = 2.0;
-    always_full_digests = false;
-    reject_exposed_blocks = false;
-    max_digests_per_peer = 1024;
-  }
+let default_config = Node_env.default_config
 
-type hooks = {
+type hooks = Node_env.hooks = {
   mutable on_tx_content : Tx.t -> now:float -> unit;
   mutable on_block_accepted : Block.t -> now:float -> unit;
   mutable on_exposure : accused:string -> now:float -> unit;
@@ -58,26 +51,6 @@ type hooks = {
   mutable on_sketch_decode : now:float -> unit;
   mutable on_reconcile : now:float -> unit;
 }
-
-let no_hooks () =
-  {
-    on_tx_content = (fun _ ~now:_ -> ());
-    on_block_accepted = (fun _ ~now:_ -> ());
-    on_exposure = (fun ~accused:_ ~now:_ -> ());
-    on_suspicion = (fun ~suspect:_ ~now:_ -> ());
-    on_suspicion_cleared = (fun ~suspect:_ ~now:_ -> ());
-    on_violation = (fun _ ~block:_ ~now:_ -> ());
-    on_sketch_decode = (fun ~now:_ -> ());
-    on_reconcile = (fun ~now:_ -> ());
-  }
-
-type peer_state = {
-  digests : (int, Commitment.digest) Hashtbl.t;
-  bundles : (int, int list) Hashtbl.t;
-  mutable latest : Commitment.digest option;
-}
-
-type pending = { mutable waiting : bool; mutable retries : int; mutable gen : int }
 
 type t = {
   config : config;
@@ -93,22 +66,14 @@ type t = {
   mempool : Mempool.t;
   log : Commitment.Log.t;
   alt_log : Commitment.Log.t option; (* equivocation fork *)
-  peers : (string, peer_state) Hashtbl.t;
   acc : Accountability.t;
-  pending : (string, pending) Hashtbl.t;
-  missing : (int, float) Hashtbl.t; (* committed ids lacking content *)
   hooks : hooks;
-  blocks_by_height : (int, Block.t) Hashtbl.t;
-  mutable head : Block.t option;
-  seen_blocks : (string, unit) Hashtbl.t;
-  seen_suspicions : (string * string, unit) Hashtbl.t;
+  content : Content_sync.t;
+  tracker : Peer_tracker.t;
+  reconciler : Reconciler.t;
+  pipeline : Block_pipeline.t;
   seen_exposures : (string, unit) Hashtbl.t;
-  pending_inspections : (string, Block.t list ref) Hashtbl.t; (* by creator *)
-  inspection_retries : (string, int) Hashtbl.t; (* by block hash *)
-  requested_digests : (string * int, unit) Hashtbl.t; (* (owner, seq) *)
-  settled : (int, int) Hashtbl.t; (* short id -> block height *)
-  recent_digests : Commitment.digest option array; (* relay ring buffer *)
-  mutable recent_pos : int;
+  mutable env : Node_env.t option; (* set once in [create] *)
 }
 
 let index t = t.index
@@ -120,60 +85,7 @@ let commitment_log t = t.log
 let accountability t = t.acc
 let neighbors t = t.neighbors
 let set_neighbors t ns = t.neighbors <- ns
-
-let create config ~net ~mux ~index ~directory ~signer ~neighbors ~behavior =
-  let my_id = Signer.id signer in
-  let mk_log () =
-    Commitment.Log.create ~sketch_capacity:config.sketch_capacity
-      ~clock_cells:config.clock_cells ~signer ()
-  in
-  {
-    config;
-    net;
-    mux;
-    index;
-    directory;
-    signer;
-    my_id;
-    neighbors;
-    behavior;
-    rng = Rng.split (Network.rng net);
-    mempool = Mempool.create ();
-    log = mk_log ();
-    alt_log = (match behavior with Equivocator -> Some (mk_log ()) | _ -> None);
-    peers = Hashtbl.create 32;
-    acc = Accountability.create ();
-    pending = Hashtbl.create 32;
-    missing = Hashtbl.create 64;
-    hooks = no_hooks ();
-    blocks_by_height = Hashtbl.create 16;
-    head = None;
-    seen_blocks = Hashtbl.create 16;
-    seen_suspicions = Hashtbl.create 16;
-    seen_exposures = Hashtbl.create 16;
-    pending_inspections = Hashtbl.create 4;
-    inspection_retries = Hashtbl.create 8;
-    requested_digests = Hashtbl.create 32;
-    settled = Hashtbl.create 256;
-    recent_digests = Array.make 32 None;
-    recent_pos = 0;
-  }
-
-(* --- small helpers --- *)
-
 let now t = Network.now t.net
-
-let peer_state t owner =
-  match Hashtbl.find_opt t.peers owner with
-  | Some st -> st
-  | None ->
-      let st =
-        { digests = Hashtbl.create 8; bundles = Hashtbl.create 8; latest = None }
-      in
-      Hashtbl.add t.peers owner st;
-      st
-
-let index_of_id t id = Directory.index_of t.directory id
 
 let send_msg t ~dst msg =
   Network.send t.net ~src:t.index ~dst ~tag:(Messages.tag msg)
@@ -181,58 +93,23 @@ let send_msg t ~dst msg =
 
 let broadcast t msg = List.iter (fun n -> send_msg t ~dst:n msg) t.neighbors
 
-(* Digest used in routine reconciliation messages: light unless the
-   ablation knob forces the full form. *)
-let wire_digest t log =
+let log_for t ~peer_index =
+  match t.alt_log with
+  | Some alt when Adversary.shows_fork_to t.behavior ~peer_index -> alt
+  | _ -> t.log
+
+let wire_digest t ~peer_index =
+  let log = log_for t ~peer_index in
   if t.config.always_full_digests then Commitment.Log.current_digest log
   else Commitment.Log.current_digest_light log
 
-(* The log this node shows to a given peer (equivocators fork). *)
-let log_for t ~peer_index =
-  match (t.behavior, t.alt_log) with
-  | Equivocator, Some alt when peer_index mod 2 = 1 -> alt
-  | _ -> t.log
-
-(* Append a learned bundle to the node's commitment(s). *)
 let commit_bundle t ~source ~ids =
-  let d = Commitment.Log.append t.log ~source ~ids in
-  (match t.alt_log with
+  ignore (Commitment.Log.append t.log ~source ~ids);
+  match t.alt_log with
   | Some alt -> ignore (Commitment.Log.append alt ~source ~ids)
-  | None -> ());
-  d
+  | None -> ()
 
-let head_hash t =
-  match t.head with None -> Block.genesis_hash | Some b -> Block.hash b
-
-let chain_height t = match t.head with None -> 0 | Some b -> b.Block.height
-let find_block t ~height = Hashtbl.find_opt t.blocks_by_height height
-
-let known_digest t ~peer =
-  match Hashtbl.find_opt t.peers peer with
-  | None -> None
-  | Some st -> st.latest
-
-let commitment_storage_bytes t =
-  Hashtbl.fold
-    (fun _ st acc ->
-      Hashtbl.fold (fun _ d a -> a + Commitment.encoded_size d) st.digests acc)
-    t.peers 0
-
-let missing_content_count t = Hashtbl.length t.missing
-
-(* Record a peer's self-declared newest bundle. The declaration is
-   only used to steer inspection; any exposure still requires signed
-   digest evidence, so a lying peer can at worst waste an audit. *)
-let note_appended t ~owner ~seq appended =
-  if appended <> [] && seq >= 1 then begin
-    let st = peer_state t owner in
-    if not (Hashtbl.mem st.bundles seq) then
-      Hashtbl.replace st.bundles seq appended
-  end
-
-(* --- exposure --- *)
-
-let rec expose t ~accused evidence =
+let expose t ~accused evidence =
   if not (String.equal accused t.my_id) then begin
     if Accountability.expose t.acc ~peer:accused evidence then begin
       t.hooks.on_exposure ~accused ~now:(now t);
@@ -241,268 +118,83 @@ let rec expose t ~accused evidence =
     end
   end
 
-(* --- digest bookkeeping & equivocation detection (Fig. 4) --- *)
+let env t =
+  match t.env with Some e -> e | None -> invalid_arg "Node: env unset"
 
-and note_digest t digest =
-  let open Commitment in
-  if String.equal digest.owner t.my_id then ()
-  else if not (Commitment.verify t.config.scheme digest) then ()
-  else begin
-    let st = peer_state t digest.owner in
-    match Hashtbl.find_opt st.digests digest.seq with
-    | Some existing ->
-        if not (Commitment.equal_content existing digest) then
-          expose t ~accused:digest.owner
-            (Evidence.Conflicting_digests { older = existing; newer = digest })
-        else if Commitment.is_full digest && not (Commitment.is_full existing)
-        then begin
-          (* Upgrade a light snapshot to the full form. *)
-          Hashtbl.replace st.digests digest.seq digest;
-          (match st.latest with
-          | Some l when l.seq = digest.seq -> st.latest <- Some digest
-          | _ -> ());
-          derive_bundles t st digest;
-          retry_inspections t digest.owner
-        end
-    | None ->
-        let below = ref None and above = ref None in
-        Hashtbl.iter
-          (fun seq d ->
-            if seq < digest.seq then
-              match !below with
-              | Some (s, _) when s >= seq -> ()
-              | _ -> below := Some (seq, d)
-            else
-              match !above with
-              | Some (s, _) when s <= seq -> ()
-              | _ -> above := Some (seq, d))
-          st.digests;
-        let consistent = ref true in
-        let check ~older ~newer ~bundle_seq_if_adjacent ~adjacent =
-          (* Adjacent pairs are always set-audited (they also yield the
-             bundle contents); distant pairs get a sampled audit — the
-             cheap counter/clock checks still run on every message, and
-             with many nodes sampling independently an equivocator is
-             still caught quickly. *)
-          let audit =
-            adjacent || Rng.int t.rng 8 = 0 || not (Commitment.is_full older)
-            || not (Commitment.is_full newer)
-          in
-          let max_decode = if audit then 256 else 0 in
-          (if audit && Commitment.is_full older && Commitment.is_full newer
-           then t.hooks.on_sketch_decode ~now:(now t));
-          match check_extension ~max_decode ~older ~newer () with
-          | Inconsistent ->
-              consistent := false;
-              expose t ~accused:digest.owner
-                (Evidence.Conflicting_digests { older; newer })
-          | Consistent ids ->
-              if adjacent then Hashtbl.replace st.bundles bundle_seq_if_adjacent ids
-          | Plausible | Inconclusive -> ()
-        in
-        (match !below with
-        | None -> ()
-        | Some (seq_b, b) ->
-            check ~older:b ~newer:digest ~bundle_seq_if_adjacent:digest.seq
-              ~adjacent:(seq_b = digest.seq - 1));
-        (match !above with
-        | None -> ()
-        | Some (seq_a, a) ->
-            check ~older:digest ~newer:a ~bundle_seq_if_adjacent:seq_a
-              ~adjacent:(seq_a = digest.seq + 1));
-        if !consistent then begin
-          Hashtbl.replace st.digests digest.seq digest;
-          (* Retention bound: evict the oldest snapshot (seq 0 is kept —
-             it anchors first-bundle evidence). *)
-          if Hashtbl.length st.digests > t.config.max_digests_per_peer then begin
-            let oldest =
-              Hashtbl.fold
-                (fun seq _ acc -> if seq > 0 && seq < acc then seq else acc)
-                st.digests max_int
-            in
-            if oldest < max_int then Hashtbl.remove st.digests oldest
-          end;
-          t.recent_digests.(t.recent_pos) <- Some digest;
-          t.recent_pos <- (t.recent_pos + 1) mod Array.length t.recent_digests;
-          (match st.latest with
-          | Some l when l.seq >= digest.seq -> ()
-          | _ -> st.latest <- Some digest);
-          retry_inspections t digest.owner
-        end
-  end
-
-(* Recompute bundles adjacent to a freshly upgraded full digest. *)
-and derive_bundles t st digest =
-  let open Commitment in
-  (match Hashtbl.find_opt st.digests (digest.seq - 1) with
-  | Some b when Commitment.is_full b && Commitment.is_full digest -> begin
-      t.hooks.on_sketch_decode ~now:(now t);
-      match check_extension ~older:b ~newer:digest () with
-      | Consistent ids -> Hashtbl.replace st.bundles digest.seq ids
-      | Inconsistent ->
-          expose t ~accused:digest.owner
-            (Evidence.Conflicting_digests { older = b; newer = digest })
-      | Plausible | Inconclusive -> ()
-    end
-  | _ -> ());
-  match Hashtbl.find_opt st.digests (digest.seq + 1) with
-  | Some a when Commitment.is_full a && Commitment.is_full digest -> begin
-      t.hooks.on_sketch_decode ~now:(now t);
-      match check_extension ~older:digest ~newer:a () with
-      | Consistent ids -> Hashtbl.replace st.bundles a.seq ids
-      | Inconsistent ->
-          expose t ~accused:digest.owner
-            (Evidence.Conflicting_digests { older = digest; newer = a })
-      | Plausible | Inconclusive -> ()
-    end
-  | _ -> ()
-
-(* --- block inspection --- *)
-
-and knowledge_for t creator =
-  let st = peer_state t creator in
+let make_env t =
   {
-    Inspector.bundle_of_seq = (fun seq -> Hashtbl.find_opt st.bundles seq);
-    find_tx =
-      (fun short_id ->
-        Option.map (fun e -> e.Mempool.tx) (Mempool.find_short t.mempool short_id));
-    settled_height = (fun short_id -> Hashtbl.find_opt t.settled short_id);
+    Node_env.config = t.config;
+    hooks = t.hooks;
+    my_id = t.my_id;
+    my_index = t.index;
+    signer = t.signer;
+    rng = t.rng;
+    acc = t.acc;
+    primary_log = t.log;
+    now = (fun () -> now t);
+    send = (fun ~dst msg -> send_msg t ~dst msg);
+    broadcast = (fun msg -> broadcast t msg);
+    schedule = (fun ~delay fn -> Network.schedule t.net ~delay (fun _ -> fn ()));
+    id_of = (fun i -> Directory.id_of t.directory i);
+    index_of = (fun id -> Directory.index_of t.directory id);
+    population = (fun () -> Directory.size t.directory);
+    neighbors = (fun () -> t.neighbors);
+    log_for = (fun ~peer_index -> log_for t ~peer_index);
+    wire_digest = (fun ~peer_index -> wire_digest t ~peer_index);
+    commit = (fun ~source ~ids -> commit_bundle t ~source ~ids);
+    expose = (fun ~accused evidence -> expose t ~accused evidence);
+    retry_inspections =
+      (fun ~owner -> Block_pipeline.retry_inspections t.pipeline (env t) ~owner);
   }
 
-and evidence_for t (block : Block.t) violation =
-  let st = peer_state t block.creator in
-  let pair seq =
-    match
-      (Hashtbl.find_opt st.digests (seq - 1), Hashtbl.find_opt st.digests seq)
-    with
-    | Some older, Some newer
-      when Commitment.is_full older && Commitment.is_full newer ->
-        Some (older, newer)
-    | _ -> None
+let create config ~net ~mux ~index ~directory ~signer ~neighbors ~behavior =
+  let my_id = Signer.id signer in
+  let mk_log () =
+    Commitment.Log.create ~sketch_capacity:config.sketch_capacity
+      ~clock_cells:config.clock_cells ~signer ()
   in
-  match violation with
-  | Inspector.Reordering { bundle_seq } | Inspector.Injection { bundle_seq = Some bundle_seq; _ } ->
-      Option.map
-        (fun (older, newer) ->
-          Evidence.Block_bundle_violation { block; older; newer; omitted_tx = None })
-        (pair bundle_seq)
-  | Inspector.Blockspace_censorship { bundle_seq; short_id }
-  | Inspector.False_omission_claim { bundle_seq; short_id } -> begin
-      match (pair bundle_seq, Mempool.find_short t.mempool short_id) with
-      | Some (older, newer), Some entry ->
-          Some
-            (Evidence.Block_bundle_violation
-               { block; older; newer; omitted_tx = Some entry.Mempool.tx })
-      | _ -> None
-    end
-  | Inspector.Injection { bundle_seq = None; _ } | Inspector.Bad_structure _ ->
-      None
+  let mempool = Mempool.create () in
+  let content = Content_sync.create ~mempool ~adversary:behavior in
+  let tracker = Peer_tracker.create () in
+  let t =
+    {
+      config;
+      net;
+      mux;
+      index;
+      directory;
+      signer;
+      my_id;
+      neighbors;
+      behavior;
+      rng = Rng.split (Network.rng net);
+      mempool;
+      log = mk_log ();
+      alt_log = (if Adversary.forks_log behavior then Some (mk_log ()) else None);
+      acc = Accountability.create ();
+      hooks = Node_env.no_hooks ();
+      content;
+      tracker;
+      reconciler = Reconciler.create ~content ~tracker;
+      pipeline =
+        Block_pipeline.create ~adversary:behavior ~tracker ~content ~mempool;
+      seen_exposures = Hashtbl.create 16;
+      env = None;
+    }
+  in
+  t.env <- Some (make_env t);
+  t
 
-and inspect_block t (block : Block.t) ~from =
-  if String.equal block.creator t.my_id then ()
-  else begin
-    let report = Inspector.inspect block (knowledge_for t block.creator) in
-    let need_digests = ref [] in
-    List.iter
-      (fun violation ->
-        t.hooks.on_violation violation ~block ~now:(now t);
-        match evidence_for t block violation with
-        | Some evidence ->
-            if Evidence.verify t.config.scheme evidence then
-              expose t ~accused:block.creator evidence
-        | None -> begin
-            match violation with
-            | Inspector.Reordering { bundle_seq }
-            | Inspector.Injection { bundle_seq = Some bundle_seq; _ }
-            | Inspector.Blockspace_censorship { bundle_seq; _ }
-            | Inspector.False_omission_claim { bundle_seq; _ } ->
-                need_digests := bundle_seq :: !need_digests
-            | Inspector.Injection { bundle_seq = None; _ }
-            | Inspector.Bad_structure _ -> ()
-          end)
-      report.violations;
-    (* Unverified bundles are audited by a random sample of inspectors
-       (expected ~8 network-wide) rather than by everyone — the audit
-       fetches the digest pair and a detected violation is gossiped to
-       the rest. Violations always fetch (they need evidence). *)
-    let audit_probability =
-      Float.min 1.0 (8.0 /. float_of_int (Directory.size t.directory))
-    in
-    let sampled =
-      List.filter
-        (fun _ -> Rng.float t.rng 1.0 < audit_probability)
-        report.unverified_bundles
-    in
-    match List.sort_uniq Int.compare (sampled @ !need_digests) with
-    | [] -> ()
-    | seqs ->
-        (* Remember the block, then fetch the digest pairs we lack. *)
-        let cell =
-          match Hashtbl.find_opt t.pending_inspections block.creator with
-          | Some cell -> cell
-          | None ->
-              let cell = ref [] in
-              Hashtbl.add t.pending_inspections block.creator cell;
-              cell
-        in
-        if not (List.exists (fun b -> Block.hash b = Block.hash block) !cell)
-        then cell := block :: !cell;
-        let targets =
-          from
-          :: (match index_of_id t block.creator with Some i -> [ i ] | None -> [])
-        in
-        List.iter
-          (fun seq ->
-            List.iter
-              (fun seq ->
-                if not (Hashtbl.mem t.requested_digests (block.creator, seq))
-                then begin
-                  Hashtbl.add t.requested_digests (block.creator, seq) ();
-                  List.iter
-                    (fun dst ->
-                      send_msg t ~dst
-                        (Messages.Digest_request { owner = block.creator; seq }))
-                    targets
-                end)
-              [ seq; seq - 1 ])
-          seqs
-  end
-
-and retry_inspections t owner =
-  match Hashtbl.find_opt t.pending_inspections owner with
-  | None -> ()
-  | Some cell ->
-      let blocks = !cell in
-      cell := [];
-      Hashtbl.remove t.pending_inspections owner;
-      List.iter
-        (fun b ->
-          let h = Block.hash b in
-          let tries =
-            Option.value (Hashtbl.find_opt t.inspection_retries h) ~default:0
-          in
-          if tries < 5 then begin
-            Hashtbl.replace t.inspection_retries h (tries + 1);
-            inspect_block t b ~from:t.index
-          end)
-        blocks
+let head_hash t = Block_pipeline.head_hash t.pipeline
+let chain_height t = Block_pipeline.chain_height t.pipeline
+let find_block t ~height = Block_pipeline.find_block t.pipeline ~height
+let known_digest t ~peer = Peer_tracker.latest t.tracker ~peer
+let commitment_storage_bytes t = Peer_tracker.storage_bytes t.tracker
+let missing_content_count t = Content_sync.missing_count t.content
 
 (* --- transaction intake --- *)
 
 let ack_signing_bytes ~txid = "lo-ack" ^ txid
-
-let censors t tx =
-  match t.behavior with Tx_censor pred -> pred tx | _ -> false
-
-let store_content t tx ~from_peer =
-  let short = Tx.short_id tx in
-  if not (Mempool.mem_short t.mempool short) then begin
-    match Mempool.add t.mempool ~tx ~received_at:(now t) ~from_peer with
-    | `Duplicate -> ()
-    | `Added _ ->
-        Hashtbl.remove t.missing short;
-        t.hooks.on_tx_content tx ~now:(now t)
-  end
 
 (* Make the equivocation fork diverge: the alternative log gets a
    self-made substitute transaction instead of the real one. *)
@@ -514,7 +206,7 @@ let submit_tx t tx =
   match Tx.prevalidate t.config.scheme tx with
   | Error _ -> ()
   | Ok () ->
-      if censors t tx then ()
+      if Adversary.censors_tx t.behavior tx then ()
       else begin
         let short = Tx.short_id tx in
         if not (Commitment.Log.contains t.log short) then begin
@@ -525,286 +217,12 @@ let submit_tx t tx =
               ignore
                 (Commitment.Log.append alt ~source:None
                    ~ids:[ Tx.short_id alt_tx ]);
-              store_content t alt_tx ~from_peer:None
+              Content_sync.store_content t.content (env t) alt_tx
+                ~from_peer:None
           | None -> ());
-          store_content t tx ~from_peer:None
+          Content_sync.store_content t.content (env t) tx ~from_peer:None
         end
       end
-
-(* --- reconciliation (Alg. 1) --- *)
-
-let pending_for t peer_id =
-  match Hashtbl.find_opt t.pending peer_id with
-  | Some p -> p
-  | None ->
-      let p = { waiting = false; retries = 0; gen = 0 } in
-      Hashtbl.add t.pending peer_id p;
-      p
-
-let want_list t =
-  let acc = ref [] and count = ref 0 in
-  (try
-     Hashtbl.iter
-       (fun id _ ->
-         if !count >= t.config.max_delta then raise Exit;
-         acc := id :: !acc;
-         incr count)
-       t.missing
-   with Exit -> ());
-  !acc
-
-let cap n xs =
-  List.filteri (fun i _ -> i < n) xs
-
-(* What the peer is (probably) missing from us, and — when the stored
-   digest carries a sketch — what we are missing from it. The common
-   path is the Bloom-clock comparison of Sec. 4.2: we offer the ids in
-   cells where our clock exceeds the peer's; the responder drops
-   duplicates. A full stored sketch enables the exact set difference
-   (skipped for very large gaps, where explicit clock-guided offers
-   converge faster than an expensive decode). *)
-let clock_delta t ~log my_digest peer_digest =
-  let surplus =
-    Lo_bloom.Bloom_clock.diff_cells my_digest.Commitment.clock
-      peer_digest.Commitment.clock
-    |> List.filter (fun cell ->
-           Lo_bloom.Bloom_clock.get my_digest.Commitment.clock cell
-           > Lo_bloom.Bloom_clock.get peer_digest.Commitment.clock cell)
-  in
-  let candidates = Commitment.Log.ids_in_cells log surplus in
-  (* Most recent first: those are the likeliest gaps. *)
-  (cap t.config.max_delta (List.rev candidates), [])
-
-let delta_for t ~log peer_latest =
-  let my_digest = Commitment.Log.current_digest log in
-  match peer_latest with
-  | None -> (cap t.config.max_delta (Commitment.Log.all_ids log), [])
-  | Some peer_digest -> begin
-      try
-      match (my_digest.Commitment.sketch, peer_digest.Commitment.sketch) with
-      | Some mine_sketch, Some peer_sketch -> begin
-          t.hooks.on_sketch_decode ~now:(now t);
-          let merged = Sketch.merge mine_sketch peer_sketch in
-          let estimate =
-            Lo_bloom.Bloom_clock.estimate_difference
-              my_digest.Commitment.clock peer_digest.Commitment.clock
-          in
-          if estimate > 128 then raise Exit;
-          let small = min (Sketch.capacity merged) (estimate + 8) in
-          let decoded =
-            match Sketch.decode (Sketch.truncate merged ~capacity:small) with
-            | Ok diff -> Ok diff
-            | Error `Decode_failure when small < Sketch.capacity merged ->
-                Sketch.decode merged
-            | Error `Decode_failure -> Error `Decode_failure
-          in
-          match decoded with
-          | Ok diff ->
-              let mine, theirs =
-                List.partition (Commitment.Log.contains log) diff
-              in
-              (cap t.config.max_delta mine, theirs)
-          | Error `Decode_failure ->
-              (* Degrade to offering the most recent ids; later rounds
-                 converge (the paper splits the sketch instead). *)
-              let recent =
-                List.rev (Commitment.Log.all_ids log) |> cap t.config.max_delta
-              in
-              (recent, [])
-        end
-      | _ -> clock_delta t ~log my_digest peer_digest
-      with Exit -> clock_delta t ~log my_digest peer_digest
-    end
-
-let rec reconcile_with ?(force = false) t peer_index =
-  if peer_index <> t.index then begin
-    let peer_id = Directory.id_of t.directory peer_index in
-    if not (Accountability.is_exposed t.acc peer_id) then begin
-      let p = pending_for t peer_id in
-      if not p.waiting then begin
-        let log = log_for t ~peer_index in
-        let delta, learned = delta_for t ~log (peer_state t peer_id).latest in
-        (* Commit to the ids the peer committed to and we lack
-           (processing them after everything we know, Alg. 1 line 22). *)
-        let fresh = List.filter (fun id -> not (Commitment.Log.contains t.log id)) learned in
-        if fresh <> [] then begin
-          ignore (commit_bundle t ~source:(Some peer_id) ~ids:fresh);
-          List.iter
-            (fun id ->
-              if not (Mempool.mem_short t.mempool id) then
-                Hashtbl.replace t.missing id (now t))
-            fresh
-        end;
-        let my_digest = wire_digest t (log_for t ~peer_index) in
-        let want = want_list t in
-        if force || delta <> [] || want <> []
-           || (peer_state t peer_id).latest = None
-        then begin
-          t.hooks.on_reconcile ~now:(now t);
-          p.waiting <- true;
-          p.gen <- p.gen + 1;
-          let gen = p.gen in
-          send_msg t ~dst:peer_index
-            (Messages.Commit_request
-               { digest = my_digest; delta; want; appended = fresh });
-          Network.schedule t.net ~delay:t.config.request_timeout (fun _ ->
-              request_timeout t peer_index peer_id gen)
-        end
-      end
-    end
-  end
-
-and request_timeout t peer_index peer_id gen =
-  let p = pending_for t peer_id in
-  if p.waiting && p.gen = gen then begin
-    p.waiting <- false;
-    p.retries <- p.retries + 1;
-    if p.retries <= t.config.max_retries then reconcile_with ~force:true t peer_index
-    else begin
-      p.retries <- 0;
-      if not (Accountability.is_suspected t.acc peer_id) then begin
-        Accountability.suspect t.acc ~peer:peer_id ~now:(now t)
-          ~reason:"request timeout";
-        t.hooks.on_suspicion ~suspect:peer_id ~now:(now t);
-        let last_digest = (peer_state t peer_id).latest in
-        broadcast t
-          (Messages.Suspicion_note
-             {
-               suspect = peer_id;
-               reporter = t.my_id;
-               last_digest;
-               reason = "request timeout";
-             })
-      end
-    end
-  end
-
-let resolve_pending t peer_id =
-  let p = pending_for t peer_id in
-  p.waiting <- false;
-  p.retries <- 0;
-  if Accountability.is_suspected t.acc peer_id then begin
-    Accountability.clear_suspicion t.acc ~peer:peer_id;
-    t.hooks.on_suspicion_cleared ~suspect:peer_id ~now:(now t)
-  end
-
-(* --- message handling --- *)
-
-let txs_for t ids =
-  List.filter_map
-    (fun id ->
-      Option.map (fun e -> e.Mempool.tx) (Mempool.find_short t.mempool id))
-    ids
-
-let handle_commit_request t ~from digest delta want appended =
-  note_digest t digest;
-  note_appended t ~owner:digest.Commitment.owner ~seq:digest.Commitment.seq
-    appended;
-  let from_id = digest.Commitment.owner in
-  let log = log_for t ~peer_index:from in
-  let unknown =
-    List.filter (fun id -> not (Commitment.Log.contains log id)) delta
-    |> List.sort_uniq Int.compare
-  in
-  if unknown <> [] then begin
-    ignore (commit_bundle t ~source:(Some from_id) ~ids:unknown);
-    List.iter
-      (fun id ->
-        if not (Mempool.mem_short t.mempool id) then
-          Hashtbl.replace t.missing id (now t))
-      unknown
-  end;
-  let log = log_for t ~peer_index:from in
-  let my_digest = wire_digest t log in
-  let my_want = want_list t in
-  (* The reverse direction: what the requester is missing from us,
-     judged against the digest it just sent. *)
-  let reverse_delta, _ = delta_for t ~log (Some digest) in
-  send_msg t ~dst:from
-    (Messages.Commit_response
-       {
-         digest = my_digest;
-         want = my_want;
-         delta = reverse_delta;
-         appended = unknown;
-       });
-  (* Content the requester asked for and we can serve. *)
-  let have = txs_for t want in
-  if have <> [] then send_msg t ~dst:from (Messages.Tx_batch have)
-
-let handle_commit_response t ~from digest want delta appended =
-  resolve_pending t digest.Commitment.owner;
-  note_digest t digest;
-  note_appended t ~owner:digest.Commitment.owner ~seq:digest.Commitment.seq
-    appended;
-  let have = txs_for t want in
-  if have <> [] then send_msg t ~dst:from (Messages.Tx_batch have);
-  (* Commit to the ids the responder says we are missing, then fetch
-     their content right away. *)
-  let fresh =
-    List.filter (fun id -> not (Commitment.Log.contains t.log id)) delta
-    |> List.sort_uniq Int.compare
-  in
-  if fresh <> [] then begin
-    ignore (commit_bundle t ~source:(Some digest.Commitment.owner) ~ids:fresh);
-    List.iter
-      (fun id ->
-        if not (Mempool.mem_short t.mempool id) then
-          Hashtbl.replace t.missing id (now t))
-      fresh;
-    let my_digest = wire_digest t (log_for t ~peer_index:from) in
-    send_msg t ~dst:from
-      (Messages.Commit_request
-         { digest = my_digest; delta = []; want = fresh; appended = fresh })
-  end
-
-let handle_tx_batch t ~from txs =
-  let from_id = Directory.id_of t.directory from in
-  List.iter
-    (fun tx ->
-      match Tx.prevalidate t.config.scheme tx with
-      | Error _ -> ()
-      | Ok () ->
-          if not (censors t tx) then begin
-            let short = Tx.short_id tx in
-            if not (Commitment.Log.contains t.log short) then
-              ignore (commit_bundle t ~source:(Some from_id) ~ids:[ short ]);
-            store_content t tx ~from_peer:(Some from_id)
-          end)
-    txs
-
-let handle_suspicion t ~from note =
-  let { Messages.suspect; reporter; last_digest; reason = _ } =
-    note
-  in
-  if String.equal suspect t.my_id then begin
-    (* Publicly answer: share our current (full) commitment with both
-       parties. *)
-    let d = Commitment.Log.current_digest t.log in
-    (match index_of_id t reporter with
-    | Some r -> send_msg t ~dst:r (Messages.Digest_share d)
-    | None -> ());
-    send_msg t ~dst:from (Messages.Digest_share d)
-  end
-  else if not (Hashtbl.mem t.seen_suspicions (suspect, reporter)) then begin
-    Hashtbl.add t.seen_suspicions (suspect, reporter) ();
-    Option.iter (note_digest t) last_digest;
-    (* If we know a newer commitment, give it to the reporter (Fig. 4). *)
-    (match ((peer_state t suspect).latest, last_digest, index_of_id t reporter) with
-    | Some mine, Some theirs, Some r when mine.Commitment.seq > theirs.Commitment.seq ->
-        send_msg t ~dst:r (Messages.Digest_reply [ mine ])
-    | _ -> ());
-    if not (Accountability.is_suspected t.acc suspect) then begin
-      Accountability.suspect t.acc ~peer:suspect ~now:(now t)
-        ~reason:"gossiped suspicion";
-      t.hooks.on_suspicion ~suspect ~now:(now t)
-    end;
-    broadcast t (Messages.Suspicion_note note);
-    (* Probe the suspect ourselves so a correct node can clear itself. *)
-    match index_of_id t suspect with
-    | Some s -> reconcile_with ~force:true t s
-    | None -> ()
-  end
 
 let handle_exposure t evidence =
   let accused = Evidence.accused evidence in
@@ -814,106 +232,43 @@ let handle_exposure t evidence =
     && Evidence.verify t.config.scheme evidence
   then expose t ~accused evidence
 
-let handle_digest_request t ~from owner seq =
-  let reply ds = if ds <> [] then send_msg t ~dst:from (Messages.Digest_reply ds) in
-  if String.equal owner t.my_id then
-    reply
-      (List.filter_map
-         (fun s -> Commitment.Log.digest_at t.log ~seq:s)
-         [ seq; seq - 1 ])
-  else begin
-    let st = peer_state t owner in
-    reply
-      (List.filter_map
-         (fun s -> Hashtbl.find_opt st.digests s)
-         [ seq; seq - 1 ])
-  end
-
-let accept_block t (block : Block.t) ~from =
-  let h = Block.hash block in
-  if not (Hashtbl.mem t.seen_blocks h) then begin
-    Hashtbl.add t.seen_blocks h ();
-    if
-      Block.verify_signature t.config.scheme block
-      && Block.structure_ok block
-      && not
-           (t.config.reject_exposed_blocks
-           && Accountability.is_exposed t.acc block.creator)
-    then begin
-      if not (Hashtbl.mem t.blocks_by_height block.height) then begin
-        Hashtbl.add t.blocks_by_height block.height block;
-        (match t.head with
-        | Some head when head.Block.height >= block.height -> ()
-        | _ -> t.head <- Some block);
-        List.iter
-          (fun txid ->
-            let id = Short_id.of_txid txid in
-            if not (Hashtbl.mem t.settled id) then
-              Hashtbl.add t.settled id block.height)
-          block.txids;
-        t.hooks.on_block_accepted block ~now:(now t)
-      end;
-      broadcast t (Messages.Block_announce block);
-      inspect_block t block ~from
-    end
-  end
+(* --- message dispatch --- *)
 
 let handle_message t _net ~from ~tag:_ payload =
-  match t.behavior with
-  | Silent_censor -> () (* drops everything: the Fig. 6 faulty miner *)
-  | _ -> begin
-      match Messages.decode payload with
-      | exception Lo_codec.Reader.Malformed _ -> ()
-      | Messages.Submit tx ->
-          submit_tx t tx;
-          (* Acknowledge the client (Stage I step 3). A censoring miner
-             sends the "fake acknowledgement" of the paper's attacker
-             model: it acks but has dropped the transaction. *)
-          let ack =
-            Signer.sign t.signer (ack_signing_bytes ~txid:tx.Tx.id)
-          in
-          send_msg t ~dst:from
-            (Messages.Submit_ack { txid = tx.Tx.id; ack_signature = ack })
-      | Messages.Submit_ack _ -> () (* miners ignore stray acks *)
-      | Messages.Commit_request { digest; delta; want; appended } ->
-          handle_commit_request t ~from digest delta want appended
-      | Messages.Commit_response { digest; want; delta; appended } ->
-          handle_commit_response t ~from digest want delta appended
-      | Messages.Tx_batch txs -> handle_tx_batch t ~from txs
-      | Messages.Digest_share digest -> note_digest t digest
-      | Messages.Digest_request { owner; seq } ->
-          handle_digest_request t ~from owner seq
-      | Messages.Digest_reply digests -> List.iter (note_digest t) digests
-      | Messages.Suspicion_note note -> handle_suspicion t ~from note
-      | Messages.Exposure_note evidence -> handle_exposure t evidence
-      | Messages.Block_announce block -> accept_block t block ~from
-    end
+  if Adversary.drops_all_messages t.behavior then ()
+    (* drops everything: the Fig. 6 faulty miner *)
+  else begin
+    match Messages.decode payload with
+    | exception Lo_codec.Reader.Malformed _ -> ()
+    | Messages.Submit tx ->
+        submit_tx t tx;
+        (* Acknowledge the client (Stage I step 3). A censoring miner
+           sends the "fake acknowledgement" of the paper's attacker
+           model: it acks but has dropped the transaction. *)
+        let ack = Signer.sign t.signer (ack_signing_bytes ~txid:tx.Tx.id) in
+        send_msg t ~dst:from
+          (Messages.Submit_ack { txid = tx.Tx.id; ack_signature = ack })
+    | Messages.Submit_ack _ -> () (* miners ignore stray acks *)
+    | Messages.Commit_request { digest; delta; want; appended } ->
+        Reconciler.handle_commit_request t.reconciler (env t) ~from ~digest
+          ~delta ~want ~appended
+    | Messages.Commit_response { digest; want; delta; appended } ->
+        Reconciler.handle_commit_response t.reconciler (env t) ~from ~digest
+          ~want ~delta ~appended
+    | Messages.Tx_batch txs -> Content_sync.ingest_batch t.content (env t) ~from txs
+    | Messages.Digest_share digest -> Peer_tracker.note_digest t.tracker (env t) digest
+    | Messages.Digest_request { owner; seq } ->
+        Peer_tracker.handle_digest_request t.tracker (env t) ~from ~owner ~seq
+    | Messages.Digest_reply digests ->
+        List.iter (Peer_tracker.note_digest t.tracker (env t)) digests
+    | Messages.Suspicion_note note ->
+        Reconciler.handle_suspicion t.reconciler (env t) ~from note
+    | Messages.Exposure_note evidence -> handle_exposure t evidence
+    | Messages.Block_announce block ->
+        Block_pipeline.accept_block t.pipeline (env t) block ~from
+  end
 
 (* --- periodic timers --- *)
-
-let rec reconcile_round t =
-  let candidates =
-    List.filter
-      (fun i ->
-        not (Accountability.is_exposed t.acc (Directory.id_of t.directory i)))
-      t.neighbors
-  in
-  let chosen =
-    Rng.sample_without_replacement t.rng t.config.reconcile_fanout candidates
-  in
-  List.iter (fun i -> reconcile_with t i) chosen;
-  (* Keep probing one suspected peer per round so that a recovered node
-     is eventually cleared (temporal accuracy, Sec. 3.2). *)
-  (match Accountability.suspected_peers t.acc with
-  | [] -> ()
-  | suspected -> begin
-      let peer, _ = Rng.pick_list t.rng suspected in
-      match index_of_id t peer with
-      | Some i -> reconcile_with ~force:true t i
-      | None -> ()
-    end);
-  Network.schedule t.net ~delay:t.config.reconcile_period (fun _ ->
-      reconcile_round t)
 
 let rec digest_share_round t =
   (match t.neighbors with
@@ -923,8 +278,7 @@ let rec digest_share_round t =
       let target_id = Directory.id_of t.directory target in
       send_msg t ~dst:target
         (Messages.Digest_share
-           (Commitment.Log.current_digest
-              (log_for t ~peer_index:target)));
+           (Commitment.Log.current_digest (log_for t ~peer_index:target)));
       (* Transitive commitment gossip: relay recently received
          third-party digests — this is what lets equivocation forks meet
          at a correct node. Forks re-converge as sets once both sides'
@@ -932,15 +286,7 @@ let rec digest_share_round t =
          window are conflicting evidence; relaying digests while they
          are hot maximises the chance that both forks' window snapshots
          collide somewhere. *)
-      let recent =
-        Array.to_list t.recent_digests
-        |> List.filter_map (fun d ->
-               match d with
-               | Some d when not (String.equal d.Commitment.owner target_id) ->
-                   Some d
-               | _ -> None)
-      in
-      (match recent with
+      (match Peer_tracker.recent_digests t.tracker ~exclude_owner:target_id with
       | [] -> ()
       | pool ->
           List.iter
@@ -953,152 +299,13 @@ let start t =
   (* Register through the mux so other protocols (the peer sampler) can
      share the node. *)
   Mux.register t.mux t.index ~proto:"lo" (handle_message t);
-  match t.behavior with
-  | Silent_censor -> ()
-  | _ ->
-      Network.schedule t.net
-        ~delay:(Rng.float t.rng t.config.reconcile_period)
-        (fun _ -> reconcile_round t);
-      Network.schedule t.net
-        ~delay:(Rng.float t.rng t.config.digest_share_period)
-        (fun _ -> digest_share_round t)
-
-(* --- block building --- *)
-
-let bundles_of_sizes txids sizes =
-  (* Regroup a flat txid list by bundle sizes. *)
-  let rec go ids sizes acc =
-    match sizes with
-    | [] -> (List.rev acc, ids)
-    | s :: rest ->
-        let bundle = cap s ids in
-        let remaining = List.filteri (fun i _ -> i >= s) ids in
-        go remaining rest (bundle :: acc)
-  in
-  go txids sizes []
-
-let apply_behavior t (out : Policy.build_output) =
-  match t.behavior with
-  | Block_injector -> begin
-      (* Forge a fresh high-fee transaction and smuggle it into the
-         front of the first non-empty bundle. *)
-      let tx =
-        Tx.create ~signer:t.signer ~fee:1_000_000 ~created_at:(now t)
-          ~payload:(Lo_crypto.Sha256.digest ("inject" ^ string_of_int (Rng.int t.rng max_int)))
-      in
-      store_content t tx ~from_peer:None;
-      let bundles, appendix = bundles_of_sizes out.txids out.bundle_sizes in
-      let injected = ref false in
-      let bundles =
-        List.map
-          (fun b ->
-            if (not !injected) && b <> [] then begin
-              injected := true;
-              tx.Tx.id :: b
-            end
-            else b)
-          bundles
-      in
-      if !injected then
-        {
-          out with
-          txids = List.concat bundles @ appendix;
-          bundle_sizes = List.map List.length bundles;
-        }
-      else out
-    end
-  | Block_reorderer -> begin
-      (* Order inside bundles by fee, defeating the canonical shuffle. *)
-      let bundles, appendix = bundles_of_sizes out.txids out.bundle_sizes in
-      let fee_of txid =
-        match Mempool.find_id t.mempool txid with
-        | Some e -> e.Mempool.tx.Tx.fee
-        | None -> 0
-      in
-      let bundles =
-        List.map
-          (fun b ->
-            List.sort
-              (fun a b ->
-                match Int.compare (fee_of b) (fee_of a) with
-                | 0 -> String.compare a b
-                | c -> c)
-              b)
-          bundles
-      in
-      { out with txids = List.concat bundles @ appendix }
-    end
-  | Blockspace_censor pred -> begin
-      let bundles, appendix = bundles_of_sizes out.txids out.bundle_sizes in
-      let keep txid =
-        match Mempool.find_id t.mempool txid with
-        | Some e -> not (pred e.Mempool.tx)
-        | None -> true
-      in
-      let bundles = List.map (List.filter keep) bundles in
-      {
-        out with
-        txids = List.concat bundles @ appendix;
-        bundle_sizes = List.map List.length bundles;
-      }
-    end
-  | Honest | Silent_censor | Tx_censor _ | Equivocator -> out
-
-let build_block t ~policy =
-  let bundles =
-    List.map
-      (fun b -> (b.Commitment.Log.seq, b.Commitment.Log.ids))
-      (Commitment.Log.bundles t.log)
-  in
-  let input =
-    {
-      Policy.bundles;
-      find_tx =
-        (fun id ->
-          Option.map (fun e -> e.Mempool.tx) (Mempool.find_short t.mempool id));
-      is_settled = (fun id -> Hashtbl.mem t.settled id);
-      fee_threshold = t.config.fee_threshold;
-      max_txs = t.config.max_block_txs;
-      seed = head_hash t;
-    }
-  in
-  let out = Policy.build policy input in
-  let out = apply_behavior t out in
-  if out.Policy.txids = [] then None
-  else begin
-    let start_seq, commit_seq, bundle_sizes, appendix =
-      match policy with
-      | Policy.Lo_fifo ->
-          ( out.Policy.start_seq,
-            out.Policy.covered_seq,
-            out.Policy.bundle_sizes,
-            List.length out.Policy.txids
-            - List.fold_left ( + ) 0 out.Policy.bundle_sizes )
-      | Policy.Highest_fee -> (0, 0, [], List.length out.Policy.txids)
-    in
-    let block =
-      Block.create ~signer:t.signer ~height:(chain_height t + 1)
-        ~prev_hash:(head_hash t) ~start_seq ~commit_seq
-        ~fee_threshold:t.config.fee_threshold
-        ~txids:out.Policy.txids ~bundle_sizes ~appendix
-        ~omissions:out.Policy.omissions ~timestamp:(now t)
-    in
-    (* Accept locally, then announce. *)
-    let h = Block.hash block in
-    Hashtbl.add t.seen_blocks h ();
-    if not (Hashtbl.mem t.blocks_by_height block.Block.height) then begin
-      Hashtbl.add t.blocks_by_height block.Block.height block;
-      (match t.head with
-      | Some head when head.Block.height >= block.Block.height -> ()
-      | _ -> t.head <- Some block);
-      List.iter
-        (fun txid ->
-          let id = Short_id.of_txid txid in
-          if not (Hashtbl.mem t.settled id) then
-            Hashtbl.add t.settled id block.Block.height)
-        block.Block.txids;
-      t.hooks.on_block_accepted block ~now:(now t)
-    end;
-    broadcast t (Messages.Block_announce block);
-    Some block
+  if not (Adversary.drops_all_messages t.behavior) then begin
+    Network.schedule t.net
+      ~delay:(Rng.float t.rng t.config.reconcile_period)
+      (fun _ -> Reconciler.round t.reconciler (env t));
+    Network.schedule t.net
+      ~delay:(Rng.float t.rng t.config.digest_share_period)
+      (fun _ -> digest_share_round t)
   end
+
+let build_block t ~policy = Block_pipeline.build_block t.pipeline (env t) ~policy

@@ -1,11 +1,16 @@
 (** A full LØ node over the discrete-event simulator.
 
-    Implements Alg. 1 (mempool reconciliation with pairwise
-    commitments), the suspicion/exposure machinery of Sec. 5, and the
-    verifiable block building of Sec. 4.3. Faulty behaviours used in the
-    evaluation are selected per node via {!behavior}. *)
+    A thin façade: identity, commitment log(s), message dispatch and
+    timers live here, while the protocol logic is layered into
+    {!Reconciler} (Alg. 1 mempool reconciliation with pairwise
+    commitments), {!Content_sync} (Stage II content exchange),
+    {!Peer_tracker} (commitment snapshots and equivocation detection,
+    Sec. 5), {!Block_pipeline} (verifiable block building of Sec. 4.3)
+    and {!Adversary} (the faulty behaviours used in the evaluation,
+    selected per node via {!behavior}). The types below re-export the
+    submodule definitions, so existing callers are unaffected. *)
 
-type behavior =
+type behavior = Adversary.t =
   | Honest
   | Silent_censor
       (** never answers protocol requests (Fig. 6's censoring faulty
@@ -25,7 +30,7 @@ type behavior =
       (** maintains a forked commitment log and shows different forks to
           different peers *)
 
-type config = {
+type config = Node_env.config = {
   scheme : Lo_crypto.Signer.scheme;
   reconcile_period : float;  (** seconds between NeighborsSync rounds *)
   reconcile_fanout : int;  (** neighbours contacted per round (paper: 3) *)
@@ -53,7 +58,7 @@ type config = {
 
 val default_config : Lo_crypto.Signer.scheme -> config
 
-type hooks = {
+type hooks = Node_env.hooks = {
   mutable on_tx_content : Tx.t -> now:float -> unit;
       (** content entered the mempool (Fig. 7 latency) *)
   mutable on_block_accepted : Block.t -> now:float -> unit;

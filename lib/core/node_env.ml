@@ -1,0 +1,81 @@
+type config = {
+  scheme : Lo_crypto.Signer.scheme;
+  reconcile_period : float;
+  reconcile_fanout : int;
+  request_timeout : float;
+  max_retries : int;
+  sketch_capacity : int;
+  clock_cells : int;
+  fee_threshold : int;
+  max_block_txs : int;
+  max_delta : int;
+  digest_share_period : float;
+  always_full_digests : bool;
+  reject_exposed_blocks : bool;
+  max_digests_per_peer : int;
+}
+
+let default_config scheme =
+  {
+    scheme;
+    reconcile_period = 1.0;
+    reconcile_fanout = 3;
+    request_timeout = 1.0;
+    max_retries = 3;
+    sketch_capacity = Commitment.default_sketch_capacity;
+    clock_cells = Commitment.default_clock_cells;
+    fee_threshold = 0;
+    max_block_txs = 2000;
+    max_delta = 100;
+    digest_share_period = 2.0;
+    always_full_digests = false;
+    reject_exposed_blocks = false;
+    max_digests_per_peer = 1024;
+  }
+
+type hooks = {
+  mutable on_tx_content : Tx.t -> now:float -> unit;
+  mutable on_block_accepted : Block.t -> now:float -> unit;
+  mutable on_exposure : accused:string -> now:float -> unit;
+  mutable on_suspicion : suspect:string -> now:float -> unit;
+  mutable on_suspicion_cleared : suspect:string -> now:float -> unit;
+  mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
+  mutable on_sketch_decode : now:float -> unit;
+  mutable on_reconcile : now:float -> unit;
+}
+
+let no_hooks () =
+  {
+    on_tx_content = (fun _ ~now:_ -> ());
+    on_block_accepted = (fun _ ~now:_ -> ());
+    on_exposure = (fun ~accused:_ ~now:_ -> ());
+    on_suspicion = (fun ~suspect:_ ~now:_ -> ());
+    on_suspicion_cleared = (fun ~suspect:_ ~now:_ -> ());
+    on_violation = (fun _ ~block:_ ~now:_ -> ());
+    on_sketch_decode = (fun ~now:_ -> ());
+    on_reconcile = (fun ~now:_ -> ());
+  }
+
+type t = {
+  config : config;
+  hooks : hooks;
+  my_id : string;
+  my_index : int;
+  signer : Lo_crypto.Signer.t;
+  rng : Lo_net.Rng.t;
+  acc : Accountability.t;
+  primary_log : Commitment.Log.t;
+  now : unit -> float;
+  send : dst:int -> Messages.t -> unit;
+  broadcast : Messages.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  id_of : int -> string;
+  index_of : string -> int option;
+  population : unit -> int;
+  neighbors : unit -> int list;
+  log_for : peer_index:int -> Commitment.Log.t;
+  wire_digest : peer_index:int -> Commitment.digest;
+  commit : source:string option -> ids:int list -> unit;
+  expose : accused:string -> Evidence.t -> unit;
+  retry_inspections : owner:string -> unit;
+}

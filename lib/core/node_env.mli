@@ -1,0 +1,81 @@
+(** Shared node environment: configuration, instrumentation hooks, and
+    the service closures the protocol submodules ({!Reconciler},
+    {!Content_sync}, {!Peer_tracker}, {!Block_pipeline}) use to talk to
+    the network and to each other without depending on the {!Node}
+    record. [Node] constructs one {!t} per node and threads it through
+    every submodule call. *)
+
+type config = {
+  scheme : Lo_crypto.Signer.scheme;
+  reconcile_period : float;  (** seconds between NeighborsSync rounds *)
+  reconcile_fanout : int;  (** neighbours contacted per round (paper: 3) *)
+  request_timeout : float;  (** seconds before a retry (paper: 1 s) *)
+  max_retries : int;  (** retries before suspicion (paper: 3) *)
+  sketch_capacity : int;
+  clock_cells : int;
+  fee_threshold : int;
+  max_block_txs : int;
+  max_delta : int;  (** cap on explicit ids per commit request *)
+  digest_share_period : float;  (** latest-commitment gossip period *)
+  always_full_digests : bool;
+      (** ablation knob: ship the full sketch in every reconciliation
+          message instead of the light digest (default false) *)
+  reject_exposed_blocks : bool;
+      (** enforcement (Sec. 5.4): refuse blocks whose creator this node
+          has exposed. Off by default — the paper keeps inspection
+          separate from block validation (Sec. 4.3). *)
+  max_digests_per_peer : int;
+      (** retention bound on stored peer commitment snapshots; the
+          paper retains everything, which is fine for its runs but not
+          for unbounded deployments. Oldest snapshots (except seq 0) are
+          evicted beyond the cap (default 1024 ≈ 0.25–1.2 MB/peer). *)
+}
+
+val default_config : Lo_crypto.Signer.scheme -> config
+
+type hooks = {
+  mutable on_tx_content : Tx.t -> now:float -> unit;
+      (** content entered the mempool (Fig. 7 latency) *)
+  mutable on_block_accepted : Block.t -> now:float -> unit;
+  mutable on_exposure : accused:string -> now:float -> unit;
+  mutable on_suspicion : suspect:string -> now:float -> unit;
+  mutable on_suspicion_cleared : suspect:string -> now:float -> unit;
+  mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
+  mutable on_sketch_decode : now:float -> unit;
+      (** one sketch set-reconciliation attempt *)
+  mutable on_reconcile : now:float -> unit;
+      (** one active reconciliation round opened with a neighbour
+          (Fig. 10) *)
+}
+
+val no_hooks : unit -> hooks
+
+type t = {
+  config : config;
+  hooks : hooks;
+  my_id : string;
+  my_index : int;
+  signer : Lo_crypto.Signer.t;
+  rng : Lo_net.Rng.t;  (** the node's single deterministic stream *)
+  acc : Accountability.t;
+  primary_log : Commitment.Log.t;
+  now : unit -> float;
+  send : dst:int -> Messages.t -> unit;
+  broadcast : Messages.t -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  id_of : int -> string;
+  index_of : string -> int option;
+  population : unit -> int;  (** directory size (audit sampling) *)
+  neighbors : unit -> int list;  (** current overlay neighbours *)
+  log_for : peer_index:int -> Commitment.Log.t;
+      (** the log this node shows to a given peer (equivocators fork) *)
+  wire_digest : peer_index:int -> Commitment.digest;
+      (** digest used in routine reconciliation messages: light unless
+          the ablation knob forces the full form *)
+  commit : source:string option -> ids:int list -> unit;
+      (** append a learned bundle to the node's commitment log(s) *)
+  expose : accused:string -> Evidence.t -> unit;
+      (** record + gossip an exposure (deduplicated by the node) *)
+  retry_inspections : owner:string -> unit;
+      (** re-run inspections parked on missing digests of [owner] *)
+}

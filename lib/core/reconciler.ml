@@ -1,0 +1,273 @@
+module Rng = Lo_net.Rng
+module Sketch = Lo_sketch.Sketch
+
+type pending = { mutable waiting : bool; mutable retries : int; mutable gen : int }
+
+type t = {
+  content : Content_sync.t;
+  tracker : Peer_tracker.t;
+  pending : (string, pending) Hashtbl.t;
+  seen_suspicions : (string * string, unit) Hashtbl.t;
+}
+
+let create ~content ~tracker =
+  {
+    content;
+    tracker;
+    pending = Hashtbl.create 32;
+    seen_suspicions = Hashtbl.create 16;
+  }
+
+let pending_for t peer_id =
+  match Hashtbl.find_opt t.pending peer_id with
+  | Some p -> p
+  | None ->
+      let p = { waiting = false; retries = 0; gen = 0 } in
+      Hashtbl.add t.pending peer_id p;
+      p
+
+let cap n xs = List.filteri (fun i _ -> i < n) xs
+
+(* What the peer is (probably) missing from us, and — when the stored
+   digest carries a sketch — what we are missing from it. The common
+   path is the Bloom-clock comparison of Sec. 4.2: we offer the ids in
+   cells where our clock exceeds the peer's; the responder drops
+   duplicates. A full stored sketch enables the exact set difference
+   (skipped for very large gaps, where explicit clock-guided offers
+   converge faster than an expensive decode). *)
+let clock_delta (env : Node_env.t) ~log my_digest peer_digest =
+  let surplus =
+    Lo_bloom.Bloom_clock.diff_cells my_digest.Commitment.clock
+      peer_digest.Commitment.clock
+    |> List.filter (fun cell ->
+           Lo_bloom.Bloom_clock.get my_digest.Commitment.clock cell
+           > Lo_bloom.Bloom_clock.get peer_digest.Commitment.clock cell)
+  in
+  let candidates = Commitment.Log.ids_in_cells log surplus in
+  (* Most recent first: those are the likeliest gaps. *)
+  (cap env.config.max_delta (List.rev candidates), [])
+
+let delta_for (env : Node_env.t) ~log peer_latest =
+  let my_digest = Commitment.Log.current_digest log in
+  match peer_latest with
+  | None -> (cap env.config.max_delta (Commitment.Log.all_ids log), [])
+  | Some peer_digest -> begin
+      try
+      match (my_digest.Commitment.sketch, peer_digest.Commitment.sketch) with
+      | Some mine_sketch, Some peer_sketch -> begin
+          env.hooks.on_sketch_decode ~now:(env.now ());
+          let merged = Sketch.merge mine_sketch peer_sketch in
+          let estimate =
+            Lo_bloom.Bloom_clock.estimate_difference
+              my_digest.Commitment.clock peer_digest.Commitment.clock
+          in
+          if estimate > 128 then raise Exit;
+          let small = min (Sketch.capacity merged) (estimate + 8) in
+          let decoded =
+            match Sketch.decode (Sketch.truncate merged ~capacity:small) with
+            | Ok diff -> Ok diff
+            | Error `Decode_failure when small < Sketch.capacity merged ->
+                Sketch.decode merged
+            | Error `Decode_failure -> Error `Decode_failure
+          in
+          match decoded with
+          | Ok diff ->
+              let mine, theirs =
+                List.partition (Commitment.Log.contains log) diff
+              in
+              (cap env.config.max_delta mine, theirs)
+          | Error `Decode_failure ->
+              (* Degrade to offering the most recent ids; later rounds
+                 converge (the paper splits the sketch instead). *)
+              let recent =
+                List.rev (Commitment.Log.all_ids log)
+                |> cap env.config.max_delta
+              in
+              (recent, [])
+        end
+      | _ -> clock_delta env ~log my_digest peer_digest
+      with Exit -> clock_delta env ~log my_digest peer_digest
+    end
+
+let rec reconcile_with ?(force = false) t (env : Node_env.t) ~peer_index =
+  if peer_index <> env.my_index then begin
+    let peer_id = env.id_of peer_index in
+    if not (Accountability.is_exposed env.acc peer_id) then begin
+      let p = pending_for t peer_id in
+      if not p.waiting then begin
+        let log = env.log_for ~peer_index in
+        let delta, learned =
+          delta_for env ~log (Peer_tracker.latest t.tracker ~peer:peer_id)
+        in
+        (* Commit to the ids the peer committed to and we lack
+           (processing them after everything we know, Alg. 1 line 22). *)
+        let fresh =
+          Content_sync.commit_fresh t.content env ~dedup:false
+            ~known:(Commitment.Log.contains env.primary_log)
+            ~source:peer_id learned
+        in
+        let my_digest = env.wire_digest ~peer_index in
+        let want = Content_sync.want_list t.content env in
+        if force || delta <> [] || want <> []
+           || Peer_tracker.latest t.tracker ~peer:peer_id = None
+        then begin
+          env.hooks.on_reconcile ~now:(env.now ());
+          p.waiting <- true;
+          p.gen <- p.gen + 1;
+          let gen = p.gen in
+          env.send ~dst:peer_index
+            (Messages.Commit_request
+               { digest = my_digest; delta; want; appended = fresh });
+          env.schedule ~delay:env.config.request_timeout (fun () ->
+              request_timeout t env ~peer_index ~peer:peer_id ~gen)
+        end
+      end
+    end
+  end
+
+and request_timeout t (env : Node_env.t) ~peer_index ~peer:peer_id ~gen =
+  let p = pending_for t peer_id in
+  if p.waiting && p.gen = gen then begin
+    p.waiting <- false;
+    p.retries <- p.retries + 1;
+    if p.retries <= env.config.max_retries then
+      reconcile_with ~force:true t env ~peer_index
+    else begin
+      p.retries <- 0;
+      if not (Accountability.is_suspected env.acc peer_id) then begin
+        Accountability.suspect env.acc ~peer:peer_id ~now:(env.now ())
+          ~reason:"request timeout";
+        env.hooks.on_suspicion ~suspect:peer_id ~now:(env.now ());
+        let last_digest = Peer_tracker.latest t.tracker ~peer:peer_id in
+        env.broadcast
+          (Messages.Suspicion_note
+             {
+               suspect = peer_id;
+               reporter = env.my_id;
+               last_digest;
+               reason = "request timeout";
+             })
+      end
+    end
+  end
+
+let resolve_pending t (env : Node_env.t) ~peer:peer_id =
+  let p = pending_for t peer_id in
+  p.waiting <- false;
+  p.retries <- 0;
+  if Accountability.is_suspected env.acc peer_id then begin
+    Accountability.clear_suspicion env.acc ~peer:peer_id;
+    env.hooks.on_suspicion_cleared ~suspect:peer_id ~now:(env.now ())
+  end
+
+let handle_commit_request t (env : Node_env.t) ~from ~digest ~delta ~want
+    ~appended =
+  Peer_tracker.note_digest t.tracker env digest;
+  Peer_tracker.note_appended t.tracker ~owner:digest.Commitment.owner
+    ~seq:digest.Commitment.seq appended;
+  let from_id = digest.Commitment.owner in
+  (* Requests are judged against the log we show this peer (equivocators
+     fork), so the fork stays internally consistent. *)
+  let log = env.log_for ~peer_index:from in
+  let unknown =
+    Content_sync.commit_fresh t.content env ~dedup:true
+      ~known:(Commitment.Log.contains log) ~source:from_id delta
+  in
+  let log = env.log_for ~peer_index:from in
+  let my_digest = env.wire_digest ~peer_index:from in
+  let my_want = Content_sync.want_list t.content env in
+  (* The reverse direction: what the requester is missing from us,
+     judged against the digest it just sent. *)
+  let reverse_delta, _ = delta_for env ~log (Some digest) in
+  env.send ~dst:from
+    (Messages.Commit_response
+       {
+         digest = my_digest;
+         want = my_want;
+         delta = reverse_delta;
+         appended = unknown;
+       });
+  (* Content the requester asked for and we can serve. *)
+  let have = Content_sync.serve t.content want in
+  if have <> [] then env.send ~dst:from (Messages.Tx_batch have)
+
+let handle_commit_response t (env : Node_env.t) ~from ~digest ~want ~delta
+    ~appended =
+  resolve_pending t env ~peer:digest.Commitment.owner;
+  Peer_tracker.note_digest t.tracker env digest;
+  Peer_tracker.note_appended t.tracker ~owner:digest.Commitment.owner
+    ~seq:digest.Commitment.seq appended;
+  let have = Content_sync.serve t.content want in
+  if have <> [] then env.send ~dst:from (Messages.Tx_batch have);
+  (* Commit to the ids the responder says we are missing, then fetch
+     their content right away. *)
+  let fresh =
+    Content_sync.commit_fresh t.content env ~dedup:true
+      ~known:(Commitment.Log.contains env.primary_log)
+      ~source:digest.Commitment.owner delta
+  in
+  if fresh <> [] then begin
+    let my_digest = env.wire_digest ~peer_index:from in
+    env.send ~dst:from
+      (Messages.Commit_request
+         { digest = my_digest; delta = []; want = fresh; appended = fresh })
+  end
+
+let handle_suspicion t (env : Node_env.t) ~from note =
+  let { Messages.suspect; reporter; last_digest; reason = _ } = note in
+  if String.equal suspect env.my_id then begin
+    (* Publicly answer: share our current (full) commitment with both
+       parties. *)
+    let d = Commitment.Log.current_digest env.primary_log in
+    (match env.index_of reporter with
+    | Some r -> env.send ~dst:r (Messages.Digest_share d)
+    | None -> ());
+    env.send ~dst:from (Messages.Digest_share d)
+  end
+  else if not (Hashtbl.mem t.seen_suspicions (suspect, reporter)) then begin
+    Hashtbl.add t.seen_suspicions (suspect, reporter) ();
+    Option.iter (Peer_tracker.note_digest t.tracker env) last_digest;
+    (* If we know a newer commitment, give it to the reporter (Fig. 4). *)
+    (match
+       ( Peer_tracker.latest t.tracker ~peer:suspect,
+         last_digest,
+         env.index_of reporter )
+     with
+    | Some mine, Some theirs, Some r
+      when mine.Commitment.seq > theirs.Commitment.seq ->
+        env.send ~dst:r (Messages.Digest_reply [ mine ])
+    | _ -> ());
+    if not (Accountability.is_suspected env.acc suspect) then begin
+      Accountability.suspect env.acc ~peer:suspect ~now:(env.now ())
+        ~reason:"gossiped suspicion";
+      env.hooks.on_suspicion ~suspect ~now:(env.now ())
+    end;
+    env.broadcast (Messages.Suspicion_note note);
+    (* Probe the suspect ourselves so a correct node can clear itself. *)
+    match env.index_of suspect with
+    | Some s -> reconcile_with ~force:true t env ~peer_index:s
+    | None -> ()
+  end
+
+let rec round t (env : Node_env.t) =
+  let candidates =
+    List.filter
+      (fun i -> not (Accountability.is_exposed env.acc (env.id_of i)))
+      (env.neighbors ())
+  in
+  let chosen =
+    Rng.sample_without_replacement env.rng env.config.reconcile_fanout
+      candidates
+  in
+  List.iter (fun i -> reconcile_with t env ~peer_index:i) chosen;
+  (* Keep probing one suspected peer per round so that a recovered node
+     is eventually cleared (temporal accuracy, Sec. 3.2). *)
+  (match Accountability.suspected_peers env.acc with
+  | [] -> ()
+  | suspected -> begin
+      let peer, _ = Rng.pick_list env.rng suspected in
+      match env.index_of peer with
+      | Some i -> reconcile_with ~force:true t env ~peer_index:i
+      | None -> ()
+    end);
+  env.schedule ~delay:env.config.reconcile_period (fun () -> round t env)

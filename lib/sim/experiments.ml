@@ -3,7 +3,11 @@ module Rng = Lo_net.Rng
 module Signer = Lo_crypto.Signer
 open Lo_core
 
-type scale = {
+(* Every experiment below is a thin parameterization of the shared
+   {!Runner} life cycle (build -> wire hooks -> inject -> drive ->
+   measure); only the knobs and measurement hooks differ per figure. *)
+
+type scale = Runner.scale = {
   nodes : int;
   reps : int;
   rate : float;
@@ -11,7 +15,7 @@ type scale = {
   seed : int;
 }
 
-let default_scale = { nodes = 120; reps = 3; rate = 20.; duration = 20.; seed = 42 }
+let default_scale = Runner.default_scale
 
 let scaled ?(factor = 1.0) scale =
   { scale with nodes = max 10 (int_of_float (float_of_int scale.nodes *. factor)) }
@@ -50,50 +54,47 @@ let fig6_run ~scale ~fraction ~rep =
     end
   in
   mark num_bad;
-  let run behavior_of =
-    Scenario.build_lo ~behaviors:behavior_of ~malicious ~n ~seed ()
-  in
-  (* --- Suspicion: silent censors --- *)
-  let d =
-    run (fun i -> if malicious.(i) then Node.Silent_censor else Node.Honest)
-  in
-  let bad_ids =
+  let bad_set_of (d : Scenario.lo_deployment) =
     Array.to_list d.nodes
     |> List.filter_map (fun node ->
            if malicious.(Node.index node) then Some (Node.node_id node) else None)
+    |> List.fold_left
+         (fun s id ->
+           Hashtbl.replace s id ();
+           s)
+         (Hashtbl.create 16)
   in
-  let bad_set = List.fold_left (fun s id -> Hashtbl.replace s id (); s)
-      (Hashtbl.create 16) bad_ids
-  in
+  (* --- Suspicion: silent censors --- *)
   let all_suspected_at = Array.make n infinity in
-  Array.iter
-    (fun node ->
-      let i = Node.index node in
-      if not malicious.(i) then begin
-        let count = ref 0 in
-        (Node.hooks node).Node.on_suspicion <-
-          (fun ~suspect ~now ->
-            if Hashtbl.mem bad_set suspect then begin
-              incr count;
-              if !count = num_bad then all_suspected_at.(i) <- now
-            end);
-        (Node.hooks node).Node.on_suspicion_cleared <-
-          (fun ~suspect ~now:_ ->
-            if Hashtbl.mem bad_set suspect then begin
-              decr count;
-              all_suspected_at.(i) <- infinity
-            end)
-      end)
-    d.nodes;
-  let specs =
-    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration ~seed
-      ~n
-  in
-  ignore (Scenario.inject_workload d specs);
-  let horizon = scale.duration +. 30. in
-  (* The paper's overlay shuffles continuously (Sec. 5.1). *)
-  Scenario.rotate_neighbors d ~period:5.0 ~until:horizon;
-  Network.run_until d.net horizon;
+  ignore
+    (Runner.run_lo ~scale ~seed ~n ~malicious
+       ~behaviors:(fun i ->
+         if malicious.(i) then Node.Silent_censor else Node.Honest)
+       (* The paper's overlay shuffles continuously (Sec. 5.1). *)
+       ~rotate_period:5.0 ~drain:30.
+       ~wire:(fun r ->
+         let d = r.Runner.deployment in
+         let bad_set = bad_set_of d in
+         Array.iter
+           (fun node ->
+             let i = Node.index node in
+             if not malicious.(i) then begin
+               let count = ref 0 in
+               (Node.hooks node).Node.on_suspicion <-
+                 (fun ~suspect ~now ->
+                   if Hashtbl.mem bad_set suspect then begin
+                     incr count;
+                     if !count = num_bad then all_suspected_at.(i) <- now
+                   end);
+               (Node.hooks node).Node.on_suspicion_cleared <-
+                 (fun ~suspect ~now:_ ->
+                   if Hashtbl.mem bad_set suspect then begin
+                     decr count;
+                     all_suspected_at.(i) <- infinity
+                   end)
+             end)
+           d.nodes)
+       ());
   let suspicion_times = ref [] and complete = ref 0 and correct_count = ref 0 in
   Array.iteri
     (fun i t ->
@@ -110,55 +111,52 @@ let fig6_run ~scale ~fraction ~rep =
     float_of_int !complete /. float_of_int (max 1 !correct_count)
   in
   (* --- Exposure: equivocators --- *)
-  let d2 =
-    run (fun i -> if malicious.(i) then Node.Equivocator else Node.Honest)
-  in
-  let bad_ids2 =
-    Array.to_list d2.nodes
-    |> List.filter_map (fun node ->
-           if malicious.(Node.index node) then Some (Node.node_id node) else None)
-  in
-  let bad_set2 = List.fold_left (fun s id -> Hashtbl.replace s id (); s)
-      (Hashtbl.create 16) bad_ids2
-  in
   (* Paper metric: once the first correct node detects a miner, how
      long until every correct node has learned that exposure. *)
   let first_at : (string, float) Hashtbl.t = Hashtbl.create 16 in
   let last_at : (string, float) Hashtbl.t = Hashtbl.create 16 in
   let pair_count : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun node ->
-      let i = Node.index node in
-      if not malicious.(i) then
-        (Node.hooks node).Node.on_exposure <-
-          (fun ~accused ~now ->
-            if Hashtbl.mem bad_set2 accused then begin
-              if not (Hashtbl.mem first_at accused) then
-                Hashtbl.add first_at accused now;
-              Hashtbl.replace last_at accused now;
-              Hashtbl.replace pair_count accused
-                (1 + Option.value (Hashtbl.find_opt pair_count accused) ~default:0)
-            end))
-    d2.nodes;
-  let specs2 =
-    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration
-      ~seed:(seed + 1) ~n
-  in
-  ignore (Scenario.inject_workload d2 specs2);
-  (* Make sure every equivocator actually equivocates: submit one
-     transaction directly to each so its forks diverge. *)
-  Array.iteri
-    (fun i node ->
-      if malicious.(i) then begin
-        let tx =
-          Lo_core.Tx.create ~signer:d2.client ~fee:10 ~created_at:0.5
-            ~payload:(Printf.sprintf "fork-%d" i)
-        in
-        Network.schedule_at d2.net ~at:0.5 (fun _ -> Node.submit_tx node tx)
-      end)
-    d2.nodes;
-  Scenario.rotate_neighbors d2 ~period:5.0 ~until:(horizon +. 60.);
-  Network.run_until d2.net (horizon +. 60.);
+  ignore
+    (Runner.run_lo ~scale ~seed ~n ~malicious
+       ~behaviors:(fun i ->
+         if malicious.(i) then Node.Equivocator else Node.Honest)
+       ~workload_seed:(seed + 1) ~rotate_period:5.0 ~drain:90.
+       ~wire:(fun r ->
+         let d = r.Runner.deployment in
+         let bad_set = bad_set_of d in
+         Array.iter
+           (fun node ->
+             let i = Node.index node in
+             if not malicious.(i) then
+               (Node.hooks node).Node.on_exposure <-
+                 (fun ~accused ~now ->
+                   if Hashtbl.mem bad_set accused then begin
+                     if not (Hashtbl.mem first_at accused) then
+                       Hashtbl.add first_at accused now;
+                     Hashtbl.replace last_at accused now;
+                     Hashtbl.replace pair_count accused
+                       (1
+                       + Option.value
+                           (Hashtbl.find_opt pair_count accused)
+                           ~default:0)
+                   end))
+           d.nodes)
+       ~after_inject:(fun r ->
+         (* Make sure every equivocator actually equivocates: submit one
+            transaction directly to each so its forks diverge. *)
+         let d = r.Runner.deployment in
+         Array.iteri
+           (fun i node ->
+             if malicious.(i) then begin
+               let tx =
+                 Tx.create ~signer:d.Scenario.client ~fee:10 ~created_at:0.5
+                   ~payload:(Printf.sprintf "fork-%d" i)
+               in
+               Network.schedule_at d.Scenario.net ~at:0.5 (fun _ ->
+                   Node.submit_tx node tx)
+             end)
+           d.Scenario.nodes)
+       ());
   (* Spread of each fully propagated exposure; completeness over all
      (correct node, malicious node) pairs. *)
   let spreads = ref [] and covered_pairs = ref 0 in
@@ -235,8 +233,6 @@ let fig7 ?(scale = default_scale) () =
   let hist = Metrics.Histogram.create ~lo:0. ~hi:5. ~bins:25 in
   for rep = 0 to scale.reps - 1 do
     let seed = scale.seed + (rep * 773) in
-    let d = Scenario.build_lo ~n:scale.nodes ~seed () in
-    let created = Hashtbl.create 1024 in
     (* Per-node count of reconciliation rounds opened, and per-tx
        snapshots of those counters at creation time — their difference
        at arrival is "how many peers this node interacted with before
@@ -245,37 +241,37 @@ let fig7 ?(scale = default_scale) () =
     let snapshot_at_creation : (string, int array) Hashtbl.t =
       Hashtbl.create 1024
     in
-    Array.iter
-      (fun node ->
-        let i = Node.index node in
-        (Node.hooks node).Node.on_reconcile <-
-          (fun ~now:_ -> rounds.(i) <- rounds.(i) + 1);
-        (Node.hooks node).Node.on_tx_content <-
-          (fun tx ~now ->
-            match Hashtbl.find_opt created tx.Tx.id with
-            | Some t0 when now > t0 ->
-                let dt = now -. t0 in
-                Metrics.Stats.add stats dt;
-                Metrics.Histogram.add hist dt;
-                (match Hashtbl.find_opt snapshot_at_creation tx.Tx.id with
-                | Some snap ->
-                    Metrics.Stats.add interactions
-                      (float_of_int (rounds.(i) - snap.(i)))
-                | None -> ())
-            | _ -> ()))
-      d.nodes;
-    let specs =
-      Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration
-        ~seed ~n:scale.nodes
-    in
-    let txs = Scenario.inject_workload d specs in
-    List.iter
-      (fun tx ->
-        Hashtbl.replace created tx.Tx.id tx.Tx.created_at;
-        Network.schedule_at d.net ~at:tx.Tx.created_at (fun _ ->
-            Hashtbl.replace snapshot_at_creation tx.Tx.id (Array.copy rounds)))
-      txs;
-    Network.run_until d.net (scale.duration +. 20.)
+    ignore
+      (Runner.run_lo ~scale ~seed ~drain:20.
+         ~wire:(fun r ->
+           Array.iter
+             (fun node ->
+               let i = Node.index node in
+               (Node.hooks node).Node.on_reconcile <-
+                 (fun ~now:_ -> rounds.(i) <- rounds.(i) + 1);
+               (Node.hooks node).Node.on_tx_content <-
+                 (fun tx ~now ->
+                   match Hashtbl.find_opt r.Runner.created tx.Tx.id with
+                   | Some t0 when now > t0 ->
+                       let dt = now -. t0 in
+                       Metrics.Stats.add stats dt;
+                       Metrics.Histogram.add hist dt;
+                       (match Hashtbl.find_opt snapshot_at_creation tx.Tx.id with
+                       | Some snap ->
+                           Metrics.Stats.add interactions
+                             (float_of_int (rounds.(i) - snap.(i)))
+                       | None -> ())
+                   | _ -> ()))
+             r.Runner.deployment.Scenario.nodes)
+         ~after_inject:(fun r ->
+           List.iter
+             (fun tx ->
+               Network.schedule_at r.Runner.deployment.Scenario.net
+                 ~at:tx.Tx.created_at (fun _ ->
+                   Hashtbl.replace snapshot_at_creation tx.Tx.id
+                     (Array.copy rounds)))
+             r.Runner.txs)
+         ())
   done;
   let result =
     {
@@ -327,56 +323,42 @@ let block_latency_run ?(cap_factor = 0.6) ~scale ~policy ~n ~seed () =
   let backlogged_cap =
     max 5 (int_of_float (cap_factor *. scale.rate *. block_interval))
   in
-  let d =
-    Scenario.build_lo
-      ~config:(fun c -> { c with Node.max_block_txs = backlogged_cap })
-      ~n ~seed ()
-  in
-  let created = Hashtbl.create 1024 in
-  let fee_of = Hashtbl.create 1024 in
   let stats = Metrics.Stats.create () in
   let low_stats = Metrics.Stats.create () in
   let high_stats = Metrics.Stats.create () in
   let low_cut = Lo_workload.Fee_model.quantile Lo_workload.Fee_model.default 0.25 in
   let high_cut = Lo_workload.Fee_model.quantile Lo_workload.Fee_model.default 0.75 in
-  let recorded = Hashtbl.create 1024 in
-  Array.iter
-    (fun node ->
-      (Node.hooks node).Node.on_block_accepted <-
-        (fun block ~now ->
-          (* Record at the block creator (earliest acceptance). *)
-          if String.equal (Node.node_id node) block.Block.creator then
-            List.iter
-              (fun txid ->
-                if not (Hashtbl.mem recorded txid) then begin
-                  Hashtbl.add recorded txid ();
-                  match Hashtbl.find_opt created txid with
-                  | Some t0 ->
-                      let dt = now -. t0 in
-                      Metrics.Stats.add stats dt;
-                      (match Hashtbl.find_opt fee_of txid with
-                      | Some fee when fee <= low_cut ->
-                          Metrics.Stats.add low_stats dt
-                      | Some fee when fee >= high_cut ->
-                          Metrics.Stats.add high_stats dt
-                      | Some _ | None -> ())
-                  | None -> ()
-                end)
-              block.Block.txids))
-    d.nodes;
-  let specs =
-    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration ~seed
-      ~n
-  in
-  let txs = Scenario.inject_workload d specs in
-  List.iter
-    (fun tx ->
-      Hashtbl.replace created tx.Tx.id tx.Tx.created_at;
-      Hashtbl.replace fee_of tx.Tx.id tx.Tx.fee)
-    txs;
-  let horizon = scale.duration +. 60. in
-  Scenario.schedule_blocks d ~policy ~interval:block_interval ~until:horizon ();
-  Network.run_until d.net horizon;
+  ignore
+    (Runner.run_lo ~scale ~seed ~n
+       ~config:(fun c -> { c with Node.max_block_txs = backlogged_cap })
+       ~blocks:(policy, block_interval) ~drain:60.
+       ~wire:(fun r ->
+         let recorded = Hashtbl.create 1024 in
+         Array.iter
+           (fun node ->
+             (Node.hooks node).Node.on_block_accepted <-
+               (fun block ~now ->
+                 (* Record at the block creator (earliest acceptance). *)
+                 if String.equal (Node.node_id node) block.Block.creator then
+                   List.iter
+                     (fun txid ->
+                       if not (Hashtbl.mem recorded txid) then begin
+                         Hashtbl.add recorded txid ();
+                         match Hashtbl.find_opt r.Runner.created txid with
+                         | Some t0 ->
+                             let dt = now -. t0 in
+                             Metrics.Stats.add stats dt;
+                             (match Hashtbl.find_opt r.Runner.fees txid with
+                             | Some fee when fee <= low_cut ->
+                                 Metrics.Stats.add low_stats dt
+                             | Some fee when fee >= high_cut ->
+                                 Metrics.Stats.add high_stats dt
+                             | Some _ | None -> ())
+                         | None -> ()
+                       end)
+                     block.Block.txids))
+           r.Runner.deployment.Scenario.nodes)
+       ());
   (stats, low_stats, high_stats)
 
 let fig8_left ?(scale = default_scale) () =
@@ -445,81 +427,22 @@ type fig9_row = {
   content_latency : float;
 }
 
-let overhead_of net ~content_tags =
-  List.fold_left
-    (fun acc (tag, bytes) ->
-      if List.mem tag content_tags then acc else acc + bytes)
-    0
-    (Network.bytes_by_tag net)
-
 let fig9_lo ~scale ~seed =
-  let d = Scenario.build_lo ~n:scale.nodes ~seed () in
-  let created = Hashtbl.create 1024 in
-  let stats = Metrics.Stats.create () in
-  Array.iter
-    (fun node ->
-      (Node.hooks node).Node.on_tx_content <-
-        (fun tx ~now ->
-          match Hashtbl.find_opt created tx.Tx.id with
-          | Some t0 when now > t0 -> Metrics.Stats.add stats (now -. t0)
-          | _ -> ()))
-    d.nodes;
-  let specs =
-    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration ~seed
-      ~n:scale.nodes
+  let stats = ref (Metrics.Stats.create ()) in
+  let run =
+    Runner.run_lo ~scale ~seed ~drain:15.
+      ~wire:(fun r -> stats := Runner.content_latency_probe r)
+      ()
   in
-  let txs = Scenario.inject_workload d specs in
-  List.iter (fun tx -> Hashtbl.replace created tx.Tx.id tx.Tx.created_at) txs;
-  Network.run_until d.net (scale.duration +. 15.);
-  let overhead =
-    overhead_of d.net ~content_tags:[ "lo:txs"; "lo:submit"; "lo:block" ]
-  in
-  (overhead, Metrics.Stats.mean stats, d.net)
-
-let baseline_run ~scale ~seed ~make ~submit ~content_tags =
-  let n = scale.nodes in
-  let scheme = Signer.simulation () in
-  let net = Network.create ~num_nodes:n ~seed () in
-  let rng = Rng.create (seed * 31 + 7) in
-  let topo = Lo_net.Topology.build rng ~n ~out_degree:8 ~max_in:125 in
-  let created = Hashtbl.create 1024 in
-  let stats = Metrics.Stats.create () in
-  let instances = make net scheme topo in
-  List.iteri
-    (fun _ (on_content, _) ->
-      on_content (fun (tx : Tx.t) ~now ->
-          match Hashtbl.find_opt created tx.Tx.id with
-          | Some t0 when now > t0 -> Metrics.Stats.add stats (now -. t0)
-          | _ -> ()))
-    instances;
-  let client = Signer.make scheme ~seed:"baseline-client" in
-  let specs =
-    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration ~seed
-      ~n
-  in
-  List.iter
-    (fun spec ->
-      let tx =
-        Tx.create ~signer:client ~fee:spec.Lo_workload.Tx_gen.fee
-          ~created_at:spec.created_at
-          ~payload:(Lo_workload.Tx_gen.payload spec)
-      in
-      Hashtbl.replace created tx.Tx.id spec.created_at;
-      let origin = spec.origin mod n in
-      Network.schedule_at net ~at:spec.created_at (fun _ ->
-          submit (List.nth instances origin) tx))
-    specs;
-  Network.run_until net (scale.duration +. 15.);
-  let overhead = overhead_of net ~content_tags in
-  (overhead, Metrics.Stats.mean stats)
+  (Runner.protocol_overhead run, Metrics.Stats.mean !stats)
 
 let fig9 ?(scale = default_scale) () =
   let seed = scale.seed + 99 in
   let duration = scale.duration in
-  let lo_overhead, lo_latency, _ = fig9_lo ~scale ~seed in
+  let lo_overhead, lo_latency = fig9_lo ~scale ~seed in
   (* Flood *)
-  let flood_overhead, flood_latency =
-    baseline_run ~scale ~seed
+  let flood_overhead, flood_stats =
+    Runner.run_baseline ~scale ~seed ~content_tags:[ "flood:tx" ]
       ~make:(fun net scheme topo ->
         let config = Lo_baselines.Flood.default_config scheme in
         List.init scale.nodes (fun i ->
@@ -528,15 +451,15 @@ let fig9 ?(scale = default_scale) () =
                 ~neighbors:(Lo_net.Topology.neighbors topo i)
             in
             Lo_baselines.Flood.start f;
-            ( (fun cb -> Lo_baselines.Flood.on_tx_content f cb),
-              `Flood f )))
-      ~submit:(fun (_, inst) tx ->
-        match inst with `Flood f -> Lo_baselines.Flood.submit_tx f tx | _ -> ())
-      ~content_tags:[ "flood:tx" ]
+            {
+              Runner.submit = (fun tx -> Lo_baselines.Flood.submit_tx f tx);
+              on_content = (fun cb -> Lo_baselines.Flood.on_tx_content f cb);
+            }))
+      ()
   in
   (* PeerReview *)
-  let pr_overhead, pr_latency =
-    baseline_run ~scale ~seed
+  let pr_overhead, pr_stats =
+    Runner.run_baseline ~scale ~seed ~content_tags:[ "pr:tx" ]
       ~make:(fun net scheme topo ->
         let config = Lo_baselines.Peer_review.default_config scheme in
         let n = scale.nodes in
@@ -560,17 +483,15 @@ let fig9 ?(scale = default_scale) () =
                 ~witnesses:audited.(i) ~signer
             in
             Lo_baselines.Peer_review.start p;
-            ( (fun cb -> Lo_baselines.Peer_review.on_tx_content p cb),
-              `Pr p )))
-      ~submit:(fun (_, inst) tx ->
-        match inst with
-        | `Pr p -> Lo_baselines.Peer_review.submit_tx p tx
-        | _ -> ())
-      ~content_tags:[ "pr:tx" ]
+            {
+              Runner.submit = (fun tx -> Lo_baselines.Peer_review.submit_tx p tx);
+              on_content = (fun cb -> Lo_baselines.Peer_review.on_tx_content p cb);
+            }))
+      ()
   in
   (* Narwhal *)
-  let nw_overhead, nw_latency =
-    baseline_run ~scale ~seed
+  let nw_overhead, nw_stats =
+    Runner.run_baseline ~scale ~seed ~content_tags:[ "nw:batch" ]
       ~make:(fun net scheme _topo ->
         let config = Lo_baselines.Narwhal.default_config scheme in
         let n = scale.nodes in
@@ -583,13 +504,11 @@ let fig9 ?(scale = default_scale) () =
                 ~signer
             in
             Lo_baselines.Narwhal.start nw;
-            ( (fun cb -> Lo_baselines.Narwhal.on_tx_content nw cb),
-              `Nw nw )))
-      ~submit:(fun (_, inst) tx ->
-        match inst with
-        | `Nw nw -> Lo_baselines.Narwhal.submit_tx nw tx
-        | _ -> ())
-      ~content_tags:[ "nw:batch" ]
+            {
+              Runner.submit = (fun tx -> Lo_baselines.Narwhal.submit_tx nw tx);
+              on_content = (fun cb -> Lo_baselines.Narwhal.on_tx_content nw cb);
+            }))
+      ()
   in
   let per_node_s bytes =
     float_of_int bytes /. float_of_int scale.nodes /. (duration +. 15.)
@@ -601,13 +520,13 @@ let fig9 ?(scale = default_scale) () =
         content_latency = lo_latency };
       { protocol = "Flood"; overhead_bytes = flood_overhead;
         overhead_per_node_s = per_node_s flood_overhead;
-        content_latency = flood_latency };
+        content_latency = Metrics.Stats.mean flood_stats };
       { protocol = "PeerReview"; overhead_bytes = pr_overhead;
         overhead_per_node_s = per_node_s pr_overhead;
-        content_latency = pr_latency };
+        content_latency = Metrics.Stats.mean pr_stats };
       { protocol = "Narwhal"; overhead_bytes = nw_overhead;
         overhead_per_node_s = per_node_s nw_overhead;
-        content_latency = nw_latency };
+        content_latency = Metrics.Stats.mean nw_stats };
     ]
   in
   Report.table ~title:"Fig. 9 — bandwidth overhead by protocol"
@@ -634,18 +553,17 @@ let fig10 ?(scale = default_scale) ?(rates = [ 2.; 5.; 10.; 20.; 40. ]) () =
   let points =
     List.map
       (fun rate ->
-        let d = Scenario.build_lo ~n:scale.nodes ~seed:(scale.seed + int_of_float rate) () in
         let decodes = ref 0 in
-        Array.iter
-          (fun node ->
-            (Node.hooks node).Node.on_reconcile <- (fun ~now:_ -> incr decodes))
-          d.nodes;
-        let specs =
-          Scenario.standard_workload ~rate ~duration:scale.duration
-            ~seed:(scale.seed + 7) ~n:scale.nodes
-        in
-        ignore (Scenario.inject_workload d specs);
-        Network.run_until d.net scale.duration;
+        ignore
+          (Runner.run_lo ~scale ~seed:(scale.seed + int_of_float rate) ~rate
+             ~workload_seed:(scale.seed + 7) ~drain:0.
+             ~wire:(fun r ->
+               Array.iter
+                 (fun node ->
+                   (Node.hooks node).Node.on_reconcile <-
+                     (fun ~now:_ -> incr decodes))
+                 r.Runner.deployment.Scenario.nodes)
+             ());
         let per_node_min =
           float_of_int !decodes /. float_of_int scale.nodes
           /. (scale.duration /. 60.)
@@ -688,32 +606,21 @@ type replay_result = {
 }
 
 let replay ?(scale = default_scale) ~trace () =
-  let d = Scenario.build_lo ~n:scale.nodes ~seed:scale.seed () in
-  let rng = Rng.create (scale.seed + 3) in
-  let specs = Lo_workload.Trace.to_specs rng trace ~num_nodes:scale.nodes in
-  let created = Hashtbl.create 1024 in
-  let stats = Metrics.Stats.create () in
-  Array.iter
-    (fun node ->
-      (Node.hooks node).Node.on_tx_content <-
-        (fun tx ~now ->
-          match Hashtbl.find_opt created tx.Tx.id with
-          | Some t0 when now > t0 -> Metrics.Stats.add stats (now -. t0)
-          | _ -> ()))
-    d.nodes;
-  let txs = Scenario.inject_workload d specs in
-  List.iter (fun tx -> Hashtbl.replace created tx.Tx.id tx.Tx.created_at) txs;
+  let stats = ref (Metrics.Stats.create ()) in
+  ignore
+    (Runner.run_lo ~scale ~seed:scale.seed ~workload:(`Trace trace) ~drain:20.
+       ~wire:(fun r -> stats := Runner.content_latency_probe r)
+       ());
   let duration =
     match Lo_workload.Trace.stats trace with Some (_, dur, _, _) -> dur | None -> 0.
   in
-  Network.run_until d.net (duration +. 20.);
   let result =
     {
       trace_txs = List.length trace;
       trace_duration = duration;
-      replay_mean_latency = Metrics.Stats.mean stats;
-      replay_p95 = Metrics.Stats.percentile stats 0.95;
-      delivered = Metrics.Stats.count stats;
+      replay_mean_latency = Metrics.Stats.mean !stats;
+      replay_p95 = Metrics.Stats.percentile !stats 0.95;
+      delivered = Metrics.Stats.count !stats;
     }
   in
   Report.table ~title:"Trace replay — mempool inclusion latency"
@@ -742,32 +649,14 @@ type ablation_result = {
 }
 
 let lo_overhead_run ~scale ~seed ~always_full =
-  let d =
-    Scenario.build_lo
+  let stats = ref (Metrics.Stats.create ()) in
+  let run =
+    Runner.run_lo ~scale ~seed ~drain:15.
       ~config:(fun c -> { c with Node.always_full_digests = always_full })
-      ~n:scale.nodes ~seed ()
+      ~wire:(fun r -> stats := Runner.content_latency_probe r)
+      ()
   in
-  let created = Hashtbl.create 1024 in
-  let stats = Metrics.Stats.create () in
-  Array.iter
-    (fun node ->
-      (Node.hooks node).Node.on_tx_content <-
-        (fun tx ~now ->
-          match Hashtbl.find_opt created tx.Tx.id with
-          | Some t0 when now > t0 -> Metrics.Stats.add stats (now -. t0)
-          | _ -> ()))
-    d.nodes;
-  let specs =
-    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration ~seed
-      ~n:scale.nodes
-  in
-  let txs = Scenario.inject_workload d specs in
-  List.iter (fun tx -> Hashtbl.replace created tx.Tx.id tx.Tx.created_at) txs;
-  Network.run_until d.net (scale.duration +. 15.);
-  let overhead =
-    overhead_of d.net ~content_tags:[ "lo:txs"; "lo:submit"; "lo:block" ]
-  in
-  (overhead, Metrics.Stats.mean stats)
+  (Runner.protocol_overhead run, Metrics.Stats.mean !stats)
 
 let exposure_latency_run ~scale ~seed ~share_period =
   (* Several equivocators, several repetitions folded in by the caller;
@@ -776,45 +665,48 @@ let exposure_latency_run ~scale ~seed ~share_period =
      window. *)
   let n = scale.nodes in
   let num_bad = max 1 (n / 10) in
-  let d =
-    Scenario.build_lo
-      ~config:(fun c -> { c with Node.digest_share_period = share_period })
-      ~behaviors:(fun i -> if i < num_bad then Node.Equivocator else Node.Honest)
-      ~n ~seed ()
-  in
-  let bad_ids = Array.init num_bad (fun i -> Node.node_id d.nodes.(i)) in
-  let counts = Hashtbl.create 8 in
   let exposed_90_at = Hashtbl.create 8 in
-  let threshold = (9 * (n - num_bad)) / 10 in
-  Array.iteri
-    (fun i node ->
-      if i >= num_bad then
-        (Node.hooks node).Node.on_exposure <-
-          (fun ~accused ~now ->
-            if Array.exists (String.equal accused) bad_ids then begin
-              let c =
-                1 + Option.value (Hashtbl.find_opt counts accused) ~default:0
-              in
-              Hashtbl.replace counts accused c;
-              if c = threshold then Hashtbl.replace exposed_90_at accused now
-            end))
-    d.nodes;
-  let specs =
-    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration ~seed
-      ~n
-  in
-  ignore (Scenario.inject_workload d specs);
-  Array.iteri
-    (fun i node ->
-      if i < num_bad then begin
-        let fork_tx =
-          Tx.create ~signer:d.client ~fee:7 ~created_at:0.5
-            ~payload:(Printf.sprintf "ablate-fork-%d" i)
-        in
-        Network.schedule_at d.net ~at:0.5 (fun _ -> Node.submit_tx node fork_tx)
-      end)
-    d.nodes;
-  Network.run_until d.net (scale.duration +. 60.);
+  ignore
+    (Runner.run_lo ~scale ~seed ~drain:60.
+       ~config:(fun c -> { c with Node.digest_share_period = share_period })
+       ~behaviors:(fun i -> if i < num_bad then Node.Equivocator else Node.Honest)
+       ~wire:(fun r ->
+         let d = r.Runner.deployment in
+         let bad_ids =
+           Array.init num_bad (fun i -> Node.node_id d.Scenario.nodes.(i))
+         in
+         let counts = Hashtbl.create 8 in
+         let threshold = (9 * (n - num_bad)) / 10 in
+         Array.iteri
+           (fun i node ->
+             if i >= num_bad then
+               (Node.hooks node).Node.on_exposure <-
+                 (fun ~accused ~now ->
+                   if Array.exists (String.equal accused) bad_ids then begin
+                     let c =
+                       1
+                       + Option.value (Hashtbl.find_opt counts accused)
+                           ~default:0
+                     in
+                     Hashtbl.replace counts accused c;
+                     if c = threshold then
+                       Hashtbl.replace exposed_90_at accused now
+                   end))
+           d.Scenario.nodes)
+       ~after_inject:(fun r ->
+         let d = r.Runner.deployment in
+         Array.iteri
+           (fun i node ->
+             if i < num_bad then begin
+               let fork_tx =
+                 Tx.create ~signer:d.Scenario.client ~fee:7 ~created_at:0.5
+                   ~payload:(Printf.sprintf "ablate-fork-%d" i)
+               in
+               Network.schedule_at d.Scenario.net ~at:0.5 (fun _ ->
+                   Node.submit_tx node fork_tx)
+             end)
+           d.Scenario.nodes)
+       ());
   let times =
     Hashtbl.fold (fun _ at acc -> at :: acc) exposed_90_at []
     |> List.sort compare
@@ -919,18 +811,16 @@ let memcpu ?(scale = default_scale) ?(diffs = [ 100; 250; 500; 1000 ]) () =
   let memory_10k_nodes = 10_000 * size_at_busiest in
   (* Measured storage: run a short deployment and look at a node's
      retained peer commitments. *)
-  let d = Scenario.build_lo ~n:(min scale.nodes 60) ~seed:scale.seed () in
-  let specs =
-    Scenario.standard_workload ~rate:scale.rate ~duration:10. ~seed:scale.seed
-      ~n:(min scale.nodes 60)
+  let run =
+    Runner.run_lo ~scale ~seed:scale.seed ~n:(min scale.nodes 60) ~duration:10.
+      ~drain:10. ()
   in
-  ignore (Scenario.inject_workload d specs);
-  Network.run_until d.net 20.;
+  let nodes = run.Runner.deployment.Scenario.nodes in
   let storage_per_node =
     Array.fold_left
       (fun acc node -> acc + Node.commitment_storage_bytes node)
-      0 d.nodes
-    / Array.length d.nodes
+      0 nodes
+    / Array.length nodes
   in
   let result =
     { decode_costs; commitment_sizes; memory_10k_nodes; storage_per_node }

@@ -6,7 +6,7 @@
     shapes. Absolute values differ from the paper's 10,000-node cluster;
     EXPERIMENTS.md records both. *)
 
-type scale = {
+type scale = Runner.scale = {
   nodes : int;
   reps : int;  (** independent repetitions averaged *)
   rate : float;  (** workload, transactions per second *)

@@ -2,8 +2,8 @@ module Stats = struct
   type t = {
     mutable values_rev : float list;
     mutable count : int;
-    mutable sum : float;
-    mutable sum_sq : float;
+    mutable mean_v : float;
+    mutable m2 : float;  (* sum of squared deviations from the running mean *)
     mutable min_v : float;
     mutable max_v : float;
     mutable sorted : float array option;
@@ -13,32 +13,31 @@ module Stats = struct
     {
       values_rev = [];
       count = 0;
-      sum = 0.;
-      sum_sq = 0.;
+      mean_v = 0.;
+      m2 = 0.;
       min_v = infinity;
       max_v = neg_infinity;
       sorted = None;
     }
 
+  (* Welford's online update: the naive sum_sq/n - mean^2 form loses all
+     precision when stddev << mean (catastrophic cancellation). *)
   let add t v =
     t.values_rev <- v :: t.values_rev;
     t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
-    t.sum_sq <- t.sum_sq +. (v *. v);
+    let delta = v -. t.mean_v in
+    t.mean_v <- t.mean_v +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (v -. t.mean_v));
     if v < t.min_v then t.min_v <- v;
     if v > t.max_v then t.max_v <- v;
     t.sorted <- None
 
   let count t = t.count
-  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+  let mean t = if t.count = 0 then 0. else t.mean_v
 
   let stddev t =
     if t.count < 2 then 0.
-    else begin
-      let n = float_of_int t.count in
-      let var = (t.sum_sq /. n) -. ((t.sum /. n) ** 2.) in
-      sqrt (Float.max 0. var)
-    end
+    else sqrt (Float.max 0. (t.m2 /. float_of_int t.count))
 
   let min t = if t.count = 0 then 0. else t.min_v
   let max t = if t.count = 0 then 0. else t.max_v

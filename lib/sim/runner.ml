@@ -1,0 +1,145 @@
+module Network = Lo_net.Network
+module Rng = Lo_net.Rng
+module Signer = Lo_crypto.Signer
+open Lo_core
+
+type scale = {
+  nodes : int;
+  reps : int;
+  rate : float;
+  duration : float;
+  seed : int;
+}
+
+let default_scale = { nodes = 120; reps = 3; rate = 20.; duration = 20.; seed = 42 }
+
+type workload =
+  [ `Poisson | `Trace of Lo_workload.Trace.record list | `None ]
+
+type run = {
+  deployment : Scenario.lo_deployment;
+  mutable txs : Tx.t list;
+  created : (string, float) Hashtbl.t;
+  fees : (string, int) Hashtbl.t;
+  horizon : float;
+}
+
+let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?n ?rate
+    ?duration ?(workload = `Poisson) ?workload_seed ?rotate_period ?blocks
+    ?(drain = 20.) ?(wire = fun _ -> ()) ?(after_inject = fun _ -> ()) ~scale
+    ~seed () =
+  let n = Option.value n ~default:scale.nodes in
+  let rate = Option.value rate ~default:scale.rate in
+  let workload_seed = Option.value workload_seed ~default:seed in
+  let d =
+    Scenario.build_lo ~config ?behaviors ?malicious ?loss_rate ~n ~seed ()
+  in
+  let specs, wl_duration =
+    match workload with
+    | `Poisson ->
+        let dur = Option.value duration ~default:scale.duration in
+        (Scenario.standard_workload ~rate ~duration:dur ~seed:workload_seed ~n,
+         dur)
+    | `Trace trace ->
+        let rng = Rng.create (workload_seed + 3) in
+        let dur =
+          match Lo_workload.Trace.stats trace with
+          | Some (_, dur, _, _) -> dur
+          | None -> 0.
+        in
+        (Lo_workload.Trace.to_specs rng trace ~num_nodes:n, dur)
+    | `None -> ([], Option.value duration ~default:scale.duration)
+  in
+  let run =
+    {
+      deployment = d;
+      txs = [];
+      created = Hashtbl.create 1024;
+      fees = Hashtbl.create 1024;
+      horizon = wl_duration +. drain;
+    }
+  in
+  wire run;
+  let txs = Scenario.inject_workload d specs in
+  run.txs <- txs;
+  List.iter
+    (fun tx ->
+      Hashtbl.replace run.created tx.Tx.id tx.Tx.created_at;
+      Hashtbl.replace run.fees tx.Tx.id tx.Tx.fee)
+    txs;
+  after_inject run;
+  (match rotate_period with
+  | Some period -> Scenario.rotate_neighbors d ~period ~until:run.horizon
+  | None -> ());
+  (match blocks with
+  | Some (policy, interval) ->
+      Scenario.schedule_blocks d ~policy ~interval ~until:run.horizon ()
+  | None -> ());
+  Network.run_until d.net run.horizon;
+  run
+
+let content_latency_probe run =
+  let stats = Metrics.Stats.create () in
+  Array.iter
+    (fun node ->
+      (Node.hooks node).Node.on_tx_content <-
+        (fun tx ~now ->
+          match Hashtbl.find_opt run.created tx.Tx.id with
+          | Some t0 when now > t0 -> Metrics.Stats.add stats (now -. t0)
+          | _ -> ()))
+    run.deployment.Scenario.nodes;
+  stats
+
+let lo_content_tags = [ "lo:txs"; "lo:submit"; "lo:block" ]
+
+let overhead_of net ~content_tags =
+  List.fold_left
+    (fun acc (tag, bytes) ->
+      if List.mem tag content_tags then acc else acc + bytes)
+    0
+    (Network.bytes_by_tag net)
+
+let protocol_overhead ?(content_tags = lo_content_tags) run =
+  overhead_of run.deployment.Scenario.net ~content_tags
+
+type baseline_node = {
+  submit : Tx.t -> unit;
+  on_content : (Tx.t -> now:float -> unit) -> unit;
+}
+
+let run_baseline ~make ~content_tags ?(drain = 15.) ~scale ~seed () =
+  let n = scale.nodes in
+  let scheme = Signer.simulation () in
+  let net = Network.create ~num_nodes:n ~seed () in
+  let rng = Rng.create ((seed * 31) + 7) in
+  let topo = Lo_net.Topology.build rng ~n ~out_degree:8 ~max_in:125 in
+  let created = Hashtbl.create 1024 in
+  let stats = Metrics.Stats.create () in
+  let instances = make net scheme topo in
+  List.iter
+    (fun inst ->
+      inst.on_content (fun (tx : Tx.t) ~now ->
+          match Hashtbl.find_opt created tx.Tx.id with
+          | Some t0 when now > t0 -> Metrics.Stats.add stats (now -. t0)
+          | _ -> ()))
+    instances;
+  let client = Signer.make scheme ~seed:"baseline-client" in
+  let specs =
+    Scenario.standard_workload ~rate:scale.rate ~duration:scale.duration ~seed
+      ~n
+  in
+  List.iter
+    (fun spec ->
+      let tx =
+        Tx.create ~signer:client ~fee:spec.Lo_workload.Tx_gen.fee
+          ~created_at:spec.created_at
+          ~payload:(Lo_workload.Tx_gen.payload spec)
+      in
+      Hashtbl.replace created tx.Tx.id spec.created_at;
+      let origin = spec.origin mod n in
+      Network.schedule_at net ~at:spec.created_at (fun _ ->
+          (List.nth instances origin).submit tx))
+    specs;
+  Network.run_until net (scale.duration +. drain);
+  let overhead = overhead_of net ~content_tags in
+  (overhead, stats)

@@ -1,0 +1,99 @@
+(** The shared experiment harness.
+
+    Every figure follows the same life cycle: build a deployment
+    ({!Scenario.build_lo}), wire measurement hooks, generate and inject
+    a workload, optionally rotate neighbours / schedule blocks, drive
+    the network to a horizon (workload duration + drain), and read the
+    metrics back. {!run_lo} owns that cycle; experiments only supply the
+    knobs and hooks that differ. {!run_baseline} is the equivalent cycle
+    for the non-LØ protocols of Fig. 9. *)
+
+type scale = {
+  nodes : int;
+  reps : int;  (** independent repetitions averaged *)
+  rate : float;  (** workload, transactions per second *)
+  duration : float;  (** workload length, seconds *)
+  seed : int;
+}
+
+val default_scale : scale
+
+type workload =
+  [ `Poisson  (** {!Scenario.standard_workload} at [rate] for [duration] *)
+  | `Trace of Lo_workload.Trace.record list
+      (** replay an external trace; duration comes from the trace *)
+  | `None ]
+
+type run = {
+  deployment : Scenario.lo_deployment;
+  mutable txs : Lo_core.Tx.t list;  (** injected workload transactions *)
+  created : (string, float) Hashtbl.t;  (** txid -> creation time *)
+  fees : (string, int) Hashtbl.t;  (** txid -> fee *)
+  horizon : float;  (** simulated time the run ends at *)
+}
+
+val run_lo :
+  ?config:(Lo_core.Node.config -> Lo_core.Node.config) ->
+  ?behaviors:(int -> Lo_core.Node.behavior) ->
+  ?malicious:bool array ->
+  ?loss_rate:float ->
+  ?n:int ->
+  ?rate:float ->
+  ?duration:float ->
+  ?workload:workload ->
+  ?workload_seed:int ->
+  ?rotate_period:float ->
+  ?blocks:Lo_core.Policy.t * float ->
+  ?drain:float ->
+  ?wire:(run -> unit) ->
+  ?after_inject:(run -> unit) ->
+  scale:scale ->
+  seed:int ->
+  unit ->
+  run
+(** One complete LØ run. Stages, in order: build (seeded [seed];
+    [n]/[rate]/[duration] default to the scale's), [wire] hooks
+    (called before any event executes; [run.created] is still empty but
+    the tables are live at event time), inject the workload (filling
+    [txs]/[created]/[fees]), [after_inject] (schedule extra events),
+    neighbour rotation every [rotate_period] (if given), block
+    production with ([policy], [interval]) (if given), then
+    [Network.run_until (workload duration + drain)] (drain default
+    20 s). *)
+
+val content_latency_probe : run -> Metrics.Stats.t
+(** Install the standard Fig. 7/9 measurement on every node: record
+    [now - created] for each first content arrival of a workload
+    transaction (overwrites [on_tx_content]). Call from [wire]. *)
+
+val lo_content_tags : string list
+(** Message tags carrying transaction payloads in the LØ protocol;
+    everything else is accountable-mempool overhead (Fig. 9). *)
+
+val protocol_overhead : ?content_tags:string list -> run -> int
+(** Bytes on the wire minus content-bearing tags (default
+    {!lo_content_tags}). *)
+
+(** A protocol instance in a baseline run: how to hand it a client
+    transaction, and how to subscribe to first content arrival. *)
+type baseline_node = {
+  submit : Lo_core.Tx.t -> unit;
+  on_content : (Lo_core.Tx.t -> now:float -> unit) -> unit;
+}
+
+val run_baseline :
+  make:
+    (Lo_net.Network.t ->
+    Lo_crypto.Signer.scheme ->
+    Lo_net.Topology.t ->
+    baseline_node list) ->
+  content_tags:string list ->
+  ?drain:float ->
+  scale:scale ->
+  seed:int ->
+  unit ->
+  int * Metrics.Stats.t
+(** Fig. 9 baseline cycle: paper topology (8 out / 125 in), the same
+    Poisson workload as {!run_lo}, content-latency stats on every
+    instance, and the non-content overhead after [duration + drain]
+    (drain default 15 s). Returns (overhead bytes, latency stats). *)

@@ -19,6 +19,24 @@ let metrics_tests =
         Alcotest.(check (float 1e-9)) "max" 5.0 (Metrics.Stats.max s);
         Alcotest.(check (float 1e-9)) "median" 3.0 (Metrics.Stats.percentile s 0.5);
         check_bool "stddev" true (abs_float (Metrics.Stats.stddev s -. sqrt 2.) < 1e-9));
+    Alcotest.test_case "stddev survives large offsets" `Quick (fun () ->
+        (* Catastrophic-cancellation regression: with the naive
+           sum_sq/n - mean^2 formula, an offset of 1e9 leaves zero
+           significant bits in the variance. Welford's update keeps the
+           exact same spread as the un-shifted data. *)
+        let base = Metrics.Stats.create () in
+        let shifted = Metrics.Stats.create () in
+        List.iter
+          (fun v ->
+            Metrics.Stats.add base v;
+            Metrics.Stats.add shifted (1e9 +. v))
+          [ 1.; 2.; 3. ];
+        let expected = sqrt (2. /. 3.) in
+        Alcotest.(check (float 1e-9)) "base" expected (Metrics.Stats.stddev base);
+        Alcotest.(check (float 1e-6)) "shifted" expected
+          (Metrics.Stats.stddev shifted);
+        Alcotest.(check (float 1e-3)) "shifted mean" (1e9 +. 2.)
+          (Metrics.Stats.mean shifted));
     Alcotest.test_case "stats empty" `Quick (fun () ->
         let s = Metrics.Stats.create () in
         Alcotest.(check (float 1e-9)) "mean" 0. (Metrics.Stats.mean s);

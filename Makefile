@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench clean
+.PHONY: all build test check chaos-smoke fmt bench clean
 
 all: build
 
@@ -8,9 +8,16 @@ build:
 test:
 	dune runtest
 
-# The one-stop gate: everything compiles and the full test suite passes.
+# The one-stop gate: everything compiles, the full test suite passes,
+# and a tiny seeded chaos scenario exercises the fault-injection paths.
 check:
-	dune build && dune runtest
+	dune build && dune runtest && $(MAKE) chaos-smoke
+
+# Small deterministic fault-injection run (churn + partitions + loss
+# bursts + latency spikes + link degradation); exits non-zero if any
+# honest node ends up exposed.
+chaos-smoke:
+	dune exec bin/lo.exe -- chaos -n 16 --duration 8 --rate 5 --reps 1 --seed 1
 
 # Formatting is checked only when ocamlformat is available; the
 # toolchain image does not ship it and installing is out of scope.

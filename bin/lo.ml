@@ -48,6 +48,22 @@ let run_fig10 scale = ignore (Lo_sim.Experiments.fig10 ~scale ())
 let run_memcpu scale = ignore (Lo_sim.Experiments.memcpu ~scale ())
 let run_ablation scale = ignore (Lo_sim.Experiments.ablation ~scale ())
 
+let run_chaos scale =
+  let cells = Lo_sim.Experiments.chaos ~scale () in
+  (* The acceptance property of the fault framework: a fault schedule
+     must never get an honest node exposed. Fail the process so
+     `make chaos-smoke` gates CI on it. *)
+  let exposed =
+    List.fold_left
+      (fun acc c -> acc + c.Lo_sim.Experiments.honest_exposures)
+      0 cells
+  in
+  if exposed > 0 then begin
+    prerr_endline
+      (Printf.sprintf "chaos: %d exposure(s) of honest nodes — FAILED" exposed);
+    exit 1
+  end
+
 let run_replay scale trace_file =
   let text =
     let ic = open_in trace_file in
@@ -136,6 +152,9 @@ let () =
       cmd "fig10" "Sketch reconciliations per minute vs workload" run_fig10;
       cmd "memcpu" "Sec. 6.5 memory and CPU overhead" run_memcpu;
       cmd "ablate" "Ablations: light vs full digests; digest-share period" run_ablation;
+      cmd "chaos"
+        "Fault injection: churn x partitions x loss bursts; honest nodes must never be exposed"
+        run_chaos;
       (let trace_arg =
          Cmdliner.Arg.(
            required

@@ -29,6 +29,7 @@ type t =
   | Digest_request of { owner : string; seq : int }
   | Digest_reply of Commitment.digest list
   | Suspicion_note of suspicion_note
+  | Suspicion_withdraw of { suspect : string; reporter : string }
   | Exposure_note of Evidence.t
   | Block_announce of Block.t
 
@@ -42,6 +43,7 @@ let tag = function
   | Digest_request _ -> "lo:digest-req"
   | Digest_reply _ -> "lo:digest-reply"
   | Suspicion_note _ -> "lo:suspicion"
+  | Suspicion_withdraw _ -> "lo:withdraw"
   | Exposure_note _ -> "lo:exposure"
   | Block_announce _ -> "lo:block"
 
@@ -90,6 +92,10 @@ let encode msg =
           Writer.u8 w 1;
           Commitment.encode w d);
       Writer.bytes w reason
+  | Suspicion_withdraw { suspect; reporter } ->
+      Writer.u8 w 11;
+      Writer.fixed w suspect;
+      Writer.fixed w reporter
   | Exposure_note evidence ->
       Writer.u8 w 8;
       Evidence.encode w evidence
@@ -139,6 +145,10 @@ let decode s =
         let txid = Reader.fixed r 32 in
         let ack_signature = Reader.fixed r Signer.signature_size in
         Submit_ack { txid; ack_signature }
+    | 11 ->
+        let suspect = Reader.fixed r Signer.id_size in
+        let reporter = Reader.fixed r Signer.id_size in
+        Suspicion_withdraw { suspect; reporter }
     | _ -> raise (Reader.Malformed "message kind")
   in
   Reader.expect_end r;

@@ -40,6 +40,10 @@ type t =
       (** fetch a historical digest of [owner] at [seq] (and [seq - 1]) *)
   | Digest_reply of Commitment.digest list
   | Suspicion_note of suspicion_note
+  | Suspicion_withdraw of { suspect : string; reporter : string }
+      (** retraction gossip: [reporter] saw the suspect answer again, so
+          receivers clear the matching suspicion (temporal accuracy,
+          Sec. 3.2 — benign faults must resolve, not accumulate) *)
   | Exposure_note of Evidence.t
   | Block_announce of Block.t
 

@@ -28,6 +28,9 @@ type config = Node_env.config = {
   reconcile_fanout : int;
   request_timeout : float;
   max_retries : int;
+  retry_backoff : float;
+  retry_jitter : float;
+  demote_after : int;
   sketch_capacity : int;
   clock_cells : int;
   fee_threshold : int;
@@ -50,6 +53,7 @@ type hooks = Node_env.hooks = {
   mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
   mutable on_sketch_decode : now:float -> unit;
   mutable on_reconcile : now:float -> unit;
+  mutable on_reconcile_complete : now:float -> unit;
 }
 
 type t = {
@@ -263,6 +267,8 @@ let handle_message t _net ~from ~tag:_ payload =
         List.iter (Peer_tracker.note_digest t.tracker (env t)) digests
     | Messages.Suspicion_note note ->
         Reconciler.handle_suspicion t.reconciler (env t) ~from note
+    | Messages.Suspicion_withdraw { suspect; reporter } ->
+        Reconciler.handle_withdrawal t.reconciler (env t) ~suspect ~reporter
     | Messages.Exposure_note evidence -> handle_exposure t evidence
     | Messages.Block_announce block ->
         Block_pipeline.accept_block t.pipeline (env t) block ~from
@@ -295,11 +301,36 @@ let rec digest_share_round t =
   Network.schedule t.net ~delay:t.config.digest_share_period (fun _ ->
       digest_share_round t)
 
+(* Crash recovery (the restart path): re-announce our commitment head to
+   every neighbour, ask each for the snapshots we may have missed while
+   down (via the stored head's successor), invalidate stale in-flight
+   reconciliation state and force a fresh exchange — so the node resumes
+   from its persisted log position instead of desyncing forever. *)
+let handle_restart t =
+  Reconciler.on_restart t.reconciler (env t);
+  List.iter
+    (fun peer ->
+      send_msg t ~dst:peer
+        (Messages.Digest_share
+           (Commitment.Log.current_digest (log_for t ~peer_index:peer)));
+      let peer_id = Directory.id_of t.directory peer in
+      let next_seq =
+        match Peer_tracker.latest t.tracker ~peer:peer_id with
+        | Some d -> d.Commitment.seq + 1
+        | None -> 1
+      in
+      send_msg t ~dst:peer
+        (Messages.Digest_request { owner = peer_id; seq = next_seq });
+      Reconciler.reconcile_with ~force:true t.reconciler (env t)
+        ~peer_index:peer)
+    t.neighbors
+
 let start t =
   (* Register through the mux so other protocols (the peer sampler) can
      share the node. *)
   Mux.register t.mux t.index ~proto:"lo" (handle_message t);
   if not (Adversary.drops_all_messages t.behavior) then begin
+    Network.set_restart_handler t.net t.index (fun _ -> handle_restart t);
     Network.schedule t.net
       ~delay:(Rng.float t.rng t.config.reconcile_period)
       (fun _ -> Reconciler.round t.reconciler (env t));

@@ -34,8 +34,16 @@ type config = Node_env.config = {
   scheme : Lo_crypto.Signer.scheme;
   reconcile_period : float;  (** seconds between NeighborsSync rounds *)
   reconcile_fanout : int;  (** neighbours contacted per round (paper: 3) *)
-  request_timeout : float;  (** seconds before a retry (paper: 1 s) *)
+  request_timeout : float;  (** seconds before the first retry (paper: 1 s) *)
   max_retries : int;  (** retries before suspicion (paper: 3) *)
+  retry_backoff : float;
+      (** per-retry timeout multiplier (exponential backoff; 1.0
+          restores the paper's fixed interval) *)
+  retry_jitter : float;
+      (** seeded uniform perturbation of each retry delay (fraction) *)
+  demote_after : int;
+      (** unresponsiveness score at which a flapping peer is demoted out
+          of routine round sampling (not blamed) *)
   sketch_capacity : int;
   clock_cells : int;
   fee_threshold : int;
@@ -71,6 +79,8 @@ type hooks = Node_env.hooks = {
   mutable on_reconcile : now:float -> unit;
       (** one active reconciliation round opened with a neighbour
           (Fig. 10) *)
+  mutable on_reconcile_complete : now:float -> unit;
+      (** an outstanding commit request was answered (chaos metric) *)
 }
 
 type t
@@ -87,8 +97,15 @@ val create :
   t
 
 val start : t -> unit
-(** Register handlers and schedule the periodic reconciliation and
-    digest-share timers (staggered by a random offset). *)
+(** Register handlers (including the network restart handler driving
+    the crash-recovery path) and schedule the periodic reconciliation
+    and digest-share timers (staggered by a random offset). *)
+
+val handle_restart : t -> unit
+(** The recovery path, run automatically by {!Lo_net.Network.restart}:
+    re-announce the commitment head, request missed peer snapshots, and
+    restart reconciliation from the persisted log position. Exposed for
+    tests and manual fault scripts. *)
 
 val index : t -> int
 val node_id : t -> string

@@ -4,6 +4,9 @@ type config = {
   reconcile_fanout : int;
   request_timeout : float;
   max_retries : int;
+  retry_backoff : float;
+  retry_jitter : float;
+  demote_after : int;
   sketch_capacity : int;
   clock_cells : int;
   fee_threshold : int;
@@ -22,6 +25,9 @@ let default_config scheme =
     reconcile_fanout = 3;
     request_timeout = 1.0;
     max_retries = 3;
+    retry_backoff = 2.0;
+    retry_jitter = 0.2;
+    demote_after = 2;
     sketch_capacity = Commitment.default_sketch_capacity;
     clock_cells = Commitment.default_clock_cells;
     fee_threshold = 0;
@@ -42,6 +48,7 @@ type hooks = {
   mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
   mutable on_sketch_decode : now:float -> unit;
   mutable on_reconcile : now:float -> unit;
+  mutable on_reconcile_complete : now:float -> unit;
 }
 
 let no_hooks () =
@@ -54,6 +61,7 @@ let no_hooks () =
     on_violation = (fun _ ~block:_ ~now:_ -> ());
     on_sketch_decode = (fun ~now:_ -> ());
     on_reconcile = (fun ~now:_ -> ());
+    on_reconcile_complete = (fun ~now:_ -> ());
   }
 
 type t = {

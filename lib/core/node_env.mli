@@ -9,8 +9,19 @@ type config = {
   scheme : Lo_crypto.Signer.scheme;
   reconcile_period : float;  (** seconds between NeighborsSync rounds *)
   reconcile_fanout : int;  (** neighbours contacted per round (paper: 3) *)
-  request_timeout : float;  (** seconds before a retry (paper: 1 s) *)
+  request_timeout : float;  (** seconds before the first retry (paper: 1 s) *)
   max_retries : int;  (** retries before suspicion (paper: 3) *)
+  retry_backoff : float;
+      (** multiplier applied to the timeout on each successive retry
+          (exponential backoff; 1.0 restores the paper's fixed 1 s) *)
+  retry_jitter : float;
+      (** seeded uniform perturbation of each retry delay, as a
+          fraction of the backed-off delay (desynchronises probes after
+          a partition heals) *)
+  demote_after : int;
+      (** unresponsiveness score at which a flapping peer stops being
+          picked by routine round sampling (it is still probed
+          occasionally and can redeem itself — demotion, not blame) *)
   sketch_capacity : int;
   clock_cells : int;
   fee_threshold : int;
@@ -46,6 +57,9 @@ type hooks = {
   mutable on_reconcile : now:float -> unit;
       (** one active reconciliation round opened with a neighbour
           (Fig. 10) *)
+  mutable on_reconcile_complete : now:float -> unit;
+      (** a previously outstanding commit request was answered
+          (reconciliation success-rate metric in the chaos runs) *)
 }
 
 val no_hooks : unit -> hooks

@@ -1,7 +1,14 @@
 module Rng = Lo_net.Rng
 module Sketch = Lo_sketch.Sketch
 
-type pending = { mutable waiting : bool; mutable retries : int; mutable gen : int }
+type pending = {
+  mutable waiting : bool;
+  mutable retries : int;
+  mutable gen : int;
+  mutable unresponsive : int;
+      (* consecutive timeout escalations; a score >= demote_after keeps
+         the peer out of routine round sampling (demotion, not blame) *)
+}
 
 type t = {
   content : Content_sync.t;
@@ -22,9 +29,28 @@ let pending_for t peer_id =
   match Hashtbl.find_opt t.pending peer_id with
   | Some p -> p
   | None ->
-      let p = { waiting = false; retries = 0; gen = 0 } in
+      let p = { waiting = false; retries = 0; gen = 0; unresponsive = 0 } in
       Hashtbl.add t.pending peer_id p;
       p
+
+let unresponsive_score t peer_id =
+  match Hashtbl.find_opt t.pending peer_id with
+  | Some p -> p.unresponsive
+  | None -> 0
+
+(* Exponential backoff with seeded jitter: timeout * backoff^retries,
+   perturbed by +/- retry_jitter so probes desynchronise after a
+   partition heals instead of stampeding in lockstep. *)
+let retry_delay (env : Node_env.t) ~retries =
+  let base =
+    env.config.request_timeout
+    *. (env.config.retry_backoff ** float_of_int retries)
+  in
+  let jitter =
+    if env.config.retry_jitter <= 0. then 0.
+    else base *. env.config.retry_jitter *. (Rng.float env.rng 2.0 -. 1.0)
+  in
+  Float.max 0.05 (base +. jitter)
 
 let cap n xs = List.filteri (fun i _ -> i < n) xs
 
@@ -118,8 +144,9 @@ let rec reconcile_with ?(force = false) t (env : Node_env.t) ~peer_index =
           env.send ~dst:peer_index
             (Messages.Commit_request
                { digest = my_digest; delta; want; appended = fresh });
-          env.schedule ~delay:env.config.request_timeout (fun () ->
-              request_timeout t env ~peer_index ~peer:peer_id ~gen)
+          env.schedule
+            ~delay:(retry_delay env ~retries:p.retries)
+            (fun () -> request_timeout t env ~peer_index ~peer:peer_id ~gen)
         end
       end
     end
@@ -134,6 +161,7 @@ and request_timeout t (env : Node_env.t) ~peer_index ~peer:peer_id ~gen =
       reconcile_with ~force:true t env ~peer_index
     else begin
       p.retries <- 0;
+      p.unresponsive <- p.unresponsive + 1;
       if not (Accountability.is_suspected env.acc peer_id) then begin
         Accountability.suspect env.acc ~peer:peer_id ~now:(env.now ())
           ~reason:"request timeout";
@@ -153,11 +181,38 @@ and request_timeout t (env : Node_env.t) ~peer_index ~peer:peer_id ~gen =
 
 let resolve_pending t (env : Node_env.t) ~peer:peer_id =
   let p = pending_for t peer_id in
+  let was_waiting = p.waiting in
   p.waiting <- false;
   p.retries <- 0;
+  p.unresponsive <- 0;
+  if was_waiting then env.hooks.on_reconcile_complete ~now:(env.now ());
   if Accountability.is_suspected env.acc peer_id then begin
     Accountability.clear_suspicion env.acc ~peer:peer_id;
-    env.hooks.on_suspicion_cleared ~suspect:peer_id ~now:(env.now ())
+    env.hooks.on_suspicion_cleared ~suspect:peer_id ~now:(env.now ());
+    (* The suspect answered us: retract our blame so the rest of the
+       network does not keep an unresolvable suspicion on an honest
+       node (temporal accuracy, Sec. 3.2). *)
+    env.broadcast
+      (Messages.Suspicion_withdraw { suspect = peer_id; reporter = env.my_id })
+  end
+
+let handle_withdrawal t (env : Node_env.t) ~suspect ~reporter:_ =
+  if not (String.equal suspect env.my_id) then begin
+    let p = pending_for t suspect in
+    p.unresponsive <- 0;
+    if Accountability.is_suspected env.acc suspect then begin
+      Accountability.clear_suspicion env.acc ~peer:suspect;
+      env.hooks.on_suspicion_cleared ~suspect ~now:(env.now ());
+      (* [seen_suspicions] is deliberately NOT purged here: stale
+         suspicion notes for this incident may still be in flight, and
+         re-accepting them would re-raise the suspicion and chase the
+         withdrawal around the network forever. The per-(suspect,
+         reporter) dedup stays; independent observation (each peer's
+         own timeout escalation) still spreads any genuine new blame. *)
+      (* Relay only on a state change, so the gossip terminates. *)
+      env.broadcast
+        (Messages.Suspicion_withdraw { suspect; reporter = env.my_id })
+    end
   end
 
 let handle_commit_request t (env : Node_env.t) ~from ~digest ~delta ~want
@@ -255,11 +310,26 @@ let rec round t (env : Node_env.t) =
       (fun i -> not (Accountability.is_exposed env.acc (env.id_of i)))
       (env.neighbors ())
   in
-  let chosen =
-    Rng.sample_without_replacement env.rng env.config.reconcile_fanout
+  (* Flapping peers (repeated timeout escalations) are demoted out of
+     routine sampling — they waste the round's fanout budget — but are
+     still probed occasionally so they can redeem themselves. *)
+  let responsive, flapping =
+    List.partition
+      (fun i -> unresponsive_score t (env.id_of i) < env.config.demote_after)
       candidates
   in
+  let pool = if responsive = [] then flapping else responsive in
+  let chosen =
+    Rng.sample_without_replacement env.rng env.config.reconcile_fanout pool
+  in
   List.iter (fun i -> reconcile_with t env ~peer_index:i) chosen;
+  (match flapping with
+  | [] -> ()
+  | _ when responsive = [] -> ()
+  | _ ->
+      if Rng.int env.rng 4 = 0 then
+        reconcile_with ~force:true t env
+          ~peer_index:(Rng.pick_list env.rng flapping));
   (* Keep probing one suspected peer per round so that a recovered node
      is eventually cleared (temporal accuracy, Sec. 3.2). *)
   (match Accountability.suspected_peers env.acc with
@@ -271,3 +341,21 @@ let rec round t (env : Node_env.t) =
       | None -> ()
     end);
   env.schedule ~delay:env.config.reconcile_period (fun () -> round t env)
+
+(* Crash recovery: every in-flight request state is stale (replies were
+   lost while down), so invalidate the armed timers and start over; then
+   force a fresh exchange with every peer we still suspect, so stale
+   suspicions raised just before the crash get re-examined. *)
+let on_restart t (env : Node_env.t) =
+  Hashtbl.iter
+    (fun _ p ->
+      p.waiting <- false;
+      p.retries <- 0;
+      p.gen <- p.gen + 1)
+    t.pending;
+  List.iter
+    (fun (peer, _) ->
+      match env.index_of peer with
+      | Some i -> reconcile_with ~force:true t env ~peer_index:i
+      | None -> ())
+    (Accountability.suspected_peers env.acc)

@@ -26,8 +26,23 @@ val request_timeout : t -> Node_env.t -> peer_index:int -> peer:string -> gen:in
     {!reconcile_with}. *)
 
 val resolve_pending : t -> Node_env.t -> peer:string -> unit
-(** A response from [peer] arrived: clear the in-flight state and any
-    standing suspicion (temporal accuracy, Sec. 3.2). *)
+(** A response from [peer] arrived: clear the in-flight state, the
+    unresponsiveness score and any standing suspicion — and broadcast a
+    {!Messages.Suspicion_withdraw} retraction if one was standing
+    (temporal accuracy, Sec. 3.2). *)
+
+val handle_withdrawal : t -> Node_env.t -> suspect:string -> reporter:string -> unit
+(** Gossiped retraction: clear the matching suspicion and relay, but
+    only on a state change so the gossip terminates. *)
+
+val unresponsive_score : t -> string -> int
+(** Consecutive timeout escalations against this peer since it last
+    answered (drives round-sampling demotion). *)
+
+val on_restart : t -> Node_env.t -> unit
+(** Crash-recovery hook: invalidate all in-flight request state (armed
+    timers become stale generations) and force a fresh exchange with
+    every still-suspected peer. *)
 
 val handle_commit_request :
   t ->

@@ -1,0 +1,217 @@
+type fault =
+  | Crash of { node : int; down_for : float option }
+  | Restart of int
+  | Partition of { groups : int array; heal_after : float }
+  | Loss_burst of { rate : float; duration : float }
+  | Latency_spike of { nodes : int list; extra : float; duration : float }
+  | Link_degrade of {
+      src : int;
+      dst : int;
+      loss : float;
+      extra_delay : float;
+      duration : float;
+    }
+
+type event = { at : float; fault : fault }
+type t = event list
+
+type stats = {
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable partitions : int;
+  mutable loss_bursts : int;
+  mutable latency_spikes : int;
+  mutable link_degrades : int;
+}
+
+let kinds_injected s =
+  (* Crash + restart is one fault kind: churn. *)
+  (if s.crashes > 0 || s.restarts > 0 then 1 else 0)
+  + (if s.partitions > 0 then 1 else 0)
+  + (if s.loss_bursts > 0 then 1 else 0)
+  + (if s.latency_spikes > 0 then 1 else 0)
+  + if s.link_degrades > 0 then 1 else 0
+
+let merge plans =
+  List.stable_sort
+    (fun a b -> Float.compare a.at b.at)
+    (List.concat plans)
+
+(* Mutable overlay state shared by all installed events of one plan.
+   Loss bursts stack (effective rate = max of base and actives);
+   partitions and link faults carry generation counters so a window's
+   scheduled heal is a no-op once a later fault superseded it. *)
+type overlay = {
+  base_loss : float;
+  mutable active_bursts : float list;
+  mutable partition_gen : int;
+  link_gens : (int * int, int) Hashtbl.t;
+}
+
+let apply_loss net ov =
+  let rate =
+    List.fold_left Float.max ov.base_loss ov.active_bursts
+  in
+  Network.set_loss_rate net (Float.min rate 0.95)
+
+let remove_one x l =
+  let rec go = function
+    | [] -> []
+    | y :: rest -> if Float.equal x y then rest else y :: go rest
+  in
+  go l
+
+let do_restart net stats node =
+  if Network.is_down net node then begin
+    stats.restarts <- stats.restarts + 1;
+    Network.restart net node
+  end
+
+let install_event net stats ov { at; fault } =
+  let at = Float.max at (Network.now net) in
+  match fault with
+  | Crash { node; down_for } ->
+      Network.schedule_at net ~at (fun net ->
+          if not (Network.is_down net node) then begin
+            stats.crashes <- stats.crashes + 1;
+            Network.crash net node
+          end);
+      Option.iter
+        (fun d ->
+          Network.schedule_at net ~at:(at +. d) (fun net ->
+              do_restart net stats node))
+        down_for
+  | Restart node ->
+      Network.schedule_at net ~at (fun net -> do_restart net stats node)
+  | Partition { groups; heal_after } ->
+      Network.schedule_at net ~at (fun net ->
+          ov.partition_gen <- ov.partition_gen + 1;
+          let gen = ov.partition_gen in
+          stats.partitions <- stats.partitions + 1;
+          Network.set_partition net (Some groups);
+          Network.schedule net ~delay:heal_after (fun net ->
+              if gen = ov.partition_gen then Network.set_partition net None))
+  | Loss_burst { rate; duration } ->
+      Network.schedule_at net ~at (fun net ->
+          stats.loss_bursts <- stats.loss_bursts + 1;
+          ov.active_bursts <- rate :: ov.active_bursts;
+          apply_loss net ov;
+          Network.schedule net ~delay:duration (fun net ->
+              ov.active_bursts <- remove_one rate ov.active_bursts;
+              apply_loss net ov))
+  | Latency_spike { nodes; extra; duration } ->
+      Network.schedule_at net ~at (fun net ->
+          stats.latency_spikes <- stats.latency_spikes + 1;
+          List.iter
+            (fun n ->
+              Network.set_node_delay net n (Network.node_delay net n +. extra))
+            nodes;
+          Network.schedule net ~delay:duration (fun net ->
+              List.iter
+                (fun n ->
+                  Network.set_node_delay net n
+                    (Float.max 0. (Network.node_delay net n -. extra)))
+                nodes))
+  | Link_degrade { src; dst; loss; extra_delay; duration } ->
+      Network.schedule_at net ~at (fun net ->
+          stats.link_degrades <- stats.link_degrades + 1;
+          let gen =
+            1 + Option.value ~default:0 (Hashtbl.find_opt ov.link_gens (src, dst))
+          in
+          Hashtbl.replace ov.link_gens (src, dst) gen;
+          Network.set_link_fault net ~src ~dst ~loss ~extra_delay ();
+          Network.schedule net ~delay:duration (fun net ->
+              if Hashtbl.find_opt ov.link_gens (src, dst) = Some gen then
+                Network.clear_link_fault net ~src ~dst))
+
+let install net plan =
+  let stats =
+    {
+      crashes = 0;
+      restarts = 0;
+      partitions = 0;
+      loss_bursts = 0;
+      latency_spikes = 0;
+      link_degrades = 0;
+    }
+  in
+  let ov =
+    {
+      base_loss = Network.loss_rate net;
+      active_bursts = [];
+      partition_gen = 0;
+      link_gens = Hashtbl.create 8;
+    }
+  in
+  List.iter (install_event net stats ov) (merge [ plan ]);
+  stats
+
+(* {1 Generators} *)
+
+let churn ~rng ~n ~rate ~mean_down ~until =
+  if rate <= 0. || n <= 0 then []
+  else begin
+    let down_until = Array.make n 0. in
+    let events = ref [] in
+    let t = ref (Rng.exponential rng ~mean:(1. /. rate)) in
+    while !t < until do
+      let node = Rng.int rng n in
+      if down_until.(node) <= !t then begin
+        let d =
+          Float.max 0.2
+            (Float.min
+               (Rng.exponential rng ~mean:mean_down)
+               (* Recovery must land within sight of the horizon so
+                  suspicions can withdraw before measurement ends. *)
+               (until +. mean_down -. !t))
+        in
+        down_until.(node) <- !t +. d;
+        events := { at = !t; fault = Crash { node; down_for = Some d } } :: !events
+      end;
+      t := !t +. Rng.exponential rng ~mean:(1. /. rate)
+    done;
+    List.rev !events
+  end
+
+let windows ~period ~duration ~until f =
+  let events = ref [] in
+  let t = ref period in
+  while !t +. duration <= until do
+    events := f !t :: !events;
+    t := !t +. period +. duration
+  done;
+  List.rev !events
+
+let partitions ~rng ~n ~period ~duration ~until =
+  if n < 2 then []
+  else
+    windows ~period ~duration ~until (fun at ->
+        let groups = Array.init n (fun _ -> if Rng.bool rng then 1 else 0) in
+        (* Pin one node to each side so neither group is ever empty. *)
+        groups.(0) <- 0;
+        groups.(1) <- 1;
+        { at; fault = Partition { groups; heal_after = duration } })
+
+let loss_bursts ~rng:_ ~rate ~period ~duration ~until =
+  windows ~period ~duration ~until (fun at ->
+      { at; fault = Loss_burst { rate; duration } })
+
+let latency_spikes ~rng ~n ~k ~extra ~period ~duration ~until =
+  if n <= 0 || k <= 0 then []
+  else
+    windows ~period ~duration ~until (fun at ->
+        let nodes =
+          Rng.sample_without_replacement rng k (List.init n Fun.id)
+        in
+        { at; fault = Latency_spike { nodes; extra; duration } })
+
+let link_degrades ~rng ~n ~loss ~extra_delay ~period ~duration ~until =
+  if n < 2 then []
+  else
+    windows ~period ~duration ~until (fun at ->
+        let src = Rng.int rng n in
+        let dst =
+          let d = Rng.int rng (n - 1) in
+          if d >= src then d + 1 else d
+        in
+        { at; fault = Link_degrade { src; dst; loss; extra_delay; duration } })

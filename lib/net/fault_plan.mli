@@ -1,0 +1,99 @@
+(** Declarative, seeded fault schedules.
+
+    A fault plan is a list of timed fault events — node churn
+    (crash/restart), partitions, network-wide loss bursts, latency
+    spikes, and asymmetric link degradation — compiled onto the
+    network's own {!Event_queue} by {!install}, so a run with the same
+    seed and plan replays byte-identically. Generators draw all
+    randomness from an explicit {!Rng.t}; the plan itself is plain data
+    and can be inspected, merged, or hand-written. *)
+
+type fault =
+  | Crash of { node : int; down_for : float option }
+      (** Take the node down; with [down_for = Some d] a restart is
+          scheduled [d] later (triggering the node's recovery path). *)
+  | Restart of int
+  | Partition of { groups : int array; heal_after : float }
+      (** Split the network into groups (see {!Network.set_partition});
+          heals after [heal_after]. A later partition supersedes an
+          earlier one — stale heals are ignored. *)
+  | Loss_burst of { rate : float; duration : float }
+      (** Raise the global loss rate to at least [rate] for the
+          window; overlapping bursts combine as the max. *)
+  | Latency_spike of { nodes : int list; extra : float; duration : float }
+      (** Add [extra] seconds of send-side delay to each node. *)
+  | Link_degrade of {
+      src : int;
+      dst : int;
+      loss : float;
+      extra_delay : float;
+      duration : float;
+    }  (** Asymmetric degradation of one directed link. *)
+
+type event = { at : float; fault : fault }
+type t = event list
+
+type stats = {
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable partitions : int;
+  mutable loss_bursts : int;
+  mutable latency_spikes : int;
+  mutable link_degrades : int;
+}
+
+val install : Network.t -> t -> stats
+(** Schedule every event onto the network's queue. The returned record
+    is updated as faults actually fire (a [Crash] against an
+    already-down node counts nothing), so it is meaningful only after
+    the run. *)
+
+val kinds_injected : stats -> int
+(** Number of distinct fault kinds that actually fired (restarts count
+    with crashes as one "churn" kind). *)
+
+val merge : event list list -> t
+(** Concatenate schedules and stable-sort by time. *)
+
+(** {1 Generators}
+
+    All take an explicit [rng] and produce events strictly before
+    [until]; periodic generators space windows so they never
+    self-overlap. *)
+
+val churn :
+  rng:Rng.t -> n:int -> rate:float -> mean_down:float -> until:float -> event list
+(** Poisson crash arrivals at [rate] crashes/s network-wide; each
+    victim stays down for an exponential time with mean [mean_down]
+    (at least 0.2 s), then restarts. A node already scheduled down is
+    skipped. *)
+
+val partitions :
+  rng:Rng.t -> n:int -> period:float -> duration:float -> until:float -> event list
+(** Every [period] + [duration], split the nodes into two random
+    non-empty halves for [duration] seconds. *)
+
+val loss_bursts :
+  rng:Rng.t -> rate:float -> period:float -> duration:float -> until:float -> event list
+
+val latency_spikes :
+  rng:Rng.t ->
+  n:int ->
+  k:int ->
+  extra:float ->
+  period:float ->
+  duration:float ->
+  until:float ->
+  event list
+(** Every window, [k] random nodes gain [extra] seconds of send delay. *)
+
+val link_degrades :
+  rng:Rng.t ->
+  n:int ->
+  loss:float ->
+  extra_delay:float ->
+  period:float ->
+  duration:float ->
+  until:float ->
+  event list
+(** Every window, one random directed link degrades asymmetrically. *)

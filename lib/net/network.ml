@@ -14,8 +14,11 @@ and t = {
   mutable clock : float;
   handlers : handler option array;
   down : bool array;
+  restart_handlers : (t -> unit) option array;
   mutable filter : (src:node -> dst:node -> tag:string -> bool) option;
+  mutable partition : int array option;
   node_delay : float array;
+  link_faults : (node * node, link_fault) Hashtbl.t;
   bytes_sent : int array;
   bytes_received : int array;
   mutable messages : int;
@@ -24,6 +27,13 @@ and t = {
 }
 
 and handler = t -> from:node -> tag:string -> string -> unit
+
+and link_fault = { link_loss : float; link_delay : float }
+
+(* Perturbed delivery must stay strictly positive for src <> dst: a
+   zero (or negative) delay would deliver a message in the same event
+   slot it was sent from, breaking causality assumptions downstream. *)
+let min_delay = 1e-6
 
 let create ?(latency = Latency.default) ?(jitter = 0.1) ?(loss_rate = 0.)
     ~num_nodes ~seed () =
@@ -39,8 +49,11 @@ let create ?(latency = Latency.default) ?(jitter = 0.1) ?(loss_rate = 0.)
     clock = 0.;
     handlers = Array.make num_nodes None;
     down = Array.make num_nodes false;
+    restart_handlers = Array.make num_nodes None;
     filter = None;
+    partition = None;
     node_delay = Array.make num_nodes 0.;
+    link_faults = Hashtbl.create 16;
     bytes_sent = Array.make num_nodes 0;
     bytes_received = Array.make num_nodes 0;
     messages = 0;
@@ -66,18 +79,28 @@ let account_tag t tag n =
   | Some r -> r := !r + n
   | None -> Hashtbl.add t.tag_bytes tag (ref n)
 
+let partitioned t ~src ~dst =
+  src <> dst
+  && match t.partition with
+     | None -> false
+     | Some groups -> groups.(src) <> groups.(dst)
+
 let send t ~src ~dst ~tag payload =
   check_node t src "send src";
   check_node t dst "send dst";
   let allowed =
     match t.filter with None -> true | Some f -> f ~src ~dst ~tag
   in
-  if allowed && not t.down.(dst) then begin
+  if
+    allowed && (not t.down.(dst)) && (not t.down.(src))
+    && not (partitioned t ~src ~dst)
+  then begin
     let size = String.length payload in
     t.bytes_sent.(src) <- t.bytes_sent.(src) + size;
     t.messages <- t.messages + 1;
     t.total_bytes <- t.total_bytes + size;
     account_tag t tag size;
+    let fault = Hashtbl.find_opt t.link_faults (src, dst) in
     let base =
       if src = dst then 0.
       else Latency.one_way t.latency (city_of t src) (city_of t dst)
@@ -86,10 +109,18 @@ let send t ~src ~dst ~tag payload =
       if t.jitter <= 0. || base <= 0. then 0.
       else base *. t.jitter *. (Rng.float t.rng 2.0 -. 1.0)
     in
-    let delay = Float.max 0. (base +. jit) +. t.node_delay.(src) in
-    let lost =
-      t.loss_rate > 0. && src <> dst && Rng.float t.rng 1.0 < t.loss_rate
+    let extra =
+      t.node_delay.(src)
+      +. (match fault with Some f -> f.link_delay | None -> 0.)
     in
+    let delay =
+      if src = dst then Float.max 0. (base +. jit +. extra)
+      else Float.max min_delay (base +. jit) +. extra
+    in
+    let link_loss = match fault with Some f -> f.link_loss | None -> 0. in
+    (* Independent drops: the global rate and the per-link overlay. *)
+    let loss_p = t.loss_rate +. link_loss -. (t.loss_rate *. link_loss) in
+    let lost = loss_p > 0. && src <> dst && Rng.float t.rng 1.0 < loss_p in
     if not lost then
       Event_queue.add t.queue ~time:(t.clock +. delay)
         (Deliver { src; dst; tag; payload })
@@ -109,16 +140,55 @@ let is_down t node =
   check_node t node "is_down";
   t.down.(node)
 
+let crash t node =
+  check_node t node "crash";
+  t.down.(node) <- true
+
+let set_restart_handler t node f =
+  check_node t node "set_restart_handler";
+  t.restart_handlers.(node) <- Some f
+
+let restart t node =
+  check_node t node "restart";
+  if t.down.(node) then begin
+    t.down.(node) <- false;
+    match t.restart_handlers.(node) with Some f -> f t | None -> ()
+  end
+
 let set_delivery_filter t f = t.filter <- f
+
+let set_partition t groups =
+  (match groups with
+  | Some g when Array.length g <> t.num_nodes ->
+      invalid_arg "Network.set_partition: group array size"
+  | _ -> ());
+  t.partition <- groups
+
+let loss_rate t = t.loss_rate
 
 let set_loss_rate t r =
   if r < 0. || r >= 1. then invalid_arg "Network.set_loss_rate";
   t.loss_rate <- r
 
+let node_delay t node =
+  check_node t node "node_delay";
+  t.node_delay.(node)
+
 let set_node_delay t node d =
   check_node t node "set_node_delay";
   if d < 0. then invalid_arg "Network.set_node_delay";
   t.node_delay.(node) <- d
+
+let set_link_fault t ~src ~dst ?(loss = 0.) ?(extra_delay = 0.) () =
+  check_node t src "set_link_fault src";
+  check_node t dst "set_link_fault dst";
+  if loss < 0. || loss > 1. || extra_delay < 0. then
+    invalid_arg "Network.set_link_fault";
+  Hashtbl.replace t.link_faults (src, dst)
+    { link_loss = loss; link_delay = extra_delay }
+
+let clear_link_fault t ~src ~dst =
+  Hashtbl.remove t.link_faults (src, dst)
 
 let dispatch t event =
   match event with

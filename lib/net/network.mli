@@ -25,12 +25,6 @@ val create :
     message independently with the given probability (default 0;
     failure-injection knob — self-sends are never dropped). *)
 
-val set_loss_rate : t -> float -> unit
-
-val set_node_delay : t -> node -> float -> unit
-(** Extra one-way delay added to every message sent by this node
-    (failure injection: an overloaded or throttled peer). 0 clears. *)
-
 val num_nodes : t -> int
 val now : t -> float
 val rng : t -> Rng.t
@@ -42,17 +36,53 @@ val set_handler : t -> node -> handler -> unit
 
 val send : t -> src:node -> dst:node -> tag:string -> string -> unit
 (** Queue a message for delivery. Self-sends are delivered with zero
-    latency. Dropped silently if the destination is down or a delivery
-    filter rejects it. *)
+    latency; for distinct nodes the perturbed delay is clamped to a
+    small positive epsilon so delivery never precedes (or ties) the
+    send. Dropped silently if either endpoint is down, the endpoints
+    are in different partition groups, or a delivery filter rejects
+    it. *)
 
 val schedule : t -> delay:float -> (t -> unit) -> unit
 val schedule_at : t -> at:float -> (t -> unit) -> unit
 
 val set_down : t -> node -> bool -> unit
-(** A down node loses all messages addressed to it (crash model);
-    messages already in flight are also lost on arrival. *)
+(** A down node neither sends nor receives (crash model); messages
+    already in flight are also lost on arrival. *)
 
 val is_down : t -> node -> bool
+
+val crash : t -> node -> unit
+(** [crash t n] = [set_down t n true]. *)
+
+val restart : t -> node -> unit
+(** Bring a down node back and invoke its restart handler (the
+    protocol-level recovery path). No-op if the node is up. *)
+
+val set_restart_handler : t -> node -> (t -> unit) -> unit
+(** Called from [restart] after the node is marked up again. *)
+
+val set_partition : t -> int array option -> unit
+(** [set_partition t (Some groups)] drops every message between nodes
+    in different groups ([groups.(i)] is node [i]'s group id; length
+    must equal [num_nodes]). [None] heals. *)
+
+val loss_rate : t -> float
+val set_loss_rate : t -> float -> unit
+
+val node_delay : t -> node -> float
+
+val set_node_delay : t -> node -> float -> unit
+(** Extra one-way delay added to every message sent by this node
+    (failure injection: an overloaded or throttled peer). 0 clears. *)
+
+val set_link_fault :
+  t -> src:node -> dst:node -> ?loss:float -> ?extra_delay:float -> unit -> unit
+(** Asymmetric per-link degradation: extra drop probability (combined
+    independently with the global loss rate) and additive delay for
+    messages from [src] to [dst] only. Replaces any previous fault on
+    that directed link. *)
+
+val clear_link_fault : t -> src:node -> dst:node -> unit
 
 val set_delivery_filter : t -> (src:node -> dst:node -> tag:string -> bool) option -> unit
 (** Adversarial/partition hook: return [false] to drop a message at

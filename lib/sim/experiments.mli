@@ -132,3 +132,40 @@ val replay : ?scale:scale -> trace:Lo_workload.Trace.record list -> unit -> repl
 (** Run the Fig. 7 dissemination measurement on an externally supplied
     transaction trace (the paper replays an Ethereum trace; [lo replay
     --trace FILE] feeds a CSV through this). *)
+
+(** {1 Chaos — fault injection (robustness)} *)
+
+type chaos_cell = {
+  churn_rate : float;  (** crashes per second, network-wide *)
+  partition_duration : float;  (** seconds each partition window lasts *)
+  burst_loss : float;  (** loss rate during loss bursts *)
+  crashes : int;  (** crash faults that fired (summed over reps) *)
+  restarts : int;
+  fault_kinds : int;  (** distinct fault kinds injected (max over reps) *)
+  mean_tx_latency : float;
+  p95_tx_latency : float;
+  reconcile_attempts : int;
+  reconcile_completes : int;
+  reconcile_success : float;  (** completes / attempts *)
+  suspicions : int;  (** suspicion events raised across all nodes *)
+  withdrawn : int;  (** suspicion-cleared events (incl. withdrawals) *)
+  resolution_rate : float;
+      (** fraction of raised suspicions no longer standing at the
+          horizon (1.0 when none were raised) *)
+  honest_exposures : int;
+      (** exposures of honest nodes — the acceptance property demands 0:
+          benign faults may be suspected but never blamed (Sec. 4) *)
+}
+
+val chaos :
+  ?scale:scale ->
+  ?churn_rates:float list ->
+  ?partition_durations:float list ->
+  ?burst_losses:float list ->
+  unit ->
+  chaos_cell list
+(** Sweep churn rate x partition duration x loss-burst intensity (with
+    background latency spikes and asymmetric link degradation in every
+    cell), all nodes honest, and report latency, reconciliation success,
+    and the suspicion/withdrawal/exposure ledger per cell. A value of 0
+    disables that fault dimension for the cell. *)

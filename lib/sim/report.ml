@@ -28,13 +28,22 @@ let table ~title ~header rows =
   rule width;
   List.iter (fun row -> pr "%s\n" (render row)) rows
 
+(* Non-finite values (a metric that never reached its target reports
+   [infinity]) render as an empty bar rather than crashing
+   [String.make]; [vmax] is computed over finite entries only. *)
 let bar width v vmax =
-  if vmax <= 0. then ""
-  else String.make (int_of_float (Float.round (width *. v /. vmax))) '#'
+  if vmax <= 0. || not (Float.is_finite v) then ""
+  else
+    String.make
+      (max 0 (int_of_float (Float.round (width *. Float.min v vmax /. vmax))))
+      '#'
+
+let finite_max =
+  List.fold_left (fun m v -> if Float.is_finite v then Float.max m v else m) 0.
 
 let bar_chart ~title entries =
   pr "\n== %s ==\n" title;
-  let vmax = List.fold_left (fun m (_, v) -> Float.max m v) 0. entries in
+  let vmax = finite_max (List.map snd entries) in
   let label_w =
     List.fold_left (fun m (l, _) -> max m (String.length l)) 0 entries
   in
@@ -46,7 +55,7 @@ let bar_chart ~title entries =
 let series ~title ~x_label ~y_label points =
   pr "\n== %s ==\n" title;
   pr "%14s  %14s\n" x_label y_label;
-  let vmax = List.fold_left (fun m (_, y) -> Float.max m y) 0. points in
+  let vmax = finite_max (List.map snd points) in
   List.iter
     (fun (x, y) -> pr "%14.3f  %14.3f  %s\n" x y (bar 40. y vmax))
     points

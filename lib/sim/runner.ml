@@ -22,12 +22,13 @@ type run = {
   created : (string, float) Hashtbl.t;
   fees : (string, int) Hashtbl.t;
   horizon : float;
+  mutable fault_stats : Lo_net.Fault_plan.stats option;
 }
 
-let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?n ?rate
-    ?duration ?(workload = `Poisson) ?workload_seed ?rotate_period ?blocks
-    ?(drain = 20.) ?(wire = fun _ -> ()) ?(after_inject = fun _ -> ()) ~scale
-    ~seed () =
+let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
+    ?rate ?duration ?(workload = `Poisson) ?workload_seed ?rotate_period
+    ?blocks ?(drain = 20.) ?(wire = fun _ -> ()) ?(after_inject = fun _ -> ())
+    ~scale ~seed () =
   let n = Option.value n ~default:scale.nodes in
   let rate = Option.value rate ~default:scale.rate in
   let workload_seed = Option.value workload_seed ~default:seed in
@@ -57,6 +58,7 @@ let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?n ?rate
       created = Hashtbl.create 1024;
       fees = Hashtbl.create 1024;
       horizon = wl_duration +. drain;
+      fault_stats = None;
     }
   in
   wire run;
@@ -68,6 +70,9 @@ let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?n ?rate
       Hashtbl.replace run.fees tx.Tx.id tx.Tx.fee)
     txs;
   after_inject run;
+  (match faults with
+  | Some plan -> run.fault_stats <- Some (Scenario.apply_fault_plan d plan)
+  | None -> ());
   (match rotate_period with
   | Some period -> Scenario.rotate_neighbors d ~period ~until:run.horizon
   | None -> ());

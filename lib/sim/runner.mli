@@ -30,6 +30,9 @@ type run = {
   created : (string, float) Hashtbl.t;  (** txid -> creation time *)
   fees : (string, int) Hashtbl.t;  (** txid -> fee *)
   horizon : float;  (** simulated time the run ends at *)
+  mutable fault_stats : Lo_net.Fault_plan.stats option;
+      (** per-kind counts of faults that actually fired (set when a
+          fault plan was given; final once the run returns) *)
 }
 
 val run_lo :
@@ -37,6 +40,7 @@ val run_lo :
   ?behaviors:(int -> Lo_core.Node.behavior) ->
   ?malicious:bool array ->
   ?loss_rate:float ->
+  ?faults:Lo_net.Fault_plan.t ->
   ?n:int ->
   ?rate:float ->
   ?duration:float ->
@@ -56,9 +60,10 @@ val run_lo :
     (called before any event executes; [run.created] is still empty but
     the tables are live at event time), inject the workload (filling
     [txs]/[created]/[fees]), [after_inject] (schedule extra events),
-    neighbour rotation every [rotate_period] (if given), block
-    production with ([policy], [interval]) (if given), then
-    [Network.run_until (workload duration + drain)] (drain default
+    install the fault plan [faults] (if given; stats land in
+    [fault_stats]), neighbour rotation every [rotate_period] (if
+    given), block production with ([policy], [interval]) (if given),
+    then [Network.run_until (workload duration + drain)] (drain default
     20 s). *)
 
 val content_latency_probe : run -> Metrics.Stats.t

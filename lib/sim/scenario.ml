@@ -140,3 +140,9 @@ let standard_workload ~rate ~duration ~seed ~n =
     { Lo_workload.Tx_gen.default_config with rate; duration }
   in
   Lo_workload.Tx_gen.generate rng config ~num_nodes:n
+
+(* --- fault injection (chaos experiments, scripted churn) --- *)
+
+let apply_fault_plan d plan = Lo_net.Fault_plan.install d.net plan
+let crash_node d i = Network.crash d.net i
+let restart_node d i = Network.restart d.net i

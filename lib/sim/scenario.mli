@@ -65,3 +65,16 @@ val attach_gossip_sampler :
 
 val standard_workload :
   rate:float -> duration:float -> seed:int -> n:int -> Lo_workload.Tx_gen.spec list
+
+val apply_fault_plan :
+  lo_deployment -> Lo_net.Fault_plan.t -> Lo_net.Fault_plan.stats
+(** Compile a declarative fault schedule onto the deployment's event
+    queue (see {!Lo_net.Fault_plan}); the returned stats fill in as
+    faults fire during the run. *)
+
+val crash_node : lo_deployment -> int -> unit
+(** Script a crash without reaching into [lo_net] internals. *)
+
+val restart_node : lo_deployment -> int -> unit
+(** Bring a crashed node back; its recovery path (re-announce,
+    re-request peer heads, resume reconciliation) runs automatically. *)

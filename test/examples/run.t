@@ -21,11 +21,14 @@ pin their observable behaviour.
   competing bid submitted to miner 5; sniper's bid to miner 0
   miner 0 mempool: 2 txs, committed: 2 ids
   sniper's block: height 1, 1 txs; own bid included: true; competing bid included: false
+    [8.01s] miner 1 sees censorship(bundle 2, id 2534f82f)
+    [8.04s] miner 1 sees censorship(bundle 2, id 2534f82f)
+    [8.04s] miner 1 sees censorship(bundle 2, id 2534f82f)
   miners holding verifiable proof of censorship: 14/14
   censorship detected and attributed — demo done.
 
   $ ../../examples/sandwich_demo.exe
   attacker's block: 8 txs over bundles 1..4
-  first injection detection: miner 4 at 8.06s
+  first injection detection: miner 7 at 8.05s
   miners holding verifiable proof of injection: 14/14
   front-running attempt exposed — demo done.

@@ -157,7 +157,8 @@ let ablation_tests =
       (fun () ->
         let r =
           Experiments.ablation
-            ~scale:{ tiny with nodes = 20; rate = 6.; duration = 6. } ()
+            ~scale:{ tiny with nodes = 20; reps = 3; rate = 6.; duration = 6. }
+            ()
         in
         check_bool "full costs more" true
           (r.Experiments.full_overhead > 2 * r.Experiments.light_overhead);

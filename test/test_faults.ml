@@ -1,0 +1,330 @@
+(* Fault-injection coverage: the reconciler's exponential backoff and
+   suspicion-withdrawal machinery driven directly, a full-deployment
+   crash/heal cycle (a crashed-but-honest node must be suspected, then
+   withdrawn, and never exposed), and the chaos experiment's acceptance
+   properties at the seeds the issue pins. *)
+
+open Lo_core
+module Net = Lo_net.Network
+module Signer = Lo_crypto.Signer
+module Rng = Lo_net.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------- Reconciler harness (as in test_reconciler) -------- *)
+
+type harness = {
+  env : Node_env.t;
+  reconciler : Reconciler.t;
+  broadcasts : Messages.t list ref;
+  timers : (float * (unit -> unit)) Queue.t;
+  clock : float ref;
+  cleared : string list ref;
+  peer_id : string;
+  peer_signer : Signer.t;
+}
+
+let make_harness () =
+  let scheme = Signer.simulation () in
+  let config = Node_env.default_config scheme in
+  let signer = Signer.make scheme ~seed:"fault-test-me" in
+  let peer_signer = Signer.make scheme ~seed:"fault-test-peer" in
+  let my_id = Signer.id signer in
+  let peer_id = Signer.id peer_signer in
+  let ids = [| my_id; peer_id |] in
+  let log =
+    Commitment.Log.create ~sketch_capacity:config.Node_env.sketch_capacity
+      ~clock_cells:config.Node_env.clock_cells ~signer ()
+  in
+  let mempool = Mempool.create () in
+  let content = Content_sync.create ~mempool ~adversary:Adversary.Honest in
+  let tracker = Peer_tracker.create () in
+  let broadcasts = ref [] in
+  let timers = Queue.create () in
+  let clock = ref 0. in
+  let cleared = ref [] in
+  let hooks = Node_env.no_hooks () in
+  hooks.Node_env.on_suspicion_cleared <-
+    (fun ~suspect ~now:_ -> cleared := suspect :: !cleared);
+  let env =
+    {
+      Node_env.config;
+      hooks;
+      my_id;
+      my_index = 0;
+      signer;
+      rng = Rng.create 7;
+      acc = Accountability.create ();
+      primary_log = log;
+      now = (fun () -> !clock);
+      send = (fun ~dst:_ _ -> ());
+      broadcast = (fun msg -> broadcasts := msg :: !broadcasts);
+      schedule = (fun ~delay fn -> Queue.add (!clock +. delay, fn) timers);
+      id_of = (fun i -> ids.(i));
+      index_of =
+        (fun id ->
+          let rec find i =
+            if i >= Array.length ids then None
+            else if String.equal ids.(i) id then Some i
+            else find (i + 1)
+          in
+          find 0);
+      population = (fun () -> Array.length ids);
+      neighbors = (fun () -> [ 1 ]);
+      log_for = (fun ~peer_index:_ -> log);
+      wire_digest =
+        (fun ~peer_index:_ -> Commitment.Log.current_digest_light log);
+      commit =
+        (fun ~source ~ids -> ignore (Commitment.Log.append log ~source ~ids));
+      expose = (fun ~accused:_ _ -> ());
+      retry_inspections = (fun ~owner:_ -> ());
+    }
+  in
+  {
+    env;
+    reconciler = Reconciler.create ~content ~tracker;
+    broadcasts;
+    timers;
+    clock;
+    cleared;
+    peer_id;
+    peer_signer;
+  }
+
+let fire_next h =
+  let at, fn = Queue.pop h.timers in
+  h.clock := Float.max !(h.clock) at;
+  fn ()
+
+let escalate_to_suspicion h =
+  let retries = h.env.Node_env.config.Node_env.max_retries in
+  Reconciler.reconcile_with ~force:true h.reconciler h.env ~peer_index:1;
+  for _ = 1 to retries + 1 do
+    fire_next h
+  done
+
+let withdrawals h =
+  List.filter
+    (function Messages.Suspicion_withdraw _ -> true | _ -> false)
+    !(h.broadcasts)
+
+let reconciler_tests =
+  [
+    Alcotest.test_case "retry delays back off exponentially" `Quick (fun () ->
+        let h = make_harness () in
+        let retries = h.env.Node_env.config.Node_env.max_retries in
+        Reconciler.reconcile_with ~force:true h.reconciler h.env ~peer_index:1;
+        (* One armed timer at a time: record each arm-to-fire gap. With
+           backoff 2.0 and jitter 0.2 consecutive delay ranges do not
+           overlap, so the gaps must be strictly increasing. *)
+        let delays = ref [] in
+        let last = ref 0. in
+        for _ = 0 to retries do
+          let at, _ = Queue.peek h.timers in
+          delays := (at -. !last) :: !delays;
+          last := at;
+          fire_next h
+        done;
+        let delays = List.rev !delays in
+        check_int "one timer per attempt" (retries + 1) (List.length delays);
+        let rec increasing = function
+          | a :: (b :: _ as rest) -> a < b && increasing rest
+          | _ -> true
+        in
+        check_bool "strictly growing gaps" true (increasing delays);
+        check_bool "suspected at the end" true
+          (Accountability.is_suspected h.env.Node_env.acc h.peer_id));
+    Alcotest.test_case "an answer after suspicion broadcasts a withdrawal"
+      `Quick (fun () ->
+        let h = make_harness () in
+        escalate_to_suspicion h;
+        check_int "no withdrawal while suspected" 0
+          (List.length (withdrawals h));
+        let peer_log =
+          Commitment.Log.create
+            ~sketch_capacity:h.env.Node_env.config.Node_env.sketch_capacity
+            ~clock_cells:h.env.Node_env.config.Node_env.clock_cells
+            ~signer:h.peer_signer ()
+        in
+        Reconciler.handle_commit_response h.reconciler h.env ~from:1
+          ~digest:(Commitment.Log.current_digest peer_log)
+          ~want:[] ~delta:[] ~appended:[];
+        check_bool "suspicion cleared" false
+          (Accountability.is_suspected h.env.Node_env.acc h.peer_id);
+        (match withdrawals h with
+        | [ Messages.Suspicion_withdraw { suspect; reporter } ] ->
+            Alcotest.(check string) "suspect" h.peer_id suspect;
+            Alcotest.(check string) "reporter" h.env.Node_env.my_id reporter
+        | _ -> Alcotest.fail "expected exactly one Suspicion_withdraw"));
+    Alcotest.test_case "gossiped withdrawal clears and relays once" `Quick
+      (fun () ->
+        let h = make_harness () in
+        Accountability.suspect h.env.Node_env.acc ~peer:h.peer_id ~now:0.
+          ~reason:"test";
+        Reconciler.handle_withdrawal h.reconciler h.env ~suspect:h.peer_id
+          ~reporter:"someone";
+        check_bool "cleared" false
+          (Accountability.is_suspected h.env.Node_env.acc h.peer_id);
+        check_int "cleared hook fired" 1 (List.length !(h.cleared));
+        check_int "relayed once" 1 (List.length (withdrawals h));
+        (* A duplicate withdrawal is a no-op: state did not change. *)
+        Reconciler.handle_withdrawal h.reconciler h.env ~suspect:h.peer_id
+          ~reporter:"someone";
+        check_int "no re-relay" 1 (List.length (withdrawals h)));
+    Alcotest.test_case "unresponsiveness score demotes and resets" `Quick
+      (fun () ->
+        let h = make_harness () in
+        check_int "starts clean" 0
+          (Reconciler.unresponsive_score h.reconciler h.peer_id);
+        escalate_to_suspicion h;
+        check_int "one escalation" 1
+          (Reconciler.unresponsive_score h.reconciler h.peer_id);
+        Reconciler.resolve_pending h.reconciler h.env ~peer:h.peer_id;
+        check_int "answer resets" 0
+          (Reconciler.unresponsive_score h.reconciler h.peer_id));
+  ]
+
+(* ---------------- Crash / heal on a full deployment ----------------- *)
+
+type deployment = {
+  net : Net.t;
+  nodes : Node.t array;
+  client : Signer.t;
+}
+
+(* Tight escalation so a 10 s outage comfortably reaches the suspicion
+   stage: 0.5 + 1 + 2 = 3.5 s to blame. *)
+let mk_network ~n ~seed () =
+  let scheme = Signer.simulation () in
+  let net = Net.create ~num_nodes:n ~seed () in
+  let mux = Lo_net.Mux.create net in
+  let signers =
+    Array.init n (fun i ->
+        Signer.make scheme ~seed:(Printf.sprintf "f%d-%d" seed i))
+  in
+  let directory = Directory.create ~ids:(Array.map Signer.id signers) in
+  let rng = Rng.create (seed + 1) in
+  let topo = Lo_net.Topology.build rng ~n ~out_degree:8 ~max_in:125 in
+  let config =
+    {
+      (Node.default_config scheme) with
+      Node.request_timeout = 0.5;
+      max_retries = 2;
+    }
+  in
+  let nodes =
+    Array.init n (fun i ->
+        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+          ~neighbors:(Lo_net.Topology.neighbors topo i)
+          ~behavior:Node.Honest)
+  in
+  Array.iter Node.start nodes;
+  { net; nodes; client = Signer.make scheme ~seed:"fault-client" }
+
+let submit d ~target ~fee payload =
+  let tx =
+    Tx.create ~signer:d.client ~fee ~created_at:(Net.now d.net) ~payload
+  in
+  Node.submit_tx d.nodes.(target) tx
+
+let count_nodes d pred =
+  Array.fold_left (fun acc node -> if pred node then acc + 1 else acc) 0 d.nodes
+
+let crash_heal_tests =
+  [
+    Alcotest.test_case
+      "crashed-but-honest peer: suspected, withdrawn, never exposed" `Slow
+      (fun () ->
+        let d = mk_network ~n:12 ~seed:311 () in
+        let cleared_events = ref 0 in
+        Array.iter
+          (fun node ->
+            (Node.hooks node).Node.on_suspicion_cleared <-
+              (fun ~suspect:_ ~now:_ -> incr cleared_events))
+          d.nodes;
+        for k = 0 to 5 do
+          submit d ~target:k ~fee:(3 + k) (Printf.sprintf "pre%d" k)
+        done;
+        (* Crash node 4 mid-reconciliation; keep traffic flowing so its
+           peers are actively trying to reconcile with it. *)
+        Net.run_until d.net 1.0;
+        Net.crash d.net 4;
+        for k = 0 to 5 do
+          submit d ~target:(k mod 4) ~fee:(9 + k) (Printf.sprintf "mid%d" k)
+        done;
+        Net.run_until d.net 12.0;
+        let id4 = Node.node_id d.nodes.(4) in
+        let suspecting =
+          count_nodes d (fun node ->
+              Accountability.is_suspected (Node.accountability node) id4)
+        in
+        check_bool "suspicion broadcast while down" true (suspecting > 0);
+        (* Heal: the restart handler re-announces, re-requests heads and
+           resumes reconciliation; suspicion must be withdrawn
+           everywhere. *)
+        Net.restart d.net 4;
+        Net.run_until d.net 40.0;
+        let still_suspecting =
+          count_nodes d (fun node ->
+              Accountability.is_suspected (Node.accountability node) id4)
+        in
+        check_int "withdrawn everywhere" 0 still_suspecting;
+        check_bool "withdrawals actually flowed" true (!cleared_events > 0);
+        let exposed =
+          count_nodes d (fun node ->
+              Accountability.is_exposed (Node.accountability node) id4)
+        in
+        check_int "never exposed" 0 exposed;
+        (* The recovered node itself is consistent again: it holds no
+           standing suspicions of the whole network either way. *)
+        Array.iter
+          (fun node ->
+            let _, e = Accountability.counts (Node.accountability node) in
+            check_int "no exposures anywhere" 0 e)
+          d.nodes);
+  ]
+
+(* ---------------- Chaos experiment acceptance ----------------------- *)
+
+let chaos_scale seed =
+  { Lo_sim.Experiments.nodes = 16; reps = 1; rate = 4.; duration = 6.; seed }
+
+let run_chaos seed =
+  Lo_sim.Experiments.chaos ~scale:(chaos_scale seed) ~churn_rates:[ 0.4 ]
+    ~partition_durations:[ 1.5 ] ~burst_losses:[ 0.3 ] ()
+
+let chaos_tests =
+  [
+    Alcotest.test_case "seeds 1-3: many fault kinds, zero honest exposures"
+      `Slow (fun () ->
+        List.iter
+          (fun seed ->
+            match run_chaos seed with
+            | [ cell ] ->
+                check_bool
+                  (Printf.sprintf "seed %d: >= 3 fault kinds" seed)
+                  true
+                  (cell.Lo_sim.Experiments.fault_kinds >= 3);
+                check_int
+                  (Printf.sprintf "seed %d: no honest exposures" seed)
+                  0 cell.Lo_sim.Experiments.honest_exposures;
+                check_bool
+                  (Printf.sprintf "seed %d: >= 90%% suspicions resolved" seed)
+                  true
+                  (cell.Lo_sim.Experiments.resolution_rate >= 0.9)
+            | cells ->
+                Alcotest.failf "expected one cell, got %d" (List.length cells))
+          [ 1; 2; 3 ]);
+    Alcotest.test_case "identical seed and plan give identical reports" `Slow
+      (fun () ->
+        check_bool "byte-identical cells" true (run_chaos 1 = run_chaos 1));
+  ]
+
+let () =
+  Alcotest.run "lo_faults"
+    [
+      ("reconciler-hardening", reconciler_tests);
+      ("crash-heal", crash_heal_tests);
+      ("chaos", chaos_tests);
+    ]

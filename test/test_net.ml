@@ -140,6 +140,31 @@ let event_queue_tests =
         in
         let out = drain [] in
         out = List.sort compare times);
+    (* Stability: equal timestamps pop in insertion order. The fault
+       plan relies on this for deterministic replay — a heal scheduled
+       at the same instant as a new fault must observe insertion
+       order. Times are drawn from a tiny set to force collisions. *)
+    qtest "stable on equal timestamps" ~count:200
+      QCheck2.Gen.(list_size (int_bound 200) (int_bound 4))
+      (fun time_codes ->
+        let q = Event_queue.create () in
+        List.iteri
+          (fun i code -> Event_queue.add q ~time:(float_of_int code) (i, code))
+          time_codes;
+        let rec drain acc =
+          match Event_queue.pop q with
+          | Some (t, payload) -> drain ((t, payload) :: acc)
+          | None -> List.rev acc
+        in
+        let out = drain [] in
+        (* Sorted by time, and insertion index increases within runs of
+           equal time. *)
+        let rec ok = function
+          | (t1, (i1, _)) :: ((t2, (i2, _)) :: _ as rest) ->
+              (t1 < t2 || (t1 = t2 && i1 < i2)) && ok rest
+          | _ -> true
+        in
+        List.length out = List.length time_codes && ok out);
   ]
 
 (* ---------------- Latency ---------------- *)
@@ -272,6 +297,167 @@ let network_tests =
         Network.run_until net 1.0;
         Network.reset_accounting net;
         check_int "zero" 0 (Network.total_bytes net));
+  ]
+
+(* ---------------- Fault injection ---------------- *)
+
+let fault_tests =
+  [
+    Alcotest.test_case "extreme jitter never delivers at or before send"
+      `Quick (fun () ->
+        (* jitter 5.0 makes the raw perturbation base * [-5, 5): without
+           the epsilon clamp most deliveries would be scheduled in the
+           past. Nothing may be lost and every arrival must be strictly
+           after the send instant. *)
+        let net = Network.create ~num_nodes:2 ~seed:9 ~jitter:5.0 () in
+        let arrivals = ref [] in
+        Network.set_handler net 1 (fun net ~from:_ ~tag:_ _payload ->
+            arrivals := Network.now net :: !arrivals);
+        Network.run_until net 1.0;
+        let sent_at = Network.now net in
+        for _ = 1 to 200 do
+          Network.send net ~src:0 ~dst:1 ~tag:"t" "x"
+        done;
+        Network.run_until net 10.0;
+        check_int "all delivered" 200 (List.length !arrivals);
+        List.iter
+          (fun at -> check_bool "strictly after send" true (at > sent_at))
+          !arrivals);
+    Alcotest.test_case "down source cannot send" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:1 () in
+        let got = ref 0 in
+        Network.set_handler net 1 (fun _ ~from:_ ~tag:_ _payload -> incr got);
+        Network.crash net 0;
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "x";
+        Network.run_until net 1.0;
+        check_int "nothing" 0 !got;
+        check_int "not even counted" 0 (Network.messages_sent net));
+    Alcotest.test_case "partition splits and heals" `Quick (fun () ->
+        let net = Network.create ~num_nodes:4 ~seed:2 () in
+        let got = Array.make 4 0 in
+        for i = 0 to 3 do
+          Network.set_handler net i (fun _ ~from:_ ~tag:_ _payload ->
+              got.(i) <- got.(i) + 1)
+        done;
+        Network.set_partition net (Some [| 0; 0; 1; 1 |]);
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "x" (* same side *);
+        Network.send net ~src:0 ~dst:2 ~tag:"t" "x" (* across the cut *);
+        Network.run_until net 1.0;
+        check_int "same side arrives" 1 got.(1);
+        check_int "cut drops" 0 got.(2);
+        Network.set_partition net None;
+        Network.send net ~src:0 ~dst:2 ~tag:"t" "x";
+        Network.run_until net 2.0;
+        check_int "healed" 1 got.(2));
+    Alcotest.test_case "link fault is asymmetric" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:3 () in
+        let got = Array.make 2 0 in
+        for i = 0 to 1 do
+          Network.set_handler net i (fun _ ~from:_ ~tag:_ _payload ->
+              got.(i) <- got.(i) + 1)
+        done;
+        Network.set_link_fault net ~src:0 ~dst:1 ~loss:1.0 ();
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "x";
+        Network.send net ~src:1 ~dst:0 ~tag:"t" "x";
+        Network.run_until net 1.0;
+        check_int "degraded direction drops" 0 got.(1);
+        check_int "reverse direction clean" 1 got.(0);
+        Network.clear_link_fault net ~src:0 ~dst:1;
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "x";
+        Network.run_until net 2.0;
+        check_int "cleared" 1 got.(1));
+    Alcotest.test_case "link extra delay is additive" `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:4 ~jitter:0. () in
+        let at = ref 0. in
+        Network.set_handler net 1 (fun net ~from:_ ~tag:_ _payload ->
+            at := Network.now net);
+        Network.set_link_fault net ~src:0 ~dst:1 ~extra_delay:0.5 ();
+        Network.send net ~src:0 ~dst:1 ~tag:"t" "x";
+        Network.run_until net 2.0;
+        check_bool "delayed past the overlay" true (!at >= 0.5));
+    Alcotest.test_case "restart fires the handler exactly when down"
+      `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:5 () in
+        let recovered = ref 0 in
+        Network.set_restart_handler net 0 (fun _ -> incr recovered);
+        Network.restart net 0 (* up: no-op *);
+        check_int "no spurious recovery" 0 !recovered;
+        Network.crash net 0;
+        check_bool "down" true (Network.is_down net 0);
+        Network.restart net 0;
+        check_bool "up" false (Network.is_down net 0);
+        check_int "recovery ran once" 1 !recovered);
+    Alcotest.test_case "fault plan fires every kind deterministically"
+      `Quick (fun () ->
+        let run () =
+          let net = Network.create ~num_nodes:8 ~seed:21 () in
+          let deliveries = ref [] in
+          for i = 0 to 7 do
+            Network.set_handler net i (fun net ~from ~tag:_ _payload ->
+                deliveries := (from, i, Network.now net) :: !deliveries)
+          done;
+          (* Chatter between all pairs every 100 ms. *)
+          let rec chatter at =
+            if at < 10. then begin
+              Network.schedule_at net ~at (fun net ->
+                  for s = 0 to 7 do
+                    for d = 0 to 7 do
+                      if s <> d then Network.send net ~src:s ~dst:d ~tag:"t" "x"
+                    done
+                  done);
+              chatter (at +. 0.1)
+            end
+          in
+          chatter 0.;
+          let rng = Rng.create 99 in
+          let plan =
+            Fault_plan.merge
+              [
+                Fault_plan.churn ~rng ~n:8 ~rate:0.5 ~mean_down:1.0 ~until:8.;
+                Fault_plan.partitions ~rng ~n:8 ~period:2. ~duration:1.
+                  ~until:8.;
+                Fault_plan.loss_bursts ~rng ~rate:0.4 ~period:3. ~duration:1.
+                  ~until:8.;
+                Fault_plan.latency_spikes ~rng ~n:8 ~k:2 ~extra:0.2 ~period:3.
+                  ~duration:1. ~until:8.;
+                Fault_plan.link_degrades ~rng ~n:8 ~loss:0.8 ~extra_delay:0.1
+                  ~period:3. ~duration:1. ~until:8.;
+              ]
+          in
+          let stats = Fault_plan.install net plan in
+          Network.run_until net 12.0;
+          (stats, !deliveries)
+        in
+        let stats, deliveries = run () in
+        check_bool "churn fired" true (stats.Fault_plan.crashes > 0);
+        check_int "every crash recovered" stats.Fault_plan.crashes
+          stats.Fault_plan.restarts;
+        check_bool "partition fired" true (stats.Fault_plan.partitions > 0);
+        check_bool "burst fired" true (stats.Fault_plan.loss_bursts > 0);
+        check_bool "spike fired" true (stats.Fault_plan.latency_spikes > 0);
+        check_bool "link fault fired" true (stats.Fault_plan.link_degrades > 0);
+        check_int "5 kinds" 5 (Fault_plan.kinds_injected stats);
+        (* Same seed + same plan => byte-identical trace. *)
+        let _, deliveries2 = run () in
+        check_bool "deterministic" true (deliveries = deliveries2));
+    Alcotest.test_case "loss burst window raises then restores the rate"
+      `Quick (fun () ->
+        let net = Network.create ~num_nodes:2 ~seed:6 ~loss_rate:0.05 () in
+        let plan =
+          [
+            {
+              Fault_plan.at = 1.0;
+              fault = Fault_plan.Loss_burst { rate = 0.6; duration = 2.0 };
+            };
+          ]
+        in
+        ignore (Fault_plan.install net plan);
+        Network.run_until net 0.5;
+        check_float "base before" 0.05 (Network.loss_rate net);
+        Network.run_until net 1.5;
+        check_float "elevated during" 0.6 (Network.loss_rate net);
+        Network.run_until net 4.0;
+        check_float "restored after" 0.05 (Network.loss_rate net));
   ]
 
 (* ---------------- Topology ---------------- *)
@@ -447,6 +633,7 @@ let () =
       ("event-queue", event_queue_tests);
       ("latency", latency_tests);
       ("network", network_tests);
+      ("faults", fault_tests);
       ("topology", topology_tests);
       ("mux", mux_tests);
       ("peer-sampler", sampler_tests);

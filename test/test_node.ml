@@ -508,10 +508,13 @@ let slow_node_tests =
   [
     Alcotest.test_case "slow node: transient suspicion only, never exposure"
       `Slow (fun () ->
-        (* A 6 s-delayed node misses the 4 s suspicion deadline, so it
-           gets suspected — but its (late) answers keep clearing the
-           suspicion: exactly the paper's temporal-accuracy behaviour
-           for slow-but-correct nodes. *)
+        (* A 20 s-delayed node misses the suspicion deadline (~15 s of
+           silence with the default 1 s timeout, 3 retries and 2x
+           backoff), so it gets suspected — but its (late) answers keep
+           clearing the suspicion: exactly the paper's temporal-accuracy
+           behaviour for slow-but-correct nodes. A mere 6 s delay no
+           longer trips suspicion at all: that is what the backoff is
+           for. *)
         let d = mk_network ~n:12 ~seed:960 () in
         let id6 = Node.node_id d.nodes.(6) in
         let transient = ref 0 and cleared = ref 0 in
@@ -530,9 +533,9 @@ let slow_node_tests =
           ignore (submit d ~target:k ~fee:3 (Printf.sprintf "slow%d" k))
         done;
         Net.run_until d.net 8.0;
-        Net.set_node_delay d.net 6 6.0;
+        Net.set_node_delay d.net 6 20.0;
         ignore (submit d ~target:0 ~fee:9 "during-slowness");
-        Net.run_until d.net 30.0;
+        Net.run_until d.net 32.0;
         check_bool "transient suspicion happened" true (!transient > 0);
         (* full recovery: everything clears and stays clear *)
         Net.set_node_delay d.net 6 0.0;

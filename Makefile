@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke fmt bench clean
+.PHONY: all build test check chaos-smoke audit-smoke fmt bench clean
 
 all: build
 
@@ -11,13 +11,19 @@ test:
 # The one-stop gate: everything compiles, the full test suite passes,
 # and a tiny seeded chaos scenario exercises the fault-injection paths.
 check:
-	dune build && dune runtest && $(MAKE) chaos-smoke
+	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke
 
 # Small deterministic fault-injection run (churn + partitions + loss
 # bursts + latency spikes + link degradation); exits non-zero if any
 # honest node ends up exposed.
 chaos-smoke:
 	dune exec bin/lo.exe -- chaos -n 16 --duration 8 --rate 5 --reps 1 --seed 1
+
+# Trace a seeded chaos run and replay it through the invariant auditor
+# (commit monotonicity, canonical order, suspicion liveness, bandwidth
+# conservation, span balance); exits non-zero on any violation.
+audit-smoke:
+	dune exec bin/lo.exe -- trace chaos -n 16 --duration 8 --rate 5 --seed 1 --audit
 
 # Formatting is checked only when ocamlformat is available; the
 # toolchain image does not ship it and installing is out of scope.

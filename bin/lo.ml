@@ -48,8 +48,8 @@ let run_fig10 scale = ignore (Lo_sim.Experiments.fig10 ~scale ())
 let run_memcpu scale = ignore (Lo_sim.Experiments.memcpu ~scale ())
 let run_ablation scale = ignore (Lo_sim.Experiments.ablation ~scale ())
 
-let run_chaos scale =
-  let cells = Lo_sim.Experiments.chaos ~scale () in
+let run_chaos scale audit =
+  let cells = Lo_sim.Experiments.chaos ~scale ~audit () in
   (* The acceptance property of the fault framework: a fault schedule
      must never get an honest node exposed. Fail the process so
      `make chaos-smoke` gates CI on it. *)
@@ -62,9 +62,19 @@ let run_chaos scale =
     prerr_endline
       (Printf.sprintf "chaos: %d exposure(s) of honest nodes — FAILED" exposed);
     exit 1
+  end;
+  let audit_bad =
+    List.fold_left
+      (fun acc c -> acc + c.Lo_sim.Experiments.audit_violations)
+      0 cells
+  in
+  if audit_bad > 0 then begin
+    prerr_endline
+      (Printf.sprintf "chaos: %d audit violation(s) — FAILED" audit_bad);
+    exit 1
   end
 
-let run_replay scale trace_file =
+let run_replay scale audit trace_file =
   let text =
     let ic = open_in trace_file in
     let n = in_channel_length ic in
@@ -76,7 +86,42 @@ let run_replay scale trace_file =
   | Error msg ->
       prerr_endline ("trace parse error: " ^ msg);
       exit 1
-  | Ok trace -> ignore (Lo_sim.Experiments.replay ~scale ~trace ())
+  | Ok trace ->
+      let result = Lo_sim.Experiments.replay ~scale ~audit ~trace () in
+      if result.Lo_sim.Experiments.audit_violations > 0 then begin
+        prerr_endline
+          (Printf.sprintf "replay: %d audit violation(s) — FAILED"
+             result.Lo_sim.Experiments.audit_violations);
+        exit 1
+      end
+
+let run_trace scale kind out audit capacity =
+  let kind =
+    match kind with
+    | "baseline" -> `Baseline
+    | "chaos" -> `Chaos
+    | "adversary" -> `Adversary
+    | other ->
+        prerr_endline
+          (Printf.sprintf
+             "unknown trace scenario %S (expected baseline|chaos|adversary)"
+             other);
+        exit 2
+  in
+  let result = Lo_sim.Experiments.trace_run ~scale ?capacity ~kind () in
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Lo_obs.Jsonl.output oc result.Lo_sim.Experiments.trace;
+      close_out oc;
+      Printf.printf "wrote %d events to %s\n"
+        (Lo_obs.Trace.length result.Lo_sim.Experiments.trace)
+        path);
+  if audit && not (Lo_obs.Audit.ok result.Lo_sim.Experiments.audit) then begin
+    prerr_endline "trace: audit violations — FAILED";
+    exit 1
+  end
 
 let run_selfcheck _scale =
   (* Offline sanity of the from-scratch substrates: standard vectors and
@@ -152,18 +197,68 @@ let () =
       cmd "fig10" "Sketch reconciliations per minute vs workload" run_fig10;
       cmd "memcpu" "Sec. 6.5 memory and CPU overhead" run_memcpu;
       cmd "ablate" "Ablations: light vs full digests; digest-share period" run_ablation;
-      cmd "chaos"
-        "Fault injection: churn x partitions x loss bursts; honest nodes must never be exposed"
-        run_chaos;
+      (let audit_flag =
+         Arg.(value & flag
+              & info [ "audit" ]
+                  ~doc:"Trace every run and replay it through the invariant \
+                        checker; violations fail the process.")
+       in
+       Cmd.v
+         (Cmd.info "chaos"
+            ~doc:
+              "Fault injection: churn x partitions x loss bursts; honest \
+               nodes must never be exposed")
+         Term.(const run_chaos $ scale_term $ audit_flag));
       (let trace_arg =
          Cmdliner.Arg.(
            required
            & opt (some file) None
            & info [ "trace" ] ~doc:"CSV transaction trace to replay.")
        in
+       let audit_flag =
+         Arg.(value & flag
+              & info [ "audit" ]
+                  ~doc:"Trace the run and replay it through the invariant \
+                        checker; violations fail the process.")
+       in
        Cmd.v
          (Cmd.info "replay" ~doc:"Replay a transaction trace (CSV: time,fee,size)")
-         Term.(const (fun scale trace -> run_replay scale trace) $ scale_term $ trace_arg));
+         Term.(const run_replay $ scale_term $ audit_flag $ trace_arg));
+      (let scenario_arg =
+         Arg.(
+           value
+           & pos 0 string "baseline"
+           & info [] ~docv:"SCENARIO"
+               ~doc:"Scenario to trace: baseline, chaos or adversary.")
+       in
+       let out_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "out"; "o" ] ~docv:"FILE"
+               ~doc:"Write the event trace as JSONL to $(docv).")
+       in
+       let audit_flag =
+         Arg.(value & flag
+              & info [ "audit" ]
+                  ~doc:"Exit non-zero if the invariant audit finds violations.")
+       in
+       let capacity_arg =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "capacity" ] ~docv:"EVENTS"
+               ~doc:"Event ring capacity (default 1048576; aggregates \
+                     survive eviction but the audit needs the full ring).")
+       in
+       Cmd.v
+         (Cmd.info "trace"
+            ~doc:
+              "Run one fully traced scenario, print event/flow summaries, \
+               audit the trace, and optionally export it as JSONL")
+         Term.(
+           const run_trace $ scale_term $ scenario_arg $ out_arg $ audit_flag
+           $ capacity_arg));
       cmd "selfcheck" "Verify the crypto and sketch substrates against known vectors" run_selfcheck;
       cmd "all" "Run the entire evaluation" run_all;
     ]

@@ -48,6 +48,24 @@ let admit t (env : Node_env.t) (block : Block.t) =
         if not (Hashtbl.mem t.settled id) then
           Hashtbl.add t.settled id block.height)
       block.txids;
+    (match env.trace with
+    | Some tr ->
+        Lo_obs.Trace.emit tr ~at:(env.now ())
+          (Lo_obs.Event.Block_accept
+             {
+               node = env.my_index;
+               creator =
+                 Option.value (env.index_of block.creator) ~default:(-1);
+               height = block.height;
+               bundles =
+                 List.map
+                   (fun (seq, txids) ->
+                     (seq, List.map Short_id.of_txid txids))
+                   (Block.bundle_txids block);
+               omitted = List.map fst block.omissions;
+               appendix = block.appendix;
+             })
+    | None -> ());
     env.hooks.on_block_accepted block ~now:(env.now ())
   end
 
@@ -88,9 +106,27 @@ let rec inspect_block t (env : Node_env.t) (block : Block.t) ~from =
   else begin
     let report = Inspector.inspect block (knowledge_for t block.creator) in
     let need_digests = ref [] in
+    let violation_kind = function
+      | Inspector.Bad_structure _ -> "bad-structure"
+      | Inspector.Injection _ -> "injection"
+      | Inspector.Reordering _ -> "reordering"
+      | Inspector.Blockspace_censorship _ -> "blockspace-censorship"
+      | Inspector.False_omission_claim _ -> "false-omission"
+    in
     List.iter
       (fun violation ->
         env.hooks.on_violation violation ~block ~now:(env.now ());
+        (match env.trace with
+        | Some tr ->
+            Lo_obs.Trace.emit tr ~at:(env.now ())
+              (Lo_obs.Event.Violation
+                 {
+                   node = env.my_index;
+                   peer =
+                     Option.value (env.index_of block.creator) ~default:(-1);
+                   kind = violation_kind violation;
+                 })
+        | None -> ());
         match evidence_for t block violation with
         | Some evidence ->
             if Evidence.verify env.config.scheme evidence then

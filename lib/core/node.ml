@@ -107,8 +107,44 @@ let wire_digest t ~peer_index =
   if t.config.always_full_digests then Commitment.Log.current_digest log
   else Commitment.Log.current_digest_light log
 
+(* Primary-log appends funnel through here so the trace sees every
+   committed bundle. The fresh-id precomputation mirrors the log's own
+   filter (range check + known-id dedup, order preserved) because
+   [Log.append] does not report which ids survived. *)
+let append_primary t ~source ~ids =
+  match Network.trace t.net with
+  | None -> ignore (Commitment.Log.append t.log ~source ~ids)
+  | Some tr -> begin
+      let seen = Hashtbl.create 8 in
+      let fresh =
+        List.filter
+          (fun id ->
+            if
+              id <= 0 || id > Short_id.max_value
+              || Commitment.Log.contains t.log id
+              || Hashtbl.mem seen id
+            then false
+            else begin
+              Hashtbl.add seen id ();
+              true
+            end)
+          ids
+      in
+      match Commitment.Log.append t.log ~source ~ids with
+      | Some d ->
+          Lo_obs.Trace.emit tr ~at:(now t)
+            (Lo_obs.Event.Commit_append
+               {
+                 node = t.index;
+                 seq = d.Commitment.seq;
+                 count = d.Commitment.counter;
+                 ids = fresh;
+               })
+      | None -> ()
+    end
+
 let commit_bundle t ~source ~ids =
-  ignore (Commitment.Log.append t.log ~source ~ids);
+  append_primary t ~source ~ids;
   match t.alt_log with
   | Some alt -> ignore (Commitment.Log.append alt ~source ~ids)
   | None -> ()
@@ -117,6 +153,18 @@ let expose t ~accused evidence =
   if not (String.equal accused t.my_id) then begin
     if Accountability.expose t.acc ~peer:accused evidence then begin
       t.hooks.on_exposure ~accused ~now:(now t);
+      (match Network.trace t.net with
+      | Some tr ->
+          Lo_obs.Trace.emit tr ~at:(now t)
+            (Lo_obs.Event.Expose
+               {
+                 node = t.index;
+                 peer =
+                   Option.value
+                     (Directory.index_of t.directory accused)
+                     ~default:(-1);
+               })
+      | None -> ());
       Hashtbl.replace t.seen_exposures accused ();
       broadcast t (Messages.Exposure_note evidence)
     end
@@ -129,6 +177,7 @@ let make_env t =
   {
     Node_env.config = t.config;
     hooks = t.hooks;
+    trace = Network.trace t.net;
     my_id = t.my_id;
     my_index = t.index;
     signer = t.signer;
@@ -214,7 +263,7 @@ let submit_tx t tx =
       else begin
         let short = Tx.short_id tx in
         if not (Commitment.Log.contains t.log short) then begin
-          ignore (Commitment.Log.append t.log ~source:None ~ids:[ short ]);
+          append_primary t ~source:None ~ids:[ short ];
           (match t.alt_log with
           | Some alt ->
               let alt_tx = equivocator_alt_tx t tx in

@@ -67,6 +67,7 @@ let no_hooks () =
 type t = {
   config : config;
   hooks : hooks;
+  trace : Lo_obs.Trace.t option;
   my_id : string;
   my_index : int;
   signer : Lo_crypto.Signer.t;

@@ -67,6 +67,9 @@ val no_hooks : unit -> hooks
 type t = {
   config : config;
   hooks : hooks;
+  trace : Lo_obs.Trace.t option;
+      (** observability sink (shared with the network engine); [None]
+          keeps every emission site on its cheap disabled path *)
   my_id : string;
   my_index : int;
   signer : Lo_crypto.Signer.t;

@@ -54,6 +54,43 @@ let retry_delay (env : Node_env.t) ~retries =
 
 let cap n xs = List.filteri (fun i _ -> i < n) xs
 
+(* --- trace emission (no-ops without a sink) --- *)
+
+let span_key peer_index = "recon:" ^ string_of_int peer_index
+
+let emit_span_begin (env : Node_env.t) ~peer_index =
+  match env.trace with
+  | Some tr ->
+      Lo_obs.Trace.emit tr ~at:(env.now ())
+        (Lo_obs.Event.Span_begin
+           { node = env.my_index; key = span_key peer_index })
+  | None -> ()
+
+let emit_span_end (env : Node_env.t) ~peer_index ~ok =
+  match env.trace with
+  | Some tr ->
+      Lo_obs.Trace.emit tr ~at:(env.now ())
+        (Lo_obs.Event.Span_end
+           { node = env.my_index; key = span_key peer_index; ok })
+  | None -> ()
+
+let peer_of (env : Node_env.t) peer_id =
+  Option.value (env.index_of peer_id) ~default:(-1)
+
+let emit_suspect (env : Node_env.t) peer_id =
+  match env.trace with
+  | Some tr ->
+      Lo_obs.Trace.emit tr ~at:(env.now ())
+        (Lo_obs.Event.Suspect { node = env.my_index; peer = peer_of env peer_id })
+  | None -> ()
+
+let emit_clear (env : Node_env.t) peer_id =
+  match env.trace with
+  | Some tr ->
+      Lo_obs.Trace.emit tr ~at:(env.now ())
+        (Lo_obs.Event.Clear { node = env.my_index; peer = peer_of env peer_id })
+  | None -> ()
+
 (* What the peer is (probably) missing from us, and — when the stored
    digest carries a sketch — what we are missing from it. The common
    path is the Bloom-clock comparison of Sec. 4.2: we offer the ids in
@@ -138,6 +175,7 @@ let rec reconcile_with ?(force = false) t (env : Node_env.t) ~peer_index =
            || Peer_tracker.latest t.tracker ~peer:peer_id = None
         then begin
           env.hooks.on_reconcile ~now:(env.now ());
+          emit_span_begin env ~peer_index;
           p.waiting <- true;
           p.gen <- p.gen + 1;
           let gen = p.gen in
@@ -157,6 +195,7 @@ and request_timeout t (env : Node_env.t) ~peer_index ~peer:peer_id ~gen =
   if p.waiting && p.gen = gen then begin
     p.waiting <- false;
     p.retries <- p.retries + 1;
+    emit_span_end env ~peer_index ~ok:false;
     if p.retries <= env.config.max_retries then
       reconcile_with ~force:true t env ~peer_index
     else begin
@@ -166,6 +205,7 @@ and request_timeout t (env : Node_env.t) ~peer_index ~peer:peer_id ~gen =
         Accountability.suspect env.acc ~peer:peer_id ~now:(env.now ())
           ~reason:"request timeout";
         env.hooks.on_suspicion ~suspect:peer_id ~now:(env.now ());
+        emit_suspect env peer_id;
         let last_digest = Peer_tracker.latest t.tracker ~peer:peer_id in
         env.broadcast
           (Messages.Suspicion_note
@@ -185,10 +225,16 @@ let resolve_pending t (env : Node_env.t) ~peer:peer_id =
   p.waiting <- false;
   p.retries <- 0;
   p.unresponsive <- 0;
-  if was_waiting then env.hooks.on_reconcile_complete ~now:(env.now ());
+  if was_waiting then begin
+    env.hooks.on_reconcile_complete ~now:(env.now ());
+    match env.index_of peer_id with
+    | Some peer_index -> emit_span_end env ~peer_index ~ok:true
+    | None -> ()
+  end;
   if Accountability.is_suspected env.acc peer_id then begin
     Accountability.clear_suspicion env.acc ~peer:peer_id;
     env.hooks.on_suspicion_cleared ~suspect:peer_id ~now:(env.now ());
+    emit_clear env peer_id;
     (* The suspect answered us: retract our blame so the rest of the
        network does not keep an unresolvable suspicion on an honest
        node (temporal accuracy, Sec. 3.2). *)
@@ -203,6 +249,7 @@ let handle_withdrawal t (env : Node_env.t) ~suspect ~reporter:_ =
     if Accountability.is_suspected env.acc suspect then begin
       Accountability.clear_suspicion env.acc ~peer:suspect;
       env.hooks.on_suspicion_cleared ~suspect ~now:(env.now ());
+      emit_clear env suspect;
       (* [seen_suspicions] is deliberately NOT purged here: stale
          suspicion notes for this incident may still be in flight, and
          re-accepting them would re-raise the suspicion and chase the
@@ -295,7 +342,8 @@ let handle_suspicion t (env : Node_env.t) ~from note =
     if not (Accountability.is_suspected env.acc suspect) then begin
       Accountability.suspect env.acc ~peer:suspect ~now:(env.now ())
         ~reason:"gossiped suspicion";
-      env.hooks.on_suspicion ~suspect ~now:(env.now ())
+      env.hooks.on_suspicion ~suspect ~now:(env.now ());
+      emit_suspect env suspect
     end;
     env.broadcast (Messages.Suspicion_note note);
     (* Probe the suspect ourselves so a correct node can clear itself. *)
@@ -348,7 +396,14 @@ let rec round t (env : Node_env.t) =
    suspicions raised just before the crash get re-examined. *)
 let on_restart t (env : Node_env.t) =
   Hashtbl.iter
-    (fun _ p ->
+    (fun peer_id p ->
+      if p.waiting then begin
+        (* Close the span the crash orphaned, or the next round's
+           Span_begin for the same key would read as a double-begin. *)
+        match env.index_of peer_id with
+        | Some peer_index -> emit_span_end env ~peer_index ~ok:false
+        | None -> ()
+      end;
       p.waiting <- false;
       p.retries <- 0;
       p.gen <- p.gen + 1)

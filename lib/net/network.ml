@@ -24,6 +24,7 @@ and t = {
   mutable messages : int;
   mutable total_bytes : int;
   tag_bytes : (string, int ref) Hashtbl.t;
+  mutable obs : Lo_obs.Trace.t option;
 }
 
 and handler = t -> from:node -> tag:string -> string -> unit
@@ -59,7 +60,11 @@ let create ?(latency = Latency.default) ?(jitter = 0.1) ?(loss_rate = 0.)
     messages = 0;
     total_bytes = 0;
     tag_bytes = Hashtbl.create 16;
+    obs = None;
   }
+
+let set_trace t trace = t.obs <- trace
+let trace t = t.obs
 
 let num_nodes t = t.num_nodes
 let now t = t.clock
@@ -92,14 +97,36 @@ let send t ~src ~dst ~tag payload =
     match t.filter with None -> true | Some f -> f ~src ~dst ~tag
   in
   if
-    allowed && (not t.down.(dst)) && (not t.down.(src))
-    && not (partitioned t ~src ~dst)
+    not
+      (allowed && (not t.down.(dst)) && (not t.down.(src))
+      && not (partitioned t ~src ~dst))
   then begin
+    (* Refused before any accounting: traced as a blocked drop with no
+       matching send, so it stays outside bandwidth conservation. *)
+    match t.obs with
+    | Some tr ->
+        Lo_obs.Trace.emit tr ~at:t.clock
+          (Lo_obs.Event.Drop
+             {
+               src;
+               dst;
+               tag;
+               bytes = String.length payload;
+               reason = Lo_obs.Event.Blocked;
+             })
+    | None -> ()
+  end
+  else begin
     let size = String.length payload in
     t.bytes_sent.(src) <- t.bytes_sent.(src) + size;
     t.messages <- t.messages + 1;
     t.total_bytes <- t.total_bytes + size;
     account_tag t tag size;
+    (match t.obs with
+    | Some tr ->
+        Lo_obs.Trace.emit tr ~at:t.clock
+          (Lo_obs.Event.Send { src; dst; tag; bytes = size })
+    | None -> ());
     let fault = Hashtbl.find_opt t.link_faults (src, dst) in
     let base =
       if src = dst then 0.
@@ -124,6 +151,14 @@ let send t ~src ~dst ~tag payload =
     if not lost then
       Event_queue.add t.queue ~time:(t.clock +. delay)
         (Deliver { src; dst; tag; payload })
+    else begin
+      match t.obs with
+      | Some tr ->
+          Lo_obs.Trace.emit tr ~at:t.clock
+            (Lo_obs.Event.Drop
+               { src; dst; tag; bytes = size; reason = Lo_obs.Event.Loss })
+      | None -> ()
+    end
   end
 
 let schedule_at t ~at f =
@@ -132,9 +167,21 @@ let schedule_at t ~at f =
 
 let schedule t ~delay f = schedule_at t ~at:(t.clock +. delay) f
 
+(* Down-state transitions are traced (crash on up->down, restart on
+   down->up) regardless of which entry point flipped them. *)
+let mark_down t node v =
+  let was = t.down.(node) in
+  t.down.(node) <- v;
+  match t.obs with
+  | Some tr when was <> v ->
+      Lo_obs.Trace.emit tr ~at:t.clock
+        (if v then Lo_obs.Event.Crash { node }
+         else Lo_obs.Event.Restart { node })
+  | _ -> ()
+
 let set_down t node v =
   check_node t node "set_down";
-  t.down.(node) <- v
+  mark_down t node v
 
 let is_down t node =
   check_node t node "is_down";
@@ -142,7 +189,7 @@ let is_down t node =
 
 let crash t node =
   check_node t node "crash";
-  t.down.(node) <- true
+  mark_down t node true
 
 let set_restart_handler t node f =
   check_node t node "set_restart_handler";
@@ -151,7 +198,7 @@ let set_restart_handler t node f =
 let restart t node =
   check_node t node "restart";
   if t.down.(node) then begin
-    t.down.(node) <- false;
+    mark_down t node false;
     match t.restart_handlers.(node) with Some f -> f t | None -> ()
   end
 
@@ -196,9 +243,29 @@ let dispatch t event =
   | Deliver { src; dst; tag; payload } ->
       if not t.down.(dst) then begin
         t.bytes_received.(dst) <- t.bytes_received.(dst) + String.length payload;
+        (match t.obs with
+        | Some tr ->
+            Lo_obs.Trace.emit tr ~at:t.clock
+              (Lo_obs.Event.Deliver
+                 { src; dst; tag; bytes = String.length payload })
+        | None -> ());
         match t.handlers.(dst) with
         | None -> ()
         | Some handler -> handler t ~from:src ~tag payload
+      end
+      else begin
+        match t.obs with
+        | Some tr ->
+            Lo_obs.Trace.emit tr ~at:t.clock
+              (Lo_obs.Event.Drop
+                 {
+                   src;
+                   dst;
+                   tag;
+                   bytes = String.length payload;
+                   reason = Lo_obs.Event.Down;
+                 })
+        | None -> ()
       end
 
 let run_until t until =
@@ -225,6 +292,28 @@ let run_until_idle ?(max_time = infinity) t =
         dispatch t event
     | Some _ | None -> continue := false
   done
+
+let flush_in_flight t =
+  match t.obs with
+  | None -> ()
+  | Some tr ->
+      let rec drain () =
+        match Event_queue.pop t.queue with
+        | None -> ()
+        | Some (time, Deliver { src; dst; tag; payload }) ->
+            Lo_obs.Trace.emit tr ~at:time
+              (Lo_obs.Event.Drop
+                 {
+                   src;
+                   dst;
+                   tag;
+                   bytes = String.length payload;
+                   reason = Lo_obs.Event.In_flight;
+                 });
+            drain ()
+        | Some (_, Timer _) -> drain ()
+      in
+      drain ()
 
 let bytes_sent_by t node =
   check_node t node "bytes_sent_by";

@@ -34,6 +34,16 @@ val city_of : t -> node -> int
 val latency_model : t -> Latency.t
 val set_handler : t -> node -> handler -> unit
 
+val set_trace : t -> Lo_obs.Trace.t option -> unit
+(** Attach (or detach) an observability sink. Every charged send, every
+    delivery, every drop (with its reason) and every down/up transition
+    is emitted to it. Tracing never consumes engine randomness and never
+    changes behaviour: a run is event-for-event identical with tracing
+    on or off. Attach before protocol instances are created so they can
+    snapshot it. *)
+
+val trace : t -> Lo_obs.Trace.t option
+
 val send : t -> src:node -> dst:node -> tag:string -> string -> unit
 (** Queue a message for delivery. Self-sends are delivered with zero
     latency; for distinct nodes the perturbed delay is clamped to a
@@ -93,6 +103,13 @@ val run_until : t -> float -> unit
     [now t] equals that time. *)
 
 val run_until_idle : ?max_time:float -> t -> unit
+
+val flush_in_flight : t -> unit
+(** Destructively drain the event queue, emitting a {!Lo_obs.Event.Drop}
+    with reason [In_flight] (at each message's scheduled delivery time)
+    for every queued delivery — closing the bandwidth-conservation books
+    when the horizon cuts a run. Queued timers are discarded too, so
+    only call this once the run is over. No-op without a trace. *)
 
 (** {1 Accounting} *)
 

@@ -1,0 +1,57 @@
+type drop_reason = Blocked | Loss | Down | In_flight
+
+type t =
+  | Send of { src : int; dst : int; tag : string; bytes : int }
+  | Deliver of { src : int; dst : int; tag : string; bytes : int }
+  | Drop of {
+      src : int;
+      dst : int;
+      tag : string;
+      bytes : int;
+      reason : drop_reason;
+    }
+  | Span_begin of { node : int; key : string }
+  | Span_end of { node : int; key : string; ok : bool }
+  | Commit_append of { node : int; seq : int; count : int; ids : int list }
+  | Suspect of { node : int; peer : int }
+  | Clear of { node : int; peer : int }
+  | Expose of { node : int; peer : int }
+  | Violation of { node : int; peer : int; kind : string }
+  | Block_accept of {
+      node : int;
+      creator : int;
+      height : int;
+      bundles : (int * int list) list;
+      omitted : int list;
+      appendix : int;
+    }
+  | Crash of { node : int }
+  | Restart of { node : int }
+
+let kind = function
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Drop _ -> "drop"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Commit_append _ -> "commit"
+  | Suspect _ -> "suspect"
+  | Clear _ -> "clear"
+  | Expose _ -> "expose"
+  | Violation _ -> "violation"
+  | Block_accept _ -> "block"
+  | Crash _ -> "crash"
+  | Restart _ -> "restart"
+
+let drop_reason_label = function
+  | Blocked -> "blocked"
+  | Loss -> "loss"
+  | Down -> "down"
+  | In_flight -> "inflight"
+
+let drop_reason_of_label = function
+  | "blocked" -> Some Blocked
+  | "loss" -> Some Loss
+  | "down" -> Some Down
+  | "inflight" -> Some In_flight
+  | _ -> None

@@ -1,0 +1,25 @@
+(** JSONL export/import of trace entries.
+
+    One JSON object per line, fixed field order per event kind, floats
+    printed with six decimals — so two traces are byte-identical exactly
+    when their event streams are. Strings (tags, span keys, violation
+    kinds) are sanitised on emission to a conservative character set
+    (alphanumerics and [:_\-./ ]); the parser relies on that, which
+    keeps it dependency-free.
+
+    Wall-clock phase notes are intentionally absent from the export:
+    they are host-machine measurements and would break determinism. *)
+
+val line : Trace.entry -> string
+(** Without the trailing newline. *)
+
+val to_string : Trace.t -> string
+(** Every retained entry, one per line, each newline-terminated. *)
+
+val output : out_channel -> Trace.t -> unit
+
+val parse_line : string -> (Trace.entry, string) result
+
+val parse : string -> (Trace.entry list, string) result
+(** Whole-document parse; blank lines are skipped. On failure the error
+    names the offending line number. *)

@@ -1,0 +1,224 @@
+type entry = { at : float; ev : Event.t }
+
+type flow = {
+  sent_msgs : int;
+  sent_bytes : int;
+  delivered_msgs : int;
+  delivered_bytes : int;
+  dropped_msgs : int;
+  dropped_bytes : int;
+  blocked_msgs : int;
+  blocked_bytes : int;
+}
+
+type node_io = {
+  out_msgs : int;
+  out_bytes : int;
+  in_msgs : int;
+  in_bytes : int;
+}
+
+type mutable_flow = {
+  mutable f_sent_msgs : int;
+  mutable f_sent_bytes : int;
+  mutable f_delivered_msgs : int;
+  mutable f_delivered_bytes : int;
+  mutable f_dropped_msgs : int;
+  mutable f_dropped_bytes : int;
+  mutable f_blocked_msgs : int;
+  mutable f_blocked_bytes : int;
+}
+
+type mutable_io = {
+  mutable n_out_msgs : int;
+  mutable n_out_bytes : int;
+  mutable n_in_msgs : int;
+  mutable n_in_bytes : int;
+}
+
+type t = {
+  cap : int;
+  buf : entry array;
+  mutable start : int;
+  mutable len : int;
+  mutable evicted : int;
+  mutable last_at : float;
+  kinds : (string, int ref) Hashtbl.t;
+  tags : (string, mutable_flow) Hashtbl.t;
+  nodes : (int, mutable_io) Hashtbl.t;
+  spans : (int * string, int) Hashtbl.t;  (* open-count per (node, key) *)
+  mutable open_count : int;
+  mutable span_errors : int;
+  mutable phases_rev : (string * float) list;
+}
+
+let dummy = { at = 0.; ev = Event.Crash { node = -1 } }
+
+let create ?(capacity = 1_048_576) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity";
+  {
+    cap = capacity;
+    buf = Array.make capacity dummy;
+    start = 0;
+    len = 0;
+    evicted = 0;
+    last_at = 0.;
+    kinds = Hashtbl.create 16;
+    tags = Hashtbl.create 16;
+    nodes = Hashtbl.create 64;
+    spans = Hashtbl.create 64;
+    open_count = 0;
+    span_errors = 0;
+    phases_rev = [];
+  }
+
+let capacity t = t.cap
+let length t = t.len
+let evicted t = t.evicted
+let total t = t.len + t.evicted
+let last_at t = t.last_at
+let open_spans t = t.open_count
+let span_errors t = t.span_errors
+
+let flow_for t tag =
+  match Hashtbl.find_opt t.tags tag with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          f_sent_msgs = 0;
+          f_sent_bytes = 0;
+          f_delivered_msgs = 0;
+          f_delivered_bytes = 0;
+          f_dropped_msgs = 0;
+          f_dropped_bytes = 0;
+          f_blocked_msgs = 0;
+          f_blocked_bytes = 0;
+        }
+      in
+      Hashtbl.add t.tags tag f;
+      f
+
+let io_for t node =
+  match Hashtbl.find_opt t.nodes node with
+  | Some io -> io
+  | None ->
+      let io =
+        { n_out_msgs = 0; n_out_bytes = 0; n_in_msgs = 0; n_in_bytes = 0 }
+      in
+      Hashtbl.add t.nodes node io;
+      io
+
+let account t (ev : Event.t) =
+  let kind = Event.kind ev in
+  (match Hashtbl.find_opt t.kinds kind with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.kinds kind (ref 1));
+  match ev with
+  | Event.Send { src; tag; bytes; _ } ->
+      let f = flow_for t tag in
+      f.f_sent_msgs <- f.f_sent_msgs + 1;
+      f.f_sent_bytes <- f.f_sent_bytes + bytes;
+      let io = io_for t src in
+      io.n_out_msgs <- io.n_out_msgs + 1;
+      io.n_out_bytes <- io.n_out_bytes + bytes
+  | Event.Deliver { dst; tag; bytes; _ } ->
+      let f = flow_for t tag in
+      f.f_delivered_msgs <- f.f_delivered_msgs + 1;
+      f.f_delivered_bytes <- f.f_delivered_bytes + bytes;
+      let io = io_for t dst in
+      io.n_in_msgs <- io.n_in_msgs + 1;
+      io.n_in_bytes <- io.n_in_bytes + bytes
+  | Event.Drop { tag; bytes; reason; _ } ->
+      let f = flow_for t tag in
+      if reason = Event.Blocked then begin
+        f.f_blocked_msgs <- f.f_blocked_msgs + 1;
+        f.f_blocked_bytes <- f.f_blocked_bytes + bytes
+      end
+      else begin
+        f.f_dropped_msgs <- f.f_dropped_msgs + 1;
+        f.f_dropped_bytes <- f.f_dropped_bytes + bytes
+      end
+  | Event.Span_begin { node; key } ->
+      let k = (node, key) in
+      let open_now =
+        match Hashtbl.find_opt t.spans k with Some n -> n | None -> 0
+      in
+      Hashtbl.replace t.spans k (open_now + 1);
+      t.open_count <- t.open_count + 1
+  | Event.Span_end { node; key; _ } -> begin
+      let k = (node, key) in
+      match Hashtbl.find_opt t.spans k with
+      | Some n when n > 0 ->
+          Hashtbl.replace t.spans k (n - 1);
+          t.open_count <- t.open_count - 1
+      | _ -> t.span_errors <- t.span_errors + 1
+    end
+  | Event.Commit_append _ | Event.Suspect _ | Event.Clear _ | Event.Expose _
+  | Event.Violation _ | Event.Block_accept _ | Event.Crash _
+  | Event.Restart _ ->
+      ()
+
+let emit t ~at ev =
+  account t ev;
+  let slot = (t.start + t.len) mod t.cap in
+  t.buf.(slot) <- { at; ev };
+  if t.len < t.cap then t.len <- t.len + 1
+  else begin
+    t.start <- (t.start + 1) mod t.cap;
+    t.evicted <- t.evicted + 1
+  end;
+  if at > t.last_at then t.last_at <- at
+
+let events t =
+  List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
+
+let count t kind =
+  match Hashtbl.find_opt t.kinds kind with Some r -> !r | None -> 0
+
+let kind_counts t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.kinds []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let tag_flows t =
+  Hashtbl.fold
+    (fun tag f acc ->
+      ( tag,
+        {
+          sent_msgs = f.f_sent_msgs;
+          sent_bytes = f.f_sent_bytes;
+          delivered_msgs = f.f_delivered_msgs;
+          delivered_bytes = f.f_delivered_bytes;
+          dropped_msgs = f.f_dropped_msgs;
+          dropped_bytes = f.f_dropped_bytes;
+          blocked_msgs = f.f_blocked_msgs;
+          blocked_bytes = f.f_blocked_bytes;
+        } )
+      :: acc)
+    t.tags []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let node_flows t =
+  Hashtbl.fold
+    (fun node io acc ->
+      ( node,
+        {
+          out_msgs = io.n_out_msgs;
+          out_bytes = io.n_out_bytes;
+          in_msgs = io.n_in_msgs;
+          in_bytes = io.n_in_bytes;
+        } )
+      :: acc)
+    t.nodes []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let note_phase t name seconds =
+  match List.assoc_opt name t.phases_rev with
+  | Some _ ->
+      t.phases_rev <-
+        List.map
+          (fun (n, v) -> if String.equal n name then (n, v +. seconds) else (n, v))
+          t.phases_rev
+  | None -> t.phases_rev <- (name, seconds) :: t.phases_rev
+
+let phases t = List.rev t.phases_rev

@@ -434,12 +434,14 @@ let fig9_lo ~scale ~seed =
       ~wire:(fun r -> stats := Runner.content_latency_probe r)
       ()
   in
-  (Runner.protocol_overhead run, Metrics.Stats.mean !stats)
+  ( Runner.protocol_overhead run,
+    Metrics.Stats.mean !stats,
+    Network.bytes_by_tag run.Runner.deployment.Scenario.net )
 
 let fig9 ?(scale = default_scale) () =
   let seed = scale.seed + 99 in
   let duration = scale.duration in
-  let lo_overhead, lo_latency = fig9_lo ~scale ~seed in
+  let lo_overhead, lo_latency, lo_by_tag = fig9_lo ~scale ~seed in
   (* Flood *)
   let flood_overhead, flood_stats =
     Runner.run_baseline ~scale ~seed ~content_tags:[ "flood:tx" ]
@@ -543,6 +545,23 @@ let fig9 ?(scale = default_scale) () =
            Printf.sprintf "%.2f" r.content_latency;
          ])
        rows);
+  (* Where LØ's bytes actually go, split by message kind: content tags
+     carry transaction payloads; the rest is the accountability tax the
+     headline overhead number aggregates. *)
+  let lo_total = List.fold_left (fun acc (_, b) -> acc + b) 0 lo_by_tag in
+  Report.table ~title:"Fig. 9 — LO bandwidth by message kind"
+    ~header:[ "tag"; "bytes"; "share"; "class" ]
+    (List.map
+       (fun (tag, bytes) ->
+         [
+           tag;
+           Report.bytes bytes;
+           Printf.sprintf "%.1f%%"
+             (100. *. float_of_int bytes /. float_of_int (max 1 lo_total));
+           (if List.mem tag Runner.lo_content_tags then "content"
+            else "overhead");
+         ])
+       lo_by_tag);
   rows
 
 (* ----------------------------------------------------------------- *)
@@ -603,16 +622,33 @@ type replay_result = {
   replay_mean_latency : float;
   replay_p95 : float;
   delivered : int;
+  audit_violations : int;
 }
 
-let replay ?(scale = default_scale) ~trace () =
+let replay ?(scale = default_scale) ?(audit = false) ~trace () =
   let stats = ref (Metrics.Stats.create ()) in
-  ignore
-    (Runner.run_lo ~scale ~seed:scale.seed ~workload:(`Trace trace) ~drain:20.
-       ~wire:(fun r -> stats := Runner.content_latency_probe r)
-       ());
+  let obs = if audit then Some (Lo_obs.Trace.create ()) else None in
+  let run =
+    Runner.run_lo ~scale ~seed:scale.seed ~workload:(`Trace trace) ~drain:20.
+      ?trace:obs
+      ~wire:(fun r -> stats := Runner.content_latency_probe r)
+      ()
+  in
   let duration =
     match Lo_workload.Trace.stats trace with Some (_, dur, _, _) -> dur | None -> 0.
+  in
+  let audit_violations =
+    match obs with
+    | Some tr ->
+        let report =
+          Lo_obs.Audit.check_trace ~horizon:run.Runner.horizon tr
+        in
+        List.iter
+          (fun v ->
+            Printf.printf "  audit: %s\n" (Lo_obs.Audit.violation_to_string v))
+          report.Lo_obs.Audit.violations;
+        List.length report.Lo_obs.Audit.violations
+    | None -> 0
   in
   let result =
     {
@@ -621,10 +657,15 @@ let replay ?(scale = default_scale) ~trace () =
       replay_mean_latency = Metrics.Stats.mean !stats;
       replay_p95 = Metrics.Stats.percentile !stats 0.95;
       delivered = Metrics.Stats.count !stats;
+      audit_violations;
     }
   in
   Report.table ~title:"Trace replay — mempool inclusion latency"
-    ~header:[ "trace txs"; "trace span (s)"; "mean (s)"; "p95 (s)"; "deliveries" ]
+    ~header:
+      [
+        "trace txs"; "trace span (s)"; "mean (s)"; "p95 (s)"; "deliveries";
+        "audit";
+      ]
     [
       [
         string_of_int result.trace_txs;
@@ -632,6 +673,7 @@ let replay ?(scale = default_scale) ~trace () =
         Printf.sprintf "%.3f" result.replay_mean_latency;
         Printf.sprintf "%.3f" result.replay_p95;
         string_of_int result.delivered;
+        (if audit then string_of_int result.audit_violations else "off");
       ];
     ];
   result
@@ -881,6 +923,7 @@ type chaos_cell = {
   withdrawn : int;
   resolution_rate : float;
   honest_exposures : int;
+  audit_violations : int;
 }
 
 (* Tighter escalation than the paper's defaults so mid-length outages
@@ -919,7 +962,8 @@ let chaos_plan ~rng ~n ~duration ~churn_rate ~partition_duration ~burst_loss =
         ~period:3.0 ~duration:2.0 ~until;
     ]
 
-let chaos_cell_run ~scale ~churn_rate ~partition_duration ~burst_loss ~rep =
+let chaos_cell_run ~scale ~churn_rate ~partition_duration ~burst_loss ~rep
+    ~audit =
   let n = scale.nodes in
   let duration = scale.duration in
   let seed =
@@ -939,9 +983,10 @@ let chaos_cell_run ~scale ~churn_rate ~partition_duration ~burst_loss ~rep =
   let raised = ref 0 in
   let cleared = ref 0 in
   let exposures = ref 0 in
+  let trace = if audit then Some (Lo_obs.Trace.create ()) else None in
   let run =
     Runner.run_lo ~scale ~seed ~n ~duration ~config:chaos_config ~faults:plan
-      ~drain:30.
+      ~drain:30. ?trace
       ~wire:(fun r ->
         latency := Runner.content_latency_probe r;
         Array.iter
@@ -970,12 +1015,25 @@ let chaos_cell_run ~scale ~churn_rate ~partition_duration ~burst_loss ~rep =
     | Some s -> s
     | None -> assert false
   in
+  let audit_violations =
+    match trace with
+    | Some tr ->
+        let report =
+          Lo_obs.Audit.check_trace ~horizon:run.Runner.horizon tr
+        in
+        List.iter
+          (fun v ->
+            Printf.printf "  audit: %s\n" (Lo_obs.Audit.violation_to_string v))
+          report.Lo_obs.Audit.violations;
+        List.length report.Lo_obs.Audit.violations
+    | None -> 0
+  in
   (stats, !latency, !attempts, !completes, !raised, !cleared, unresolved,
-   !exposures)
+   !exposures, audit_violations)
 
 let chaos ?(scale = default_scale) ?(churn_rates = [ 0.1; 0.3 ])
-    ?(partition_durations = [ 1.5; 3.0 ]) ?(burst_losses = [ 0.15; 0.35 ]) ()
-    =
+    ?(partition_durations = [ 1.5; 3.0 ]) ?(burst_losses = [ 0.15; 0.35 ])
+    ?(audit = false) () =
   let cells = ref [] in
   List.iter
     (fun churn_rate ->
@@ -994,11 +1052,13 @@ let chaos ?(scale = default_scale) ?(churn_rates = [ 0.1; 0.3 ])
               let cleared = ref 0 in
               let unresolved = ref 0 in
               let exposures = ref 0 in
+              let audit_bad = ref 0 in
               for rep = 0 to scale.reps - 1 do
-                let s, lat, att, comp, rai, clr, unres, exp_ =
+                let s, lat, att, comp, rai, clr, unres, exp_, audv =
                   chaos_cell_run ~scale ~churn_rate ~partition_duration
-                    ~burst_loss ~rep
+                    ~burst_loss ~rep ~audit
                 in
+                audit_bad := !audit_bad + audv;
                 crashes := !crashes + s.Lo_net.Fault_plan.crashes;
                 restarts := !restarts + s.Lo_net.Fault_plan.restarts;
                 kinds := max !kinds (Lo_net.Fault_plan.kinds_injected s);
@@ -1033,6 +1093,7 @@ let chaos ?(scale = default_scale) ?(churn_rates = [ 0.1; 0.3 ])
                        float_of_int (!raised - !unresolved)
                        /. float_of_int !raised);
                   honest_exposures = !exposures;
+                  audit_violations = !audit_bad;
                 }
               in
               cells := cell :: !cells)
@@ -1047,6 +1108,7 @@ let chaos ?(scale = default_scale) ?(churn_rates = [ 0.1; 0.3 ])
       [
         "churn/s"; "part (s)"; "burst"; "crash"; "kinds"; "lat mean";
         "lat p95"; "recon ok"; "susp"; "withdrawn"; "resolved"; "exposed";
+        "audit";
       ]
     (List.map
        (fun c ->
@@ -1063,6 +1125,83 @@ let chaos ?(scale = default_scale) ?(churn_rates = [ 0.1; 0.3 ])
            string_of_int c.withdrawn;
            Printf.sprintf "%.1f%%" (100. *. c.resolution_rate);
            string_of_int c.honest_exposures;
+           (if audit then string_of_int c.audit_violations else "off");
          ])
        cells);
   cells
+
+(* ----------------------------------------------------------------- *)
+(* Trace — full-run observability driven through the audit            *)
+(* ----------------------------------------------------------------- *)
+
+type trace_kind = [ `Baseline | `Chaos | `Adversary ]
+
+type trace_run_result = {
+  trace : Lo_obs.Trace.t;
+  horizon : float;
+  audit : Lo_obs.Audit.report;
+}
+
+let trace_run ?(scale = default_scale) ?capacity ~kind () =
+  let trace = Lo_obs.Trace.create ?capacity () in
+  let run =
+    match kind with
+    | `Baseline ->
+        (* Healthy network with block production: the audit should come
+           back clean — this is the regression baseline. *)
+        Runner.run_lo ~scale ~seed:scale.seed ~trace
+          ~blocks:(Policy.Lo_fifo, 4.0) ()
+    | `Chaos ->
+        (* The fault-injection cocktail of {!chaos} (one mid-intensity
+           cell): crashes, partitions and loss bursts, all nodes honest.
+           The audit must still come back clean — benign faults are
+           excused, never blamed. *)
+        let n = scale.nodes in
+        let plan_rng = Rng.create ((scale.seed * 7919) + 11) in
+        let plan =
+          chaos_plan ~rng:plan_rng ~n ~duration:scale.duration ~churn_rate:0.1
+            ~partition_duration:1.5 ~burst_loss:0.15
+        in
+        Runner.run_lo ~scale ~seed:scale.seed ~config:chaos_config
+          ~faults:plan ~drain:30. ~trace ()
+    | `Adversary ->
+        (* Node 0 is a silent censor: it never answers protocol
+           requests, so suspicions of it can never resolve — the audit
+           must fail, naming node 0. The long drain lets the retry
+           escalation raise suspicions AND age them past the audit's
+           grace window before the horizon. *)
+        Runner.run_lo ~scale ~seed:scale.seed ~trace ~drain:40.
+          ~behaviors:(fun i ->
+            if i = 0 then Node.Silent_censor else Node.Honest)
+          ~blocks:(Policy.Lo_fifo, 4.0) ()
+  in
+  let audit = Lo_obs.Audit.check_trace ~horizon:run.Runner.horizon trace in
+  Report.table ~title:"Trace — events by kind"
+    ~header:[ "kind"; "count" ]
+    (List.map
+       (fun (k, c) -> [ k; string_of_int c ])
+       (Lo_obs.Trace.kind_counts trace));
+  Report.table ~title:"Trace — wire flow by message tag"
+    ~header:[ "tag"; "sent"; "delivered"; "dropped"; "blocked"; "sent bytes" ]
+    (List.map
+       (fun (tag, f) ->
+         [
+           tag;
+           string_of_int f.Lo_obs.Trace.sent_msgs;
+           string_of_int f.Lo_obs.Trace.delivered_msgs;
+           string_of_int f.Lo_obs.Trace.dropped_msgs;
+           string_of_int f.Lo_obs.Trace.blocked_msgs;
+           Report.bytes f.Lo_obs.Trace.sent_bytes;
+         ])
+       (Lo_obs.Trace.tag_flows trace));
+  (match Lo_obs.Trace.phases trace with
+  | [] -> ()
+  | phases ->
+      Report.table ~title:"Trace — harness wall-clock by phase"
+        ~header:[ "phase"; "seconds" ]
+        (List.map (fun (p, s) -> [ p; Printf.sprintf "%.3f" s ]) phases));
+  List.iter
+    (fun v -> Printf.printf "  audit: %s\n" (Lo_obs.Audit.violation_to_string v))
+    audit.Lo_obs.Audit.violations;
+  print_endline (Lo_obs.Audit.summary audit);
+  { trace; horizon = run.Runner.horizon; audit }

@@ -126,12 +126,21 @@ type replay_result = {
   replay_mean_latency : float;
   replay_p95 : float;
   delivered : int;  (** content deliveries (txs x nodes) *)
+  audit_violations : int;
+      (** {!Lo_obs.Audit} violations over the run's event trace (0 when
+          auditing was off) *)
 }
 
-val replay : ?scale:scale -> trace:Lo_workload.Trace.record list -> unit -> replay_result
+val replay :
+  ?scale:scale ->
+  ?audit:bool ->
+  trace:Lo_workload.Trace.record list ->
+  unit ->
+  replay_result
 (** Run the Fig. 7 dissemination measurement on an externally supplied
     transaction trace (the paper replays an Ethereum trace; [lo replay
-    --trace FILE] feeds a CSV through this). *)
+    --trace FILE] feeds a CSV through this). [audit] additionally traces
+    the run and replays the trace through the invariant checker. *)
 
 (** {1 Chaos — fault injection (robustness)} *)
 
@@ -155,6 +164,9 @@ type chaos_cell = {
   honest_exposures : int;
       (** exposures of honest nodes — the acceptance property demands 0:
           benign faults may be suspected but never blamed (Sec. 4) *)
+  audit_violations : int;
+      (** {!Lo_obs.Audit} violations summed over the cell's reps (0 when
+          auditing was off) *)
 }
 
 val chaos :
@@ -162,10 +174,35 @@ val chaos :
   ?churn_rates:float list ->
   ?partition_durations:float list ->
   ?burst_losses:float list ->
+  ?audit:bool ->
   unit ->
   chaos_cell list
 (** Sweep churn rate x partition duration x loss-burst intensity (with
     background latency spikes and asymmetric link degradation in every
     cell), all nodes honest, and report latency, reconciliation success,
     and the suspicion/withdrawal/exposure ledger per cell. A value of 0
-    disables that fault dimension for the cell. *)
+    disables that fault dimension for the cell. [audit] traces every rep
+    and replays it through {!Lo_obs.Audit} (tracing never perturbs the
+    simulation, so cells are identical with auditing on or off). *)
+
+(** {1 Trace — full-run observability} *)
+
+type trace_kind =
+  [ `Baseline  (** healthy network with FIFO block production *)
+  | `Chaos  (** one mid-intensity fault-injection cell, all honest *)
+  | `Adversary
+    (** node 0 is a {!Lo_core.Node.Silent_censor}: the audit must fail,
+        naming node 0 (suspicions of it can never resolve) *) ]
+
+type trace_run_result = {
+  trace : Lo_obs.Trace.t;
+  horizon : float;  (** simulated time the run ended at *)
+  audit : Lo_obs.Audit.report;
+}
+
+val trace_run :
+  ?scale:scale -> ?capacity:int -> kind:trace_kind -> unit -> trace_run_result
+(** Run one fully traced scenario, print event/flow/phase summaries and
+    the audit verdict, and hand back the trace for export ([lo trace]
+    writes it as JSONL). [capacity] bounds the event ring (default
+    {!Lo_obs.Trace.create}'s). *)

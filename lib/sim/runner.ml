@@ -28,13 +28,27 @@ type run = {
 let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
     ?rate ?duration ?(workload = `Poisson) ?workload_seed ?rotate_period
     ?blocks ?(drain = 20.) ?(wire = fun _ -> ()) ?(after_inject = fun _ -> ())
-    ~scale ~seed () =
+    ?trace ~scale ~seed () =
+  (* Wall-clock self-profiling: phase timings live beside the trace but
+     outside the deterministic event stream (excluded from JSONL), so
+     they never threaten byte-identical replays. *)
+  let phase_clock = ref (Unix.gettimeofday ()) in
+  let note_phase name =
+    match trace with
+    | Some tr ->
+        let now = Unix.gettimeofday () in
+        Lo_obs.Trace.note_phase tr name (now -. !phase_clock);
+        phase_clock := now
+    | None -> ()
+  in
   let n = Option.value n ~default:scale.nodes in
   let rate = Option.value rate ~default:scale.rate in
   let workload_seed = Option.value workload_seed ~default:seed in
   let d =
-    Scenario.build_lo ~config ?behaviors ?malicious ?loss_rate ~n ~seed ()
+    Scenario.build_lo ~config ?behaviors ?malicious ?loss_rate ?trace ~n ~seed
+      ()
   in
+  note_phase "build";
   let specs, wl_duration =
     match workload with
     | `Poisson ->
@@ -62,6 +76,7 @@ let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
     }
   in
   wire run;
+  note_phase "wire";
   let txs = Scenario.inject_workload d specs in
   run.txs <- txs;
   List.iter
@@ -80,7 +95,12 @@ let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
   | Some (policy, interval) ->
       Scenario.schedule_blocks d ~policy ~interval ~until:run.horizon ()
   | None -> ());
+  note_phase "inject";
   Network.run_until d.net run.horizon;
+  note_phase "run";
+  (* Close the bandwidth-conservation books on whatever the horizon cut
+     off; only meaningful (and only a queue walk) when tracing. *)
+  if trace <> None then Network.flush_in_flight d.net;
   run
 
 let content_latency_probe run =

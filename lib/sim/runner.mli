@@ -51,6 +51,7 @@ val run_lo :
   ?drain:float ->
   ?wire:(run -> unit) ->
   ?after_inject:(run -> unit) ->
+  ?trace:Lo_obs.Trace.t ->
   scale:scale ->
   seed:int ->
   unit ->
@@ -64,7 +65,14 @@ val run_lo :
     [fault_stats]), neighbour rotation every [rotate_period] (if
     given), block production with ([policy], [interval]) (if given),
     then [Network.run_until (workload duration + drain)] (drain default
-    20 s). *)
+    20 s).
+
+    [trace] attaches an observability sink for the whole life cycle:
+    protocol events stream into it during the run, in-flight messages
+    are flushed as [In_flight] drops at the horizon (closing the
+    bandwidth-conservation books for {!Lo_obs.Audit}), and per-stage
+    wall-clock timings are recorded via {!Lo_obs.Trace.note_phase}
+    (kept outside the deterministic event stream). *)
 
 val content_latency_probe : run -> Metrics.Stats.t
 (** Install the standard Fig. 7/9 measurement on every node: record

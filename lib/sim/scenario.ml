@@ -15,9 +15,11 @@ type lo_deployment = {
 }
 
 let build_lo ?(config = Fun.id) ?(behaviors = fun _ -> Node.Honest) ?malicious
-    ?(loss_rate = 0.) ~n ~seed () =
+    ?(loss_rate = 0.) ?trace ~n ~seed () =
   let scheme = Signer.simulation () in
   let net = Network.create ~loss_rate ~num_nodes:n ~seed () in
+  (* Before Mux/node creation: node environments snapshot the sink. *)
+  Network.set_trace net trace;
   let mux = Lo_net.Mux.create net in
   let signers =
     Array.init n (fun i ->

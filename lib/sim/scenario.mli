@@ -21,6 +21,7 @@ val build_lo :
   ?behaviors:(int -> Lo_core.Node.behavior) ->
   ?malicious:bool array ->
   ?loss_rate:float ->
+  ?trace:Lo_obs.Trace.t ->
   n:int ->
   seed:int ->
   unit ->
@@ -28,7 +29,9 @@ val build_lo :
 (** [malicious] (when given) marks nodes whose edges are laid so the
     correct subgraph stays connected and malicious nodes are mutually
     interconnected, as in the Sec. 6.2 experiments. [config] tweaks the
-    default node configuration. *)
+    default node configuration. [trace] attaches an observability sink
+    before any protocol instance is created; tracing never perturbs the
+    run (see {!Lo_net.Network.set_trace}). *)
 
 val inject_workload :
   lo_deployment -> Lo_workload.Tx_gen.spec list -> Lo_core.Tx.t list

@@ -112,6 +112,148 @@ let composite_tests =
         && R.at_end r);
   ]
 
+(* --- Lo_core.Messages: every wire constructor round-trips ---
+
+   decode recomputes derived fields (tx ids, digest hashes) instead of
+   trusting the bytes, so the robust equality is on re-encoding:
+   encode (decode (encode m)) = encode m. *)
+
+module M = Lo_core.Messages
+module Commitment = Lo_core.Commitment
+
+let scheme = Lo_crypto.Signer.simulation ()
+let msg_signer = Lo_crypto.Signer.make scheme ~seed:"codec-messages"
+let peer_signer = Lo_crypto.Signer.make scheme ~seed:"codec-messages-peer"
+
+let mk_tx ?(fee = 10) payload =
+  Lo_core.Tx.create ~signer:msg_signer ~fee ~created_at:1.25 ~payload
+
+let digest_of ~signer bundles =
+  let log = Commitment.Log.create ~signer () in
+  List.iter (fun ids -> ignore (Commitment.Log.append log ~source:None ~ids)) bundles;
+  Commitment.Log.current_digest log
+
+let mk_block ~height ~bundles ~appendix_payloads ~omissions =
+  let bundle_txs = List.map (List.map mk_tx) bundles in
+  let appendix_txs = List.map mk_tx appendix_payloads in
+  let txids =
+    List.map
+      (fun (tx : Lo_core.Tx.t) -> tx.id)
+      (List.concat bundle_txs @ appendix_txs)
+  in
+  Lo_core.Block.create ~signer:msg_signer ~height
+    ~prev_hash:Lo_core.Block.genesis_hash ~start_seq:0
+    ~commit_seq:(List.length bundles) ~fee_threshold:0 ~txids
+    ~bundle_sizes:(List.map List.length bundles)
+    ~appendix:(List.length appendix_txs)
+    ~omissions ~timestamp:2.0
+
+let roundtrips m =
+  let bytes = M.encode m in
+  M.encode (M.decode bytes) = bytes
+
+let gen_short_ids = QCheck2.Gen.(list_size (int_bound 6) (int_range 1 1_000_000))
+let gen_payload = QCheck2.Gen.(small_string ~gen:printable)
+let gen_bundles = QCheck2.Gen.(list_size (int_bound 3) gen_short_ids)
+
+let message_tests =
+  [
+    qtest ~count:50 "submit" gen_payload (fun p -> roundtrips (M.Submit (mk_tx p)));
+    qtest ~count:50 "submit-ack" gen_payload (fun p ->
+        let tx = mk_tx p in
+        roundtrips
+          (M.Submit_ack
+             { txid = tx.Lo_core.Tx.id; ack_signature = String.make 64 's' }));
+    qtest ~count:50 "commit-request"
+      QCheck2.Gen.(quad gen_bundles gen_short_ids gen_short_ids gen_short_ids)
+      (fun (bundles, delta, want, appended) ->
+        roundtrips
+          (M.Commit_request
+             { digest = digest_of ~signer:msg_signer bundles; delta; want;
+               appended }));
+    qtest ~count:50 "commit-response"
+      QCheck2.Gen.(quad gen_bundles gen_short_ids gen_short_ids gen_short_ids)
+      (fun (bundles, want, delta, appended) ->
+        roundtrips
+          (M.Commit_response
+             { digest = digest_of ~signer:peer_signer bundles; want; delta;
+               appended }));
+    qtest ~count:30 "tx-batch"
+      QCheck2.Gen.(list_size (int_bound 5) gen_payload)
+      (fun payloads -> roundtrips (M.Tx_batch (List.map mk_tx payloads)));
+    qtest ~count:50 "digest-share" gen_bundles (fun bundles ->
+        roundtrips (M.Digest_share (digest_of ~signer:msg_signer bundles)));
+    qtest ~count:50 "digest-request" QCheck2.Gen.(int_bound 10_000) (fun seq ->
+        roundtrips
+          (M.Digest_request
+             { owner = Lo_crypto.Signer.id peer_signer; seq }));
+    qtest ~count:30 "digest-reply"
+      QCheck2.Gen.(list_size (int_bound 3) gen_bundles)
+      (fun bundle_sets ->
+        roundtrips
+          (M.Digest_reply
+             (List.map (fun b -> digest_of ~signer:msg_signer b) bundle_sets)));
+    qtest ~count:50 "suspicion-note"
+      QCheck2.Gen.(triple gen_payload bool gen_bundles)
+      (fun (reason, with_digest, bundles) ->
+        roundtrips
+          (M.Suspicion_note
+             {
+               suspect = Lo_crypto.Signer.id peer_signer;
+               reporter = Lo_crypto.Signer.id msg_signer;
+               last_digest =
+                 (if with_digest then
+                    Some (digest_of ~signer:peer_signer bundles)
+                  else None);
+               reason;
+             }));
+    qtest ~count:50 "suspicion-withdraw" QCheck2.Gen.bool (fun swap ->
+        let a = Lo_crypto.Signer.id msg_signer
+        and b = Lo_crypto.Signer.id peer_signer in
+        roundtrips
+          (M.Suspicion_withdraw
+             { suspect = (if swap then a else b);
+               reporter = (if swap then b else a) }));
+    qtest ~count:20 "exposure-note"
+      QCheck2.Gen.(triple bool gen_bundles gen_short_ids)
+      (fun (with_tx, bundles, extra) ->
+        let older = digest_of ~signer:peer_signer bundles in
+        let newer = digest_of ~signer:peer_signer (bundles @ [ 1 :: extra ]) in
+        let evidence =
+          if with_tx then
+            Lo_core.Evidence.Block_bundle_violation
+              {
+                block =
+                  mk_block ~height:3
+                    ~bundles:[ [ "a"; "b" ]; [ "c" ] ]
+                    ~appendix_payloads:[ "d" ] ~omissions:[];
+                older;
+                newer;
+                omitted_tx = Some (mk_tx "omitted");
+              }
+          else Lo_core.Evidence.Conflicting_digests { older; newer }
+        in
+        roundtrips (M.Exposure_note evidence));
+    qtest ~count:20 "block-announce"
+      QCheck2.Gen.(pair (int_range 1 50) (list_size (int_bound 3) gen_payload))
+      (fun (height, appendix_payloads) ->
+        roundtrips
+          (M.Block_announce
+             (mk_block ~height
+                ~bundles:[ [ "p1"; "p2" ]; [ "p3" ] ]
+                ~appendix_payloads
+                ~omissions:
+                  [
+                    (7, Lo_core.Block.Low_fee);
+                    (9, Lo_core.Block.Settled);
+                    (11, Lo_core.Block.Missing_content);
+                  ])));
+  ]
+
 let () =
   Alcotest.run "lo_codec"
-    [ ("scalars", scalar_tests); ("composites", composite_tests) ]
+    [
+      ("scalars", scalar_tests);
+      ("composites", composite_tests);
+      ("messages", message_tests);
+    ]

@@ -55,6 +55,7 @@ let make_harness () =
     {
       Node_env.config;
       hooks;
+      trace = None;
       my_id;
       my_index = 0;
       signer;

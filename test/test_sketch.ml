@@ -316,6 +316,34 @@ let sketch_tests =
         Sketch.decode (Sketch.merge s1 s2) = Ok []);
   ]
 
+(* ---------------- BCH decode bound ----------------
+
+   The property the reconciler's escalation logic leans on: a capacity-c
+   sketch decodes any difference of size d <= c exactly, and for
+   c < d <= 2c the BCH minimum distance guarantees no size-<=c set shares
+   the syndromes, so decode fails cleanly instead of fabricating one. *)
+
+let bch_bound_tests =
+  [
+    qtest "diff within capacity decodes exactly" ~count:60
+      QCheck2.Gen.(pair (int_range 1 24) (int_range 0 10_000))
+      (fun (d, salt) ->
+        let capacity = 24 in
+        let rng = Lo_net.Rng.create ((d * 7919) + salt) in
+        let elems = rand_distinct rng d Gf2m.gf32 in
+        match Sketch.decode (Sketch.of_list ~capacity elems) with
+        | Ok got -> List.sort compare got = List.sort compare elems
+        | Error `Decode_failure -> false);
+    qtest "diff above capacity fails cleanly" ~count:60
+      QCheck2.Gen.(pair (int_range 1 16) (int_range 0 10_000))
+      (fun (excess, salt) ->
+        let capacity = 16 in
+        let d = capacity + excess in
+        let rng = Lo_net.Rng.create ((d * 104729) + salt) in
+        let elems = rand_distinct rng d Gf2m.gf32 in
+        Sketch.decode (Sketch.of_list ~capacity elems) = Error `Decode_failure);
+  ]
+
 (* ---------------- Partitioned reconciliation ---------------- *)
 
 let partitioned_tests =
@@ -451,6 +479,7 @@ let () =
       ("poly", poly_tests);
       ("berlekamp-massey", bm_tests);
       ("sketch", sketch_tests);
+      ("bch-bound", bch_bound_tests);
       ("partitioned", partitioned_tests);
       ("strata", strata_tests);
     ]

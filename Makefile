@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke audit-smoke fmt bench clean
+.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fmt bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # The one-stop gate: everything compiles, the full test suite passes,
 # and a tiny seeded chaos scenario exercises the fault-injection paths.
 check:
-	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke
+	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) bench-smoke
 
 # Small deterministic fault-injection run (churn + partitions + loss
 # bursts + latency spikes + link degradation); exits non-zero if any
@@ -36,6 +36,14 @@ fmt:
 
 bench:
 	dune exec bench/main.exe
+
+# Micro-benchmarks only, at a tiny measurement budget: seconds, not
+# minutes. Writes BENCH_smoke.json and schema-validates it (the bench
+# binary exits non-zero on a malformed file), so `make check` catches a
+# broken benchmark or emitter without paying for a full run. The
+# committed BENCH_results.json baseline comes from a full `make bench`.
+bench-smoke:
+	LO_BENCH_MICRO_ONLY=1 LO_BENCH_SMOKE=1 LO_BENCH_OUT=BENCH_smoke.json dune exec bench/main.exe
 
 clean:
 	dune clean

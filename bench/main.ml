@@ -73,6 +73,20 @@ let crypto_group =
     Test.make ~name:"schnorr-sign" (staged (fun () -> Signer.sign schnorr_signer "message"));
     Test.make ~name:"gf32-mul"
       (staged (fun () -> Lo_sketch.Gf2m.mul Lo_sketch.Gf2m.gf32 0xDEADBEEF 0x12345678));
+    (* The log/antilog fast path against the windowed reference it
+       replaced — the speedup ratio is recorded in BENCH_results.json. *)
+    Test.make ~name:"gf16-mul-table"
+      (staged (fun () -> Lo_sketch.Gf2m.mul Lo_sketch.Gf2m.gf16 0xBEEF 0x1234));
+    Test.make ~name:"gf16-mul-generic"
+      (staged (fun () -> Lo_sketch.Gf2m.mul_generic Lo_sketch.Gf2m.gf16 0xBEEF 0x1234));
+    Test.make ~name:"gf32-mul-by"
+      (staged
+         (let mul_b = Lo_sketch.Gf2m.mul_by Lo_sketch.Gf2m.gf32 0x12345678 in
+          fun () -> mul_b 0xDEADBEEF));
+    Test.make ~name:"sha256-1KiB"
+      (staged
+         (let block = String.make 1024 'z' in
+          fun () -> Lo_crypto.Sha256.digest block));
   ]
 
 let fig6_group =
@@ -104,6 +118,105 @@ let fig6_group =
           fun () -> Evidence.verify scheme ev));
   ]
 
+(* Faithful reimplementation of the pre-optimization append path, built
+   from public APIs only: per-call windowed multiplication for the
+   syndrome accumulation, a fresh Writer serialization of the whole
+   sketch, a string-based SHA-256 of it, a full syndrome copy for the
+   snapshot, then the signed digest. The commit-append-500 /
+   commit-append-500-baseline ratio in BENCH_results.json is the
+   measured win of the incremental digest path. *)
+module Baseline_append = struct
+  module Bloom_clock = Lo_bloom.Bloom_clock
+  module Gf2m = Lo_sketch.Gf2m
+  module Writer = Lo_codec.Writer
+
+  type t = {
+    clock : Bloom_clock.t;
+    syndromes : int array;
+    cells : int list array;
+    known : (int, unit) Hashtbl.t;
+    mutable counter : int;
+    mutable seq : int;
+  }
+
+  let create () =
+    {
+      clock = Bloom_clock.create ~cells:Commitment.default_clock_cells ();
+      syndromes = Array.make Commitment.default_sketch_capacity 0;
+      cells = Array.make Commitment.default_clock_cells [];
+      known = Hashtbl.create 256;
+      counter = 0;
+      seq = 0;
+    }
+
+  let append t ids =
+    let fresh =
+      List.filter
+        (fun id ->
+          if Hashtbl.mem t.known id then false
+          else begin
+            Hashtbl.add t.known id ();
+            true
+          end)
+        ids
+    in
+    match fresh with
+    | [] -> ()
+    | _ ->
+        let field = Gf2m.gf32 in
+        let n = Array.length t.syndromes in
+        List.iter
+          (fun id ->
+            Bloom_clock.add_int t.clock id;
+            let e2 = Gf2m.mul_generic field id id in
+            let p = ref id in
+            for i = 0 to n - 1 do
+              t.syndromes.(i) <- t.syndromes.(i) lxor !p;
+              if i < n - 1 then p := Gf2m.mul_generic field !p e2
+            done;
+            let cell =
+              Bloom_clock.cell_of_int ~cells:(Array.length t.cells) id
+            in
+            t.cells.(cell) <- id :: t.cells.(cell))
+          fresh;
+        t.counter <- t.counter + List.length fresh;
+        t.seq <- t.seq + 1;
+        (* snapshot: serialize the whole sketch through a Writer, hash
+           the contents string, copy the syndromes for the digest *)
+        let w = Writer.create ~initial_size:64 () in
+        Writer.u8 w 32;
+        Writer.u16 w n;
+        Array.iter
+          (fun s ->
+            for b = 3 downto 0 do
+              Writer.u8 w ((s lsr (8 * b)) land 0xFF)
+            done)
+          t.syndromes;
+        let sketch_hash = Lo_crypto.Sha256.digest (Writer.contents w) in
+        ignore (Array.copy t.syndromes);
+        let unsigned =
+          {
+            Commitment.owner = Signer.id signer;
+            seq = t.seq;
+            counter = t.counter;
+            clock = Bloom_clock.copy t.clock;
+            sketch_hash;
+            sketch = None;
+            signature = String.make Signer.signature_size '\000';
+          }
+        in
+        ignore (Signer.sign signer (Commitment.signing_bytes unsigned))
+end
+
+(* One reconciliation round commits a bundle of ids, not a single one;
+   16 is a typical delta at the default workload. *)
+let bundle_size = 16
+
+let fresh_bundle counter =
+  incr counter;
+  List.init bundle_size (fun k ->
+      0x10000000 + (((!counter * bundle_size) + k) land 0xFFFFFF))
+
 let fig7_group =
   (* Mempool-path kernels: prevalidation and commitment append. *)
   [
@@ -116,6 +229,20 @@ let fig7_group =
           fun () ->
             incr counter;
             ignore (Commitment.Log.append log ~source:None ~ids:[ 1 + (!counter land 0xFFFFFF) ])));
+    Test.make ~name:"commit-append-500"
+      (staged
+         (let log = loaded_log (mk_ids 500 21) in
+          let counter = ref 0 in
+          fun () ->
+            ignore
+              (Commitment.Log.append log ~source:None
+                 ~ids:(fresh_bundle counter))));
+    Test.make ~name:"commit-append-500-baseline"
+      (staged
+         (let t = Baseline_append.create () in
+          List.iter (fun id -> Baseline_append.append t [ id ]) (mk_ids 500 21);
+          let counter = ref 0 in
+          fun () -> Baseline_append.append t (fresh_bundle counter)));
   ]
 
 let fig8_group =
@@ -227,12 +354,18 @@ let memcpu_group =
 (* Bechamel driver                                                     *)
 (* ----------------------------------------------------------------- *)
 
+let smoke = Sys.getenv_opt "LO_BENCH_SMOKE" = Some "1"
+
 let run_group ~name tests =
   let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None
-      ~stabilize:false ()
+    if smoke then
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.02) ~kde:None
+        ~stabilize:false ()
+    else
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None
+        ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances grouped in
   let ols =
@@ -240,21 +373,30 @@ let run_group ~name tests =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Printf.printf "\n== bench group: %s ==\n" name;
-  Hashtbl.fold (fun key v acc -> (key, v) :: acc) results []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (key, result) ->
-         match Analyze.OLS.estimates result with
-         | Some [ ns ] -> Printf.printf "%-42s %12.1f ns/run\n" key ns
-         | _ -> Printf.printf "%-42s (no estimate)\n" key)
+  let rows =
+    Hashtbl.fold (fun key v acc -> (key, v) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (key, result) ->
+           match Analyze.OLS.estimates result with
+           | Some [ ns ] ->
+               Printf.printf "%-42s %12.1f ns/run\n" key ns;
+               (key, ns)
+           | _ ->
+               Printf.printf "%-42s (no estimate)\n" key;
+               (key, 0.))
+  in
+  (name, rows)
 
 let run_micro () =
-  run_group ~name:"substrate" crypto_group;
-  run_group ~name:"fig6" fig6_group;
-  run_group ~name:"fig7" fig7_group;
-  run_group ~name:"fig8" fig8_group;
-  run_group ~name:"fig9" fig9_group;
-  run_group ~name:"fig10" fig10_group;
-  run_group ~name:"sec6.5" memcpu_group
+  [
+    run_group ~name:"substrate" crypto_group;
+    run_group ~name:"fig6" fig6_group;
+    run_group ~name:"fig7" fig7_group;
+    run_group ~name:"fig8" fig8_group;
+    run_group ~name:"fig9" fig9_group;
+    run_group ~name:"fig10" fig10_group;
+    run_group ~name:"sec6.5" memcpu_group;
+  ]
 
 (* ----------------------------------------------------------------- *)
 (* Full experiments                                                    *)
@@ -273,10 +415,13 @@ let run_experiments () =
   Printf.printf "\n=== Paper experiments (nodes=%d, rate=%.0f tx/s, %.0f s) ===\n"
     scale.Lo_sim.Experiments.nodes scale.Lo_sim.Experiments.rate
     scale.Lo_sim.Experiments.duration;
+  let timings = ref [] in
   let timed name f =
     let t0 = Unix.gettimeofday () in
     f ();
-    Printf.printf "[%s took %.1f s wall-clock]\n%!" name (Unix.gettimeofday () -. t0)
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "[%s took %.1f s wall-clock]\n%!" name dt;
+    timings := (name, dt) :: !timings
   in
   timed "fig6" (fun () -> ignore (Lo_sim.Experiments.fig6 ~scale ~fractions:[ 0.1; 0.2; 0.3 ] ()));
   timed "fig7" (fun () -> ignore (Lo_sim.Experiments.fig7 ~scale ()));
@@ -285,10 +430,266 @@ let run_experiments () =
   timed "fig9" (fun () -> ignore (Lo_sim.Experiments.fig9 ~scale ()));
   timed "fig10" (fun () -> ignore (Lo_sim.Experiments.fig10 ~scale ()));
   timed "memcpu" (fun () -> ignore (Lo_sim.Experiments.memcpu ~scale ()));
-  timed "ablation" (fun () -> ignore (Lo_sim.Experiments.ablation ~scale ()))
+  timed "ablation" (fun () -> ignore (Lo_sim.Experiments.ablation ~scale ()));
+  List.rev !timings
+
+(* ----------------------------------------------------------------- *)
+(* BENCH_results.json                                                  *)
+(* ----------------------------------------------------------------- *)
+
+(* The file future PRs diff perf against. Key order is fixed by
+   construction (groups in run order, tests alphabetical within each,
+   the three sections always present) so two result files line up under
+   a plain textual diff. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_num v = if Float.is_finite v then Printf.sprintf "%.3f" v else "0.000"
+
+let results_to_json ~micro ~sim ~speedups =
+  let buf = Buffer.create 4096 in
+  let obj_of kvs render =
+    String.concat ",\n"
+      (List.map
+         (fun (k, v) -> Printf.sprintf "    \"%s\": %s" (json_escape k) (render v))
+         kvs)
+  in
+  Buffer.add_string buf "{\n  \"schema\": \"lo-bench/1\",\n  \"micro\": {\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (group, rows) ->
+            Printf.sprintf "    \"%s\": {\n%s\n    }" (json_escape group)
+              (String.concat ",\n"
+                 (List.map
+                    (fun (k, ns) ->
+                      Printf.sprintf "      \"%s\": %s" (json_escape k)
+                        (json_num ns))
+                    rows)))
+          micro));
+  Buffer.add_string buf "\n  },\n  \"sim\": {\n";
+  Buffer.add_string buf (obj_of sim json_num);
+  Buffer.add_string buf "\n  },\n  \"speedups\": {\n";
+  Buffer.add_string buf (obj_of speedups json_num);
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
+(* Hot-path before/after ratios, computed from the micro rows. *)
+let compute_speedups micro =
+  let find group key =
+    match List.assoc_opt group micro with
+    | None -> None
+    | Some rows -> List.assoc_opt (group ^ "/" ^ key) rows
+  in
+  let ratio group slow fast =
+    match (find group slow, find group fast) with
+    | Some s, Some f when f > 0. -> s /. f
+    | _ -> 0.
+  in
+  match micro with
+  | [] -> []
+  | _ ->
+      [
+        ("gf16-mul-table-vs-generic",
+         ratio "substrate" "gf16-mul-generic" "gf16-mul-table");
+        ("commit-append-500-vs-baseline",
+         ratio "fig7" "commit-append-500-baseline" "commit-append-500");
+      ]
+
+(* ----------------------------------------------------------------- *)
+(* Schema validation — a minimal JSON reader, no external deps         *)
+(* ----------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      String.iter expect lit;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+            | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+            | Some 'u' ->
+                advance ();
+                for _ = 1 to 4 do
+                  match peek () with
+                  | Some _ -> advance ()
+                  | None -> fail "bad \\u escape"
+                done;
+                Buffer.add_char buf '?';
+                go ()
+            | Some c -> advance (); Buffer.add_char buf c; go ()
+            | None -> fail "bad escape")
+        | Some c ->
+            advance ();
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (advance (); Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); members ((k, v) :: acc)
+              | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (advance (); Arr [])
+          else
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); elements (v :: acc)
+              | Some ']' -> advance (); Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> fail "empty input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+end
+
+let validate_results path =
+  let contents =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let fail msg = Error (Printf.sprintf "%s: %s" path msg) in
+  match Json.parse contents with
+  | exception Json.Bad msg -> fail ("JSON parse error: " ^ msg)
+  | Json.Obj fields -> (
+      let all_numbers = function
+        | Json.Obj kvs ->
+            List.for_all (fun (_, v) -> match v with Json.Num _ -> true | _ -> false) kvs
+        | _ -> false
+      in
+      match
+        ( List.assoc_opt "schema" fields,
+          List.assoc_opt "micro" fields,
+          List.assoc_opt "sim" fields,
+          List.assoc_opt "speedups" fields )
+      with
+      | Some (Json.Str "lo-bench/1"), Some (Json.Obj groups), Some sim, Some speedups ->
+          if not (List.for_all (fun (_, g) -> all_numbers g) groups) then
+            fail "micro groups must map test names to numbers"
+          else if not (all_numbers sim) then fail "sim must map names to numbers"
+          else if not (all_numbers speedups) then
+            fail "speedups must map names to numbers"
+          else Ok ()
+      | Some (Json.Str other), _, _, _ -> fail ("unknown schema: " ^ other)
+      | _ -> fail "missing schema/micro/sim/speedups")
+  | _ -> fail "top level must be an object"
 
 let () =
   let micro_only = Sys.getenv_opt "LO_BENCH_MICRO_ONLY" = Some "1" in
   let sim_only = Sys.getenv_opt "LO_BENCH_SIM_ONLY" = Some "1" in
-  if not sim_only then run_micro ();
-  if not micro_only then run_experiments ()
+  let out =
+    Option.value (Sys.getenv_opt "LO_BENCH_OUT") ~default:"BENCH_results.json"
+  in
+  let micro = if not sim_only then run_micro () else [] in
+  let sim = if not micro_only then run_experiments () else [] in
+  let speedups = compute_speedups micro in
+  let oc = open_out out in
+  output_string oc (results_to_json ~micro ~sim ~speedups);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out;
+  List.iter
+    (fun (name, r) -> Printf.printf "speedup %-34s %8.2fx\n" name r)
+    speedups;
+  match validate_results out with
+  | Ok () -> Printf.printf "%s: schema lo-bench/1 OK\n" out
+  | Error msg ->
+      prerr_endline msg;
+      exit 1

@@ -138,6 +138,11 @@ module Log = struct
     sketch : Sketch.t;
     known : (int, unit) Hashtbl.t;
     cells : int list array; (* ids per Bloom-clock cell, reverse order *)
+    sketch_buf : Bytes.t;
+        (* the sketch's wire encoding, refreshed in place on every
+           snapshot — hashing feeds these bytes directly instead of
+           re-serializing through a fresh Writer each time *)
+    digest_index : (int, digest) Hashtbl.t; (* digests keyed by seq *)
   }
 
   let owner t = Signer.id t.signer
@@ -146,23 +151,30 @@ module Log = struct
   let seq t = t.seq
 
   let sign_snapshot t =
-    let sketch = Sketch.copy t.sketch in
+    Sketch.encode_into t.sketch t.sketch_buf ~pos:0;
+    let ctx = Lo_crypto.Sha256.init () in
+    Lo_crypto.Sha256.feed_bytes ctx t.sketch_buf 0 (Bytes.length t.sketch_buf);
     let unsigned =
       {
         owner = owner t;
         seq = t.seq;
         counter = t.counter;
         clock = Bloom_clock.copy t.clock;
-        sketch_hash = hash_sketch sketch;
-        sketch = Some sketch;
+        sketch_hash = Lo_crypto.Sha256.finalize ctx;
+        sketch = Some (Sketch.copy t.sketch);
         signature = String.make Signer.signature_size '\000';
       }
     in
     let signature = Signer.sign t.signer (signing_bytes unsigned) in
     { unsigned with signature }
 
+  let record_digest t d =
+    t.digests_rev <- d :: t.digests_rev;
+    Hashtbl.replace t.digest_index d.seq d
+
   let create ?(sketch_capacity = default_sketch_capacity)
       ?(clock_cells = default_clock_cells) ~signer () =
+    let sketch = Sketch.create ~capacity:sketch_capacity () in
     let t =
       {
         signer;
@@ -173,14 +185,16 @@ module Log = struct
         counter = 0;
         seq = 0;
         clock = Bloom_clock.create ~cells:clock_cells ();
-        sketch = Sketch.create ~capacity:sketch_capacity ();
+        sketch;
         known = Hashtbl.create 256;
         cells = Array.make clock_cells [];
+        sketch_buf = Bytes.create (Sketch.serialized_size sketch);
+        digest_index = Hashtbl.create 256;
       }
     in
     (* The signed empty (seq 0) snapshot anchors evidence about the very
        first bundle. *)
-    t.digests_rev <- [ sign_snapshot t ];
+    record_digest t (sign_snapshot t);
     t
 
   let current_digest t =
@@ -214,11 +228,10 @@ module Log = struct
         t.seq <- t.seq + 1;
         t.bundles_rev <- { seq = t.seq; source; ids = fresh } :: t.bundles_rev;
         let d = sign_snapshot t in
-        t.digests_rev <- d :: t.digests_rev;
+        record_digest t d;
         Some d
 
-  let digest_at t ~seq =
-    List.find_opt (fun (d : digest) -> d.seq = seq) t.digests_rev
+  let digest_at t ~seq = Hashtbl.find_opt t.digest_index seq
 
   let ids_in_cells t cells =
     List.concat_map

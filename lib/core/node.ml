@@ -95,7 +95,12 @@ let send_msg t ~dst msg =
   Network.send t.net ~src:t.index ~dst ~tag:(Messages.tag msg)
     (Messages.encode msg)
 
-let broadcast t msg = List.iter (fun n -> send_msg t ~dst:n msg) t.neighbors
+(* One wire encoding per broadcast, shared across every neighbor —
+   [Messages.encode] on a digest-bearing message is the expensive part
+   of the fan-out. *)
+let broadcast t msg =
+  Network.send_many t.net ~src:t.index ~dsts:t.neighbors
+    ~tag:(Messages.tag msg) (Messages.encode msg)
 
 let log_for t ~peer_index =
   match t.alt_log with

@@ -4,14 +4,37 @@ let bundle_key ~seed ~bundle_seq id =
   Lo_codec.Writer.u32 w id;
   Lo_crypto.Hmac.sha256 ~key:seed (Lo_codec.Writer.contents w)
 
+(* First 7 key bytes packed big-endian into an int: comparing the
+   prefixes as plain ints agrees with [String.compare] on those bytes,
+   and all keys are equal-length HMAC outputs, so almost every
+   comparison resolves on one int compare instead of a byte-by-byte
+   string walk. *)
+let key_prefix k =
+  let v = ref 0 in
+  for i = 0 to 6 do
+    v := (!v lsl 8) lor Char.code (String.unsafe_get k i)
+  done;
+  !v
+
 let sort_bundle ~seed ~bundle_seq ids =
-  let keyed =
-    List.map (fun id -> (bundle_key ~seed ~bundle_seq id, id)) ids
-  in
-  let compare (ka, ia) (kb, ib) =
-    match String.compare ka kb with 0 -> Int.compare ia ib | c -> c
-  in
-  List.map snd (List.sort compare keyed)
+  match ids with
+  | [] | [ _ ] -> ids
+  | _ ->
+      let keyed =
+        Array.of_list
+          (List.map
+             (fun id ->
+               let k = bundle_key ~seed ~bundle_seq id in
+               (key_prefix k, k, id))
+             ids)
+      in
+      let compare (pa, ka, ia) (pb, kb, ib) =
+        if pa <> pb then Int.compare pa pb
+        else
+          match String.compare ka kb with 0 -> Int.compare ia ib | c -> c
+      in
+      Array.sort compare keyed;
+      Array.fold_right (fun (_, _, id) acc -> id :: acc) keyed []
 
 let canonical ~seed ~bundles =
   bundles

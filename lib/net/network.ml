@@ -161,6 +161,9 @@ let send t ~src ~dst ~tag payload =
     end
   end
 
+let send_many t ~src ~dsts ~tag payload =
+  List.iter (fun dst -> send t ~src ~dst ~tag payload) dsts
+
 let schedule_at t ~at f =
   if at < t.clock then invalid_arg "Network.schedule_at: past";
   Event_queue.add t.queue ~time:at (Timer f)

@@ -52,6 +52,15 @@ val send : t -> src:node -> dst:node -> tag:string -> string -> unit
     are in different partition groups, or a delivery filter rejects
     it. *)
 
+val send_many : t -> src:node -> dsts:node list -> tag:string -> string -> unit
+(** Fan one payload out to several destinations. The single [payload]
+    string is shared across every enqueued delivery — callers serialize
+    a broadcast message once and hand the same bytes to all recipients
+    instead of re-encoding per neighbor. Per-recipient behaviour (delay
+    draw, loss draw, partition/filter checks, accounting) is identical
+    to calling {!send} once per destination in [dsts] order, so
+    deterministic replay is unaffected. *)
+
 val schedule : t -> delay:float -> (t -> unit) -> unit
 val schedule_at : t -> at:float -> (t -> unit) -> unit
 

@@ -25,6 +25,25 @@ let avg xs =
   | [] -> 0.
   | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
+(* Split a flat parallel-sweep result list back into the per-point
+   groups it was submitted as ([Parallel.map] preserves submission
+   order, so consecutive [n]-element slices are one sweep point's
+   repetitions). *)
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k l =
+        if k = 0 then ([], l)
+        else
+          match l with
+          | [] -> ([], [])
+          | x :: tl ->
+              let h, rest = take (k - 1) tl in
+              (x :: h, rest)
+      in
+      let h, rest = take n l in
+      h :: chunks n rest
+
 (* ----------------------------------------------------------------- *)
 (* Fig. 6                                                             *)
 (* ----------------------------------------------------------------- *)
@@ -180,12 +199,19 @@ let fig6_run ~scale ~fraction ~rep =
   }
 
 let fig6 ?(scale = default_scale) ?(fractions = [ 0.1; 0.2; 0.3 ]) () =
+  (* Every (fraction, rep) cell is a closed world keyed by its seed, so
+     the whole grid fans out across the domain pool at once. *)
+  let grid =
+    List.concat_map
+      (fun fraction -> List.init scale.reps (fun rep -> (fraction, rep)))
+      fractions
+  in
+  let runs =
+    Parallel.map (fun (fraction, rep) -> fig6_run ~scale ~fraction ~rep) grid
+  in
   let points =
-    List.map
-      (fun fraction ->
-        let runs =
-          List.init scale.reps (fun rep -> fig6_run ~scale ~fraction ~rep)
-        in
+    List.map2
+      (fun fraction runs ->
         {
           fraction;
           suspicion_time = avg (List.map (fun p -> p.suspicion_time) runs);
@@ -195,7 +221,7 @@ let fig6 ?(scale = default_scale) ?(fractions = [ 0.1; 0.2; 0.3 ]) () =
           exposure_complete =
             avg (List.map (fun p -> p.exposure_complete) runs);
         })
-      fractions
+      fractions (chunks scale.reps runs)
   in
   Report.table ~title:"Fig. 6 — time to suspect/expose malicious miners"
     ~header:
@@ -227,52 +253,69 @@ type fig7_result = {
   mean_interactions : float;
 }
 
+let fig7_rep ~scale ~rep =
+  let stats = Metrics.Stats.create () in
+  let interactions = Metrics.Stats.create () in
+  let hist = Metrics.Histogram.create ~lo:0. ~hi:5. ~bins:25 in
+  let seed = scale.seed + (rep * 773) in
+  (* Per-node count of reconciliation rounds opened, and per-tx
+     snapshots of those counters at creation time — their difference
+     at arrival is "how many peers this node interacted with before
+     learning the transaction". *)
+  let rounds = Array.make scale.nodes 0 in
+  let snapshot_at_creation : (string, int array) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  ignore
+    (Runner.run_lo ~scale ~seed ~drain:20.
+       ~wire:(fun r ->
+         Array.iter
+           (fun node ->
+             let i = Node.index node in
+             (Node.hooks node).Node.on_reconcile <-
+               (fun ~now:_ -> rounds.(i) <- rounds.(i) + 1);
+             (Node.hooks node).Node.on_tx_content <-
+               (fun tx ~now ->
+                 match Hashtbl.find_opt r.Runner.created tx.Tx.id with
+                 | Some t0 when now > t0 ->
+                     let dt = now -. t0 in
+                     Metrics.Stats.add stats dt;
+                     Metrics.Histogram.add hist dt;
+                     (match Hashtbl.find_opt snapshot_at_creation tx.Tx.id with
+                     | Some snap ->
+                         Metrics.Stats.add interactions
+                           (float_of_int (rounds.(i) - snap.(i)))
+                     | None -> ())
+                 | _ -> ()))
+           r.Runner.deployment.Scenario.nodes)
+       ~after_inject:(fun r ->
+         List.iter
+           (fun tx ->
+             Network.schedule_at r.Runner.deployment.Scenario.net
+               ~at:tx.Tx.created_at (fun _ ->
+                 Hashtbl.replace snapshot_at_creation tx.Tx.id
+                   (Array.copy rounds)))
+           r.Runner.txs)
+       ());
+  (stats, interactions, hist)
+
 let fig7 ?(scale = default_scale) () =
   let stats = Metrics.Stats.create () in
   let interactions = Metrics.Stats.create () in
   let hist = Metrics.Histogram.create ~lo:0. ~hi:5. ~bins:25 in
-  for rep = 0 to scale.reps - 1 do
-    let seed = scale.seed + (rep * 773) in
-    (* Per-node count of reconciliation rounds opened, and per-tx
-       snapshots of those counters at creation time — their difference
-       at arrival is "how many peers this node interacted with before
-       learning the transaction". *)
-    let rounds = Array.make scale.nodes 0 in
-    let snapshot_at_creation : (string, int array) Hashtbl.t =
-      Hashtbl.create 1024
-    in
-    ignore
-      (Runner.run_lo ~scale ~seed ~drain:20.
-         ~wire:(fun r ->
-           Array.iter
-             (fun node ->
-               let i = Node.index node in
-               (Node.hooks node).Node.on_reconcile <-
-                 (fun ~now:_ -> rounds.(i) <- rounds.(i) + 1);
-               (Node.hooks node).Node.on_tx_content <-
-                 (fun tx ~now ->
-                   match Hashtbl.find_opt r.Runner.created tx.Tx.id with
-                   | Some t0 when now > t0 ->
-                       let dt = now -. t0 in
-                       Metrics.Stats.add stats dt;
-                       Metrics.Histogram.add hist dt;
-                       (match Hashtbl.find_opt snapshot_at_creation tx.Tx.id with
-                       | Some snap ->
-                           Metrics.Stats.add interactions
-                             (float_of_int (rounds.(i) - snap.(i)))
-                       | None -> ())
-                   | _ -> ()))
-             r.Runner.deployment.Scenario.nodes)
-         ~after_inject:(fun r ->
-           List.iter
-             (fun tx ->
-               Network.schedule_at r.Runner.deployment.Scenario.net
-                 ~at:tx.Tx.created_at (fun _ ->
-                   Hashtbl.replace snapshot_at_creation tx.Tx.id
-                     (Array.copy rounds)))
-             r.Runner.txs)
-         ())
-  done;
+  (* Reps collect into their own collectors in parallel; absorbing them
+     back in rep order replays the exact sample sequence the old
+     sequential loop fed the shared collectors. *)
+  let per_rep =
+    Parallel.map (fun rep -> fig7_rep ~scale ~rep)
+      (List.init scale.reps Fun.id)
+  in
+  List.iter
+    (fun (s, i, h) ->
+      Metrics.Stats.absorb stats s;
+      Metrics.Stats.absorb interactions i;
+      Metrics.Histogram.absorb hist h)
+    per_rep;
   let result =
     {
       mean_latency = Metrics.Stats.mean stats;
@@ -363,7 +406,7 @@ let block_latency_run ?(cap_factor = 0.6) ~scale ~policy ~n ~seed () =
 
 let fig8_left ?(scale = default_scale) () =
   let results =
-    List.map
+    Parallel.map
       (fun policy ->
         let stats, low_stats, high_stats =
           block_latency_run ~scale ~policy ~n:scale.nodes
@@ -402,7 +445,7 @@ let fig8_left ?(scale = default_scale) () =
 
 let fig8_right ?(scale = default_scale) ?(sizes = [ 40; 80; 160 ]) () =
   let points =
-    List.map
+    Parallel.map
       (fun n ->
         let stats, _, _ =
           block_latency_run ~cap_factor:2.0 ~scale ~policy:Policy.Lo_fifo ~n
@@ -441,9 +484,9 @@ let fig9_lo ~scale ~seed =
 let fig9 ?(scale = default_scale) () =
   let seed = scale.seed + 99 in
   let duration = scale.duration in
-  let lo_overhead, lo_latency, lo_by_tag = fig9_lo ~scale ~seed in
-  (* Flood *)
-  let flood_overhead, flood_stats =
+  (* The four protocols share nothing (each builds its own network from
+     the seed), so they run as one parallel batch. *)
+  let run_flood () =
     Runner.run_baseline ~scale ~seed ~content_tags:[ "flood:tx" ]
       ~make:(fun net scheme topo ->
         let config = Lo_baselines.Flood.default_config scheme in
@@ -460,7 +503,7 @@ let fig9 ?(scale = default_scale) () =
       ()
   in
   (* PeerReview *)
-  let pr_overhead, pr_stats =
+  let run_pr () =
     Runner.run_baseline ~scale ~seed ~content_tags:[ "pr:tx" ]
       ~make:(fun net scheme topo ->
         let config = Lo_baselines.Peer_review.default_config scheme in
@@ -492,7 +535,7 @@ let fig9 ?(scale = default_scale) () =
       ()
   in
   (* Narwhal *)
-  let nw_overhead, nw_stats =
+  let run_nw () =
     Runner.run_baseline ~scale ~seed ~content_tags:[ "nw:batch" ]
       ~make:(fun net scheme _topo ->
         let config = Lo_baselines.Narwhal.default_config scheme in
@@ -511,6 +554,28 @@ let fig9 ?(scale = default_scale) () =
               on_content = (fun cb -> Lo_baselines.Narwhal.on_tx_content nw cb);
             }))
       ()
+  in
+  let results =
+    Parallel.map
+      (fun f -> f ())
+      [
+        (fun () -> `Lo (fig9_lo ~scale ~seed));
+        (fun () -> `Base (run_flood ()));
+        (fun () -> `Base (run_pr ()));
+        (fun () -> `Base (run_nw ()));
+      ]
+  in
+  let lo_overhead, lo_latency, lo_by_tag =
+    match List.nth results 0 with `Lo r -> r | _ -> assert false
+  in
+  let flood_overhead, flood_stats =
+    match List.nth results 1 with `Base r -> r | _ -> assert false
+  in
+  let pr_overhead, pr_stats =
+    match List.nth results 2 with `Base r -> r | _ -> assert false
+  in
+  let nw_overhead, nw_stats =
+    match List.nth results 3 with `Base r -> r | _ -> assert false
   in
   let per_node_s bytes =
     float_of_int bytes /. float_of_int scale.nodes /. (duration +. 15.)
@@ -570,7 +635,7 @@ let fig9 ?(scale = default_scale) () =
 
 let fig10 ?(scale = default_scale) ?(rates = [ 2.; 5.; 10.; 20.; 40. ]) () =
   let points =
-    List.map
+    Parallel.map
       (fun rate ->
         let decodes = ref 0 in
         ignore
@@ -752,34 +817,42 @@ let exposure_latency_one ~scale ~seed ~share_period =
   let missing = num_bad - List.length found in
   found @ List.init (max 0 missing) (fun _ -> infinity)
 
-let exposure_latency_run ~scale ~seed ~share_period =
-  (* A single repetition's median is over only [n/10] equivocators and
-     is very noisy at test scales; pool the per-equivocator times
-     across [scale.reps] independently seeded repetitions and take the
-     median of the pool. *)
-  let times =
-    List.concat
-      (List.init (max 1 scale.reps) (fun rep ->
-           exposure_latency_one ~scale ~seed:(seed + (rep * 7717))
-             ~share_period))
-    |> List.sort compare
-  in
-  match times with
+(* A single repetition's median is over only [n/10] equivocators and is
+   very noisy at test scales; pool the per-equivocator times across
+   [scale.reps] independently seeded repetitions and take the median of
+   the pool. *)
+let pooled_median pooled =
+  match List.sort compare (List.concat pooled) with
   | [] -> infinity
-  | _ -> List.nth times (List.length times / 2)
+  | times -> List.nth times (List.length times / 2)
 
 let ablation ?(scale = default_scale) () =
   let seed = scale.seed + 4242 in
-  let light_overhead, light_latency =
-    lo_overhead_run ~scale ~seed ~always_full:false
+  let overheads =
+    Parallel.map
+      (fun always_full -> lo_overhead_run ~scale ~seed ~always_full)
+      [ false; true ]
   in
-  let full_overhead, full_latency =
-    lo_overhead_run ~scale ~seed ~always_full:true
+  let light_overhead, light_latency = List.nth overheads 0 in
+  let full_overhead, full_latency = List.nth overheads 1 in
+  let periods = [ 1.0; 2.0; 4.0; 8.0 ] in
+  let reps = max 1 scale.reps in
+  let grid =
+    List.concat_map
+      (fun period -> List.init reps (fun rep -> (period, rep)))
+      periods
+  in
+  let per_cell =
+    Parallel.map
+      (fun (period, rep) ->
+        exposure_latency_one ~scale ~seed:(seed + (rep * 7717))
+          ~share_period:period)
+      grid
   in
   let share_period_exposure =
-    List.map
-      (fun period -> (period, exposure_latency_run ~scale ~seed ~share_period:period))
-      [ 1.0; 2.0; 4.0; 8.0 ]
+    List.map2
+      (fun period pooled -> (period, pooled_median pooled))
+      periods (chunks reps per_cell)
   in
   let result =
     {
@@ -851,6 +924,8 @@ let commitment_size_for_rate ~scheme rate_per_min =
   in
   Commitment.encoded_size (Commitment.Log.current_digest log)
 
+(* Deliberately sequential: this experiment reports wall-clock decode
+   timings, and sharing cores with sibling tasks would skew them. *)
 let memcpu ?(scale = default_scale) ?(diffs = [ 100; 250; 500; 1000 ]) () =
   let decode_costs =
     List.map (fun diff -> decode_cost_for diff ~seed:(scale.seed + diff)) diffs
@@ -1015,92 +1090,107 @@ let chaos_cell_run ~scale ~churn_rate ~partition_duration ~burst_loss ~rep
     | Some s -> s
     | None -> assert false
   in
-  let audit_violations =
+  (* Violations are returned, not printed: cells run on the domain pool
+     and printing belongs to the ordered aggregation in {!chaos}. *)
+  let violations =
     match trace with
     | Some tr ->
         let report =
           Lo_obs.Audit.check_trace ~horizon:run.Runner.horizon tr
         in
-        List.iter
-          (fun v ->
-            Printf.printf "  audit: %s\n" (Lo_obs.Audit.violation_to_string v))
-          report.Lo_obs.Audit.violations;
-        List.length report.Lo_obs.Audit.violations
-    | None -> 0
+        List.map Lo_obs.Audit.violation_to_string
+          report.Lo_obs.Audit.violations
+    | None -> []
   in
   (stats, !latency, !attempts, !completes, !raised, !cleared, unresolved,
-   !exposures, audit_violations)
+   !exposures, violations)
 
 let chaos ?(scale = default_scale) ?(churn_rates = [ 0.1; 0.3 ])
     ?(partition_durations = [ 1.5; 3.0 ]) ?(burst_losses = [ 0.15; 0.35 ])
     ?(audit = false) () =
-  let cells = ref [] in
-  List.iter
-    (fun churn_rate ->
-      List.iter
-        (fun partition_duration ->
-          List.iter
-            (fun burst_loss ->
-              let crashes = ref 0 in
-              let restarts = ref 0 in
-              let kinds = ref 0 in
-              let means = ref [] in
-              let p95s = ref [] in
-              let attempts = ref 0 in
-              let completes = ref 0 in
-              let raised = ref 0 in
-              let cleared = ref 0 in
-              let unresolved = ref 0 in
-              let exposures = ref 0 in
-              let audit_bad = ref 0 in
-              for rep = 0 to scale.reps - 1 do
-                let s, lat, att, comp, rai, clr, unres, exp_, audv =
-                  chaos_cell_run ~scale ~churn_rate ~partition_duration
-                    ~burst_loss ~rep ~audit
-                in
-                audit_bad := !audit_bad + audv;
-                crashes := !crashes + s.Lo_net.Fault_plan.crashes;
-                restarts := !restarts + s.Lo_net.Fault_plan.restarts;
-                kinds := max !kinds (Lo_net.Fault_plan.kinds_injected s);
-                means := Metrics.Stats.mean lat :: !means;
-                p95s := Metrics.Stats.percentile lat 0.95 :: !p95s;
-                attempts := !attempts + att;
-                completes := !completes + comp;
-                raised := !raised + rai;
-                cleared := !cleared + clr;
-                unresolved := !unresolved + unres;
-                exposures := !exposures + exp_
-              done;
-              let cell =
-                {
-                  churn_rate;
-                  partition_duration;
-                  burst_loss;
-                  crashes = !crashes;
-                  restarts = !restarts;
-                  fault_kinds = !kinds;
-                  mean_tx_latency = avg !means;
-                  p95_tx_latency = avg !p95s;
-                  reconcile_attempts = !attempts;
-                  reconcile_completes = !completes;
-                  reconcile_success =
-                    float_of_int !completes /. float_of_int (max 1 !attempts);
-                  suspicions = !raised;
-                  withdrawn = !cleared;
-                  resolution_rate =
-                    (if !raised = 0 then 1.0
-                     else
-                       float_of_int (!raised - !unresolved)
-                       /. float_of_int !raised);
-                  honest_exposures = !exposures;
-                  audit_violations = !audit_bad;
-                }
-              in
-              cells := cell :: !cells)
-            burst_losses)
-        partition_durations)
-    churn_rates;
-  let cells = List.rev !cells in
+  (* Full (cell x rep) grid on the domain pool; aggregation — including
+     printing any audit violations — happens afterwards in submission
+     order, so stdout and every cell statistic match the sequential
+     nesting exactly. *)
+  let cell_params =
+    List.concat_map
+      (fun churn_rate ->
+        List.concat_map
+          (fun partition_duration ->
+            List.map
+              (fun burst_loss -> (churn_rate, partition_duration, burst_loss))
+              burst_losses)
+          partition_durations)
+      churn_rates
+  in
+  let grid =
+    List.concat_map
+      (fun params -> List.init scale.reps (fun rep -> (params, rep)))
+      cell_params
+  in
+  let results =
+    Parallel.map
+      (fun ((churn_rate, partition_duration, burst_loss), rep) ->
+        chaos_cell_run ~scale ~churn_rate ~partition_duration ~burst_loss ~rep
+          ~audit)
+      grid
+  in
+  let cells =
+    List.map2
+      (fun (churn_rate, partition_duration, burst_loss) reps ->
+        let crashes = ref 0 in
+        let restarts = ref 0 in
+        let kinds = ref 0 in
+        let means = ref [] in
+        let p95s = ref [] in
+        let attempts = ref 0 in
+        let completes = ref 0 in
+        let raised = ref 0 in
+        let cleared = ref 0 in
+        let unresolved = ref 0 in
+        let exposures = ref 0 in
+        let audit_bad = ref 0 in
+        List.iter
+          (fun (s, lat, att, comp, rai, clr, unres, exp_, violations) ->
+            List.iter (Printf.printf "  audit: %s\n") violations;
+            audit_bad := !audit_bad + List.length violations;
+            crashes := !crashes + s.Lo_net.Fault_plan.crashes;
+            restarts := !restarts + s.Lo_net.Fault_plan.restarts;
+            kinds := max !kinds (Lo_net.Fault_plan.kinds_injected s);
+            means := Metrics.Stats.mean lat :: !means;
+            p95s := Metrics.Stats.percentile lat 0.95 :: !p95s;
+            attempts := !attempts + att;
+            completes := !completes + comp;
+            raised := !raised + rai;
+            cleared := !cleared + clr;
+            unresolved := !unresolved + unres;
+            exposures := !exposures + exp_)
+          reps;
+        {
+          churn_rate;
+          partition_duration;
+          burst_loss;
+          crashes = !crashes;
+          restarts = !restarts;
+          fault_kinds = !kinds;
+          mean_tx_latency = avg !means;
+          p95_tx_latency = avg !p95s;
+          reconcile_attempts = !attempts;
+          reconcile_completes = !completes;
+          reconcile_success =
+            float_of_int !completes /. float_of_int (max 1 !attempts);
+          suspicions = !raised;
+          withdrawn = !cleared;
+          resolution_rate =
+            (if !raised = 0 then 1.0
+             else
+               float_of_int (!raised - !unresolved) /. float_of_int !raised);
+          honest_exposures = !exposures;
+          audit_violations = !audit_bad;
+        })
+      cell_params
+      (chunks scale.reps results)
+  in
   Report.table
     ~title:
       "Chaos — fault injection (all nodes honest; exposures must be zero)"

@@ -61,6 +61,12 @@ module Stats = struct
     end
 
   let values t = List.rev t.values_rev
+
+  (* Replays [src]'s samples through [add] in their insertion order, so
+     folding per-rep collectors into one (the parallel experiment join)
+     performs bit-for-bit the same float operations as feeding one
+     shared collector sequentially. *)
+  let absorb t src = List.iter (add t) (values src)
 end
 
 module Histogram = struct
@@ -80,6 +86,14 @@ module Histogram = struct
     t.total <- t.total + 1
 
   let total t = t.total
+
+  let absorb t src =
+    if
+      Array.length t.counts <> Array.length src.counts
+      || t.lo <> src.lo || t.hi <> src.hi
+    then invalid_arg "Histogram.absorb: incompatible histograms";
+    Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) src.counts;
+    t.total <- t.total + src.total
 
   let bin_edges t =
     let bins = Array.length t.counts in

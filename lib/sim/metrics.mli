@@ -16,6 +16,12 @@ module Stats : sig
       samples). 0 when empty. *)
 
   val values : t -> float list
+
+  val absorb : t -> t -> unit
+  (** [absorb t src] re-adds every sample of [src] into [t] in [src]'s
+      insertion order — the same floating-point operation sequence as
+      adding them to [t] directly, so merging per-rep collectors in rep
+      order reproduces the sequential run's statistics exactly. *)
 end
 
 module Histogram : sig
@@ -26,6 +32,11 @@ module Histogram : sig
   (** Out-of-range samples clamp into the edge bins. *)
 
   val total : t -> int
+
+  val absorb : t -> t -> unit
+  (** Add [src]'s bin counts into [t]. @raise Invalid_argument unless
+      both histograms share range and bin count. *)
+
   val bin_edges : t -> (float * float) array
   val counts : t -> int array
   val density : t -> float array

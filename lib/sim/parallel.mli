@@ -1,0 +1,28 @@
+(** Domain pool for independent experiment repetitions.
+
+    The experiment sweeps (Sec. 6 of the paper) repeat the same
+    simulation under different seeds and parameters; every rep is a
+    closed world — its own network, event queue and RNG — so they fan
+    out across OCaml 5 domains freely. Results come back in submission
+    order, making [map f items] observably identical to [List.map f
+    items]: same values, same order, and (because tasks share no
+    mutable state) byte-identical downstream figures and traces
+    whatever the pool size. *)
+
+val jobs : unit -> int
+(** Pool size: the [LO_JOBS] environment variable when set ([1] forces
+    the plain sequential path), otherwise the session default from
+    {!set_default_jobs}, otherwise [Domain.recommended_domain_count].
+    @raise Invalid_argument if [LO_JOBS] is not a positive integer. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide default used when [LO_JOBS] is unset (e.g. a CLI
+    [--jobs] flag). @raise Invalid_argument on [n < 1]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] applies [f] to every item on a pool of [jobs] domains
+    (default {!jobs} [()]) and returns the results in submission order.
+    With [jobs <= 1] (or fewer than two items) no domain is spawned and
+    this is exactly [List.map f items]. If any task raises, the
+    remaining tasks still run and the exception of the lowest-index
+    failed task is re-raised after the pool drains. *)

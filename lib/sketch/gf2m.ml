@@ -3,34 +3,49 @@ type t = {
   full : int;
   mask : int;
   mod_shifts : int array; (* set-bit positions of the low modulus terms *)
-  scratch : int array; (* 16-entry window table reused across mul calls *)
+  scratch_key : int array Domain.DLS.key;
+      (* 256-entry window table for the generic multiplier, per-domain so
+         concurrent simulation domains never race on it *)
+  log_tbl : int array; (* size 2^m; log_tbl.(0) = -1; [||] when untabled *)
+  exp_tbl : int array; (* size 2*(2^m-1); doubled to skip the mod *)
 }
+
+(* Fields up to this size get full log/antilog tables (2^16 entries is
+   ~1.5 MiB for both tables together); larger fields fall back to the
+   windowed carryless multiplier. *)
+let table_max_m = 16
 
 let bits f = f.m
 let mask f = f.mask
 let order_minus_one f = f.mask
 let add a b = a lxor b
+let tabled f = Array.length f.log_tbl <> 0
 
 (* Reduce a carryless product (degree <= 2m-2 <= 62, so it fits a native
    int) modulo x^m + modulus: fold the high part down through the sparse
    low terms until everything is below degree m. *)
 let reduce f p =
+  let shifts = f.mod_shifts in
+  let ns = Array.length shifts in
   let p = ref p in
   while !p lsr f.m <> 0 do
     let hi = !p lsr f.m in
-    let lo = !p land f.mask in
-    let folded = ref lo in
-    Array.iter (fun s -> folded := !folded lxor (hi lsl s)) f.mod_shifts;
+    let folded = ref (!p land f.mask) in
+    for i = 0 to ns - 1 do
+      folded := !folded lxor (hi lsl Array.unsafe_get shifts i)
+    done;
     p := !folded
   done;
   !p
 
 (* Carryless multiplication with a 4-bit window, then reduction. With
-   a, b < 2^32 the raw product has degree <= 62 and fits a 63-bit int. *)
-let mul f a b =
+   a, b < 2^32 the raw product has degree <= 62 and fits a 63-bit int.
+   This is the reference path: it never consults the log/antilog
+   tables, so the table-based [mul] can be checked against it. *)
+let mul_generic f a b =
   if a = 0 || b = 0 then 0
   else begin
-    let tab = f.scratch in
+    let tab = Domain.DLS.get f.scratch_key in
     tab.(1) <- a;
     tab.(2) <- a lsl 1;
     tab.(3) <- tab.(2) lxor a;
@@ -55,6 +70,49 @@ let mul f a b =
     reduce f !p
   end
 
+let mul f a b =
+  if Array.length f.log_tbl = 0 then mul_generic f a b
+  else if a = 0 || b = 0 then 0
+  else
+    Array.unsafe_get f.exp_tbl
+      (Array.unsafe_get f.log_tbl a + Array.unsafe_get f.log_tbl b)
+
+(* A multiplier with one operand fixed: used where the same factor is
+   applied across a whole loop (syndrome accumulation multiplies by e^2
+   capacity times). For untabled fields the full 256-entry window table
+   of the fixed operand is built once and amortised across every call;
+   per call that leaves four table lookups plus the reduction. *)
+let mul_by f b =
+  if b = 0 then fun _ -> 0
+  else if Array.length f.log_tbl <> 0 then begin
+    let log_b = f.log_tbl.(b) in
+    let exp_tbl = f.exp_tbl and log_tbl = f.log_tbl in
+    fun a ->
+      if a = 0 then 0
+      else Array.unsafe_get exp_tbl (Array.unsafe_get log_tbl a + log_b)
+  end
+  else begin
+    let tab = Array.make 256 0 in
+    tab.(1) <- b;
+    for i = 1 to 127 do
+      let d = tab.(i) lsl 1 in
+      tab.(2 * i) <- d;
+      tab.((2 * i) + 1) <- d lxor b
+    done;
+    fun a ->
+      if a = 0 then 0
+      else begin
+        (* a < 2^m <= 2^32: four byte-wide windows. Degrees stay within
+           a 63-bit int: b contributes <= 31, the window <= 7, and the
+           three 8-bit shifts another 24, for a top degree of 62. *)
+        let p = ref (Array.unsafe_get tab ((a lsr 24) land 0xFF)) in
+        p := (!p lsl 8) lxor Array.unsafe_get tab ((a lsr 16) land 0xFF);
+        p := (!p lsl 8) lxor Array.unsafe_get tab ((a lsr 8) land 0xFF);
+        p := (!p lsl 8) lxor Array.unsafe_get tab (a land 0xFF);
+        reduce f !p
+      end
+  end
+
 (* Squaring = spreading each bit to the even positions; an 8-bit spread
    table does it in four lookups. *)
 let spread8 =
@@ -65,7 +123,7 @@ let spread8 =
       done;
       !v)
 
-let sq f a =
+let sq_generic f a =
   let p =
     spread8.(a land 0xFF)
     lor (spread8.((a lsr 8) land 0xFF) lsl 16)
@@ -80,6 +138,11 @@ let sq f a =
     reduce f (p lor (p_hi lsl 48))
   end
 
+let sq f a =
+  if Array.length f.log_tbl = 0 then sq_generic f a
+  else if a = 0 then 0
+  else Array.unsafe_get f.exp_tbl (2 * Array.unsafe_get f.log_tbl a)
+
 let pow f a k =
   if k < 0 then invalid_arg "Gf2m.pow: negative exponent";
   let r = ref 1 and base = ref a and k = ref k in
@@ -92,9 +155,14 @@ let pow f a k =
 
 let inv f a =
   if a = 0 then raise Division_by_zero;
-  pow f a (f.mask - 1)
+  if Array.length f.log_tbl = 0 then pow f a (f.mask - 1)
+  else f.exp_tbl.(f.mask - f.log_tbl.(a))
 
-let div f a b = mul f a (inv f b)
+let div f a b =
+  if Array.length f.log_tbl = 0 then mul f a (inv f b)
+  else if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else f.exp_tbl.((f.log_tbl.(a) - f.log_tbl.(b)) + f.mask)
 
 let trace f a =
   let acc = ref 0 and cur = ref a in
@@ -113,7 +181,7 @@ let frobenius_iterate f times =
   (* x^(2^times) in the quotient ring, starting from the element x = 2. *)
   let cur = ref 2 in
   for _ = 1 to times do
-    cur := sq f !cur
+    cur := sq_generic f !cur
   done;
   !cur
 
@@ -157,6 +225,43 @@ let is_irreducible f =
          gcd_with_modulus f (x_frob lxor 2) = 1)
        (prime_divisors f.m)
 
+(* Log/antilog tables: find a multiplicative generator (the group is
+   cyclic of order 2^m - 1 once irreducibility holds, so any element of
+   full order works; small candidates almost always do) and record its
+   discrete logs. The antilog table is doubled so [mul] needs no
+   modular reduction on the summed logs. *)
+let build_tables f =
+  let order = f.mask in
+  let log_tbl = Array.make (f.mask + 1) (-1) in
+  let exp_tbl = Array.make (2 * order) 1 in
+  let rec try_generator g =
+    if g > f.mask then failwith "Gf2m: no generator found (unreachable)"
+    else begin
+      Array.fill log_tbl 0 (Array.length log_tbl) (-1);
+      let e = ref 1 in
+      let ok = ref true in
+      (let i = ref 0 in
+       while !ok && !i < order do
+         if log_tbl.(!e) >= 0 then ok := false (* short cycle: not primitive *)
+         else begin
+           log_tbl.(!e) <- !i;
+           exp_tbl.(!i) <- !e;
+           e := mul_generic f !e g;
+           incr i
+         end
+       done);
+      if !ok && !e = 1 then ()
+      else try_generator (g + 1)
+    end
+  in
+  try_generator 2;
+  (* Double the antilog table: indices up to 2*(order-1) come from mul,
+     and [div] can reach index 2*order - 1. *)
+  for i = 0 to order - 1 do
+    exp_tbl.(order + i) <- exp_tbl.(i)
+  done;
+  (log_tbl, exp_tbl)
+
 let make ~m ~modulus =
   if m < 2 || m > 32 then invalid_arg "Gf2m.make: m out of [2,32]";
   if modulus land 1 = 0 then invalid_arg "Gf2m.make: modulus must have constant term";
@@ -171,11 +276,17 @@ let make ~m ~modulus =
       full = (1 lsl m) lor modulus;
       mask = (1 lsl m) - 1;
       mod_shifts;
-      scratch = Array.make 16 0;
+      scratch_key = Domain.DLS.new_key (fun () -> Array.make 256 0);
+      log_tbl = [||];
+      exp_tbl = [||];
     }
   in
   if not (is_irreducible f) then invalid_arg "Gf2m.make: reducible polynomial";
-  f
+  if m <= table_max_m then begin
+    let log_tbl, exp_tbl = build_tables f in
+    { f with log_tbl; exp_tbl }
+  end
+  else f
 
 let gf8 = make ~m:8 ~modulus:0x1B
 let gf16 = make ~m:16 ~modulus:0x2B

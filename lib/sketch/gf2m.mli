@@ -36,6 +36,29 @@ val add : int -> int -> int
 (** Addition = XOR (characteristic 2); provided for symmetry. *)
 
 val mul : t -> int -> int -> int
+(** Field multiplication. For m <= 16 this is two log lookups and one
+    antilog lookup in per-field tables built at {!make} time; larger
+    fields use {!mul_generic}. *)
+
+val mul_generic : t -> int -> int -> int
+(** The windowed carryless multiplier (4-bit window + reduction),
+    independent of the log/antilog tables. Semantically identical to
+    {!mul} on every field — kept as the reference implementation for
+    equivalence tests and benchmarks, and as the fallback for m > 16.
+    Safe to call concurrently from multiple domains (its window scratch
+    is domain-local). *)
+
+val mul_by : t -> int -> int -> int
+(** [mul_by f b] returns a function computing [fun a -> mul f a b] with
+    the [b]-dependent precomputation hoisted out: for untabled fields an
+    8-bit window table of [b] is built once and shared across every
+    application. Use when one factor is fixed across a loop (e.g.
+    syndrome accumulation). The returned closure is pure and
+    domain-safe. *)
+
+val tabled : t -> bool
+(** Whether this field carries log/antilog tables (m <= 16). *)
+
 val sq : t -> int -> int
 val pow : t -> int -> int -> int
 (** [pow f a k] for [k >= 0]; [pow f a 0 = 1]. *)

@@ -13,13 +13,28 @@ let copy t = { t with syndromes = Array.copy t.syndromes }
 
 let add t e =
   if e <= 0 || e > Gf2m.mask t.field then invalid_arg "Sketch.add: element";
-  (* Accumulate odd powers e^1, e^3, e^5, ... *)
+  (* Accumulate odd powers e^1, e^3, e^5, ... — the multiplier e^2 is
+     fixed across the loop, so its window precomputation is hoisted out
+     via [Gf2m.mul_by] when the capacity is large enough to amortise
+     it. *)
   let e2 = Gf2m.sq t.field e in
-  let p = ref e in
-  for i = 0 to t.capacity - 1 do
-    t.syndromes.(i) <- t.syndromes.(i) lxor !p;
-    if i < t.capacity - 1 then p := Gf2m.mul t.field !p e2
-  done
+  let syndromes = t.syndromes in
+  let n = t.capacity in
+  if n >= 16 || Gf2m.tabled t.field then begin
+    let mul_e2 = Gf2m.mul_by t.field e2 in
+    let p = ref e in
+    for i = 0 to n - 1 do
+      Array.unsafe_set syndromes i (Array.unsafe_get syndromes i lxor !p);
+      if i < n - 1 then p := mul_e2 !p
+    done
+  end
+  else begin
+    let p = ref e in
+    for i = 0 to n - 1 do
+      Array.unsafe_set syndromes i (Array.unsafe_get syndromes i lxor !p);
+      if i < n - 1 then p := Gf2m.mul t.field !p e2
+    done
+  end
 
 let add_all t es = List.iter (add t) es
 
@@ -85,6 +100,23 @@ let encode w t =
         Writer.u8 w ((s lsr (8 * i)) land 0xFF)
       done)
     t.syndromes
+
+let encode_into t buf ~pos =
+  let nb = syndrome_bytes t.field in
+  let len = serialized_size t in
+  if pos < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Sketch.encode_into";
+  Bytes.unsafe_set buf pos (Char.unsafe_chr (Gf2m.bits t.field));
+  Bytes.unsafe_set buf (pos + 1) (Char.unsafe_chr ((t.capacity lsr 8) land 0xFF));
+  Bytes.unsafe_set buf (pos + 2) (Char.unsafe_chr (t.capacity land 0xFF));
+  let off = ref (pos + 3) in
+  for i = 0 to t.capacity - 1 do
+    let s = Array.unsafe_get t.syndromes i in
+    for b = nb - 1 downto 0 do
+      Bytes.unsafe_set buf !off (Char.unsafe_chr ((s lsr (8 * b)) land 0xFF));
+      incr off
+    done
+  done
 
 let decode_wire ?(field = Gf2m.gf32) r =
   let m = Reader.u8 r in

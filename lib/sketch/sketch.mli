@@ -54,6 +54,13 @@ val serialized_size : t -> int
 
 val encode : Lo_codec.Writer.t -> t -> unit
 
+val encode_into : t -> bytes -> pos:int -> unit
+(** Write exactly [serialized_size t] bytes — byte-identical to
+    {!encode}'s output — into [buf] at [pos], with no intermediate
+    allocation. The commitment log uses this to maintain its serialized
+    sketch in place across appends. @raise Invalid_argument if the
+    target range does not fit. *)
+
 val decode_wire : ?field:Gf2m.t -> Lo_codec.Reader.t -> t
 (** Read a sketch; the field must match the expected deployment field
     ([Gf2m.gf32] by default). @raise Lo_codec.Reader.Malformed on bad

@@ -200,6 +200,37 @@ let commitment_tests =
         let everything = Commitment.Log.ids_in_cells log cells in
         check_bool "all" true
           (List.sort compare everything = List.sort compare ids));
+    qtest "incremental sketch_hash = from-scratch hash" ~count:30
+      QCheck2.Gen.(list_size (int_range 1 8) (list_size (int_range 1 12) (int_range 1 1_000_000)))
+      (fun bundles ->
+        (* The log maintains its digest incrementally (reused serialization
+           buffer, streaming hash); recomputing the hash from the attached
+           sketch's wire encoding must give the identical value. *)
+        let log = mk_log () in
+        List.iter
+          (fun ids ->
+            ignore (Commitment.Log.append log ~source:None ~ids:(List.sort_uniq compare ids)))
+          bundles;
+        let d = Commitment.Log.current_digest log in
+        match d.Commitment.sketch with
+        | None -> false
+        | Some s ->
+            let w = Lo_codec.Writer.create () in
+            Lo_sketch.Sketch.encode w s;
+            Lo_crypto.Sha256.digest (Lo_codec.Writer.contents w)
+            = d.Commitment.sketch_hash);
+    Alcotest.test_case "digest_at finds every recorded seq" `Quick (fun () ->
+        let log = mk_log () in
+        for i = 1 to 5 do
+          ignore (Commitment.Log.append log ~source:None ~ids:[ 100 + i ])
+        done;
+        for seq = 0 to 5 do
+          match Commitment.Log.digest_at log ~seq with
+          | Some d -> check_int "seq" seq d.Commitment.seq
+          | None -> Alcotest.fail (Printf.sprintf "digest_at %d missing" seq)
+        done;
+        check_bool "past end" true (Commitment.Log.digest_at log ~seq:6 = None);
+        check_bool "negative" true (Commitment.Log.digest_at log ~seq:(-1) = None));
   ]
 
 (* ---------------- Order ---------------- *)

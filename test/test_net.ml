@@ -238,6 +238,32 @@ let network_tests =
         check_int "messages" 2 (Network.messages_sent net);
         check_bool "tags" true
           (Network.bytes_by_tag net = [ ("a", 5); ("b", 3) ]));
+    Alcotest.test_case "send_many = iterated send" `Quick (fun () ->
+        (* The broadcast path encodes once and fans out; deliveries,
+           timing and byte accounting must be indistinguishable from
+           sending to each recipient in turn. *)
+        let deliveries net =
+          let log = ref [] in
+          for dst = 1 to 3 do
+            Network.set_handler net dst (fun net ~from ~tag payload ->
+                log := (dst, from, tag, payload, Network.now net) :: !log)
+          done;
+          log
+        in
+        let a = Network.create ~num_nodes:4 ~seed:42 () in
+        let log_a = deliveries a in
+        Network.send_many a ~src:0 ~dsts:[ 1; 2; 3 ] ~tag:"t" "payload";
+        Network.run_until a 5.0;
+        let b = Network.create ~num_nodes:4 ~seed:42 () in
+        let log_b = deliveries b in
+        List.iter
+          (fun dst -> Network.send b ~src:0 ~dst ~tag:"t" "payload")
+          [ 1; 2; 3 ];
+        Network.run_until b 5.0;
+        check_int "delivered" 3 (List.length !log_a);
+        check_bool "identical deliveries" true (!log_a = !log_b);
+        check_int "bytes" (Network.bytes_sent_by b 0) (Network.bytes_sent_by a 0);
+        check_int "messages" (Network.messages_sent b) (Network.messages_sent a));
     Alcotest.test_case "down node loses messages" `Quick (fun () ->
         let net = Network.create ~num_nodes:2 ~seed:1 () in
         let got = ref 0 in

@@ -46,6 +46,17 @@ let field_tests =
         qtest (name ^ ": trace is additive")
           QCheck2.Gen.(pair (elt_gen f) (elt_gen f))
           (fun (a, b) -> Gf2m.trace f (a lxor b) = Gf2m.trace f a lxor Gf2m.trace f b);
+        (* [mul] takes the log/antilog fast path for m <= 16; it must
+           agree with the windowed reference multiplier everywhere. *)
+        qtest (name ^ ": mul = mul_generic")
+          QCheck2.Gen.(pair (elt_gen f) (elt_gen f))
+          (fun (a, b) -> Gf2m.mul f a b = Gf2m.mul_generic f a b);
+        qtest (name ^ ": mul_by = mul")
+          QCheck2.Gen.(pair (elt_gen f) (elt_gen f))
+          (fun (a, b) -> (Gf2m.mul_by f b) a = Gf2m.mul f a b);
+        qtest (name ^ ": div = mul by inverse")
+          QCheck2.Gen.(pair (elt_gen f) (nonzero_gen f))
+          (fun (a, b) -> Gf2m.div f a b = Gf2m.mul f a (Gf2m.inv f b));
       ])
     fields
   @ [
@@ -262,6 +273,16 @@ let sketch_tests =
         check_int "size" (Sketch.serialized_size s) (Lo_codec.Writer.length w);
         let s' = Sketch.decode_wire (Lo_codec.Reader.of_string (Lo_codec.Writer.contents w)) in
         check_bool "same decode" true (Sketch.decode s' = Sketch.decode s));
+    qtest "encode_into matches encode byte-for-byte" ~count:50
+      QCheck2.Gen.(pair (int_range 1 40) (int_range 0 30))
+      (fun (capacity, n) ->
+        let rng = Lo_net.Rng.create ((capacity * 1009) + n) in
+        let s = Sketch.of_list ~capacity (rand_distinct rng (min n capacity) Gf2m.gf32) in
+        let w = Lo_codec.Writer.create () in
+        Sketch.encode w s;
+        let buf = Bytes.create (Sketch.serialized_size s) in
+        Sketch.encode_into s buf ~pos:0;
+        Bytes.to_string buf = Lo_codec.Writer.contents w);
     qtest "merge decodes symmetric difference" ~count:40
       QCheck2.Gen.(triple (int_bound 50) (int_bound 10) (int_bound 10))
       (fun (shared_n, only_a_n, only_b_n) ->

@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fmt bench clean
+.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fuzz-smoke fmt bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # The one-stop gate: everything compiles, the full test suite passes,
 # and a tiny seeded chaos scenario exercises the fault-injection paths.
 check:
-	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) bench-smoke
+	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke
 
 # Small deterministic fault-injection run (churn + partitions + loss
 # bursts + latency spikes + link degradation); exits non-zero if any
@@ -24,6 +24,15 @@ chaos-smoke:
 # conservation, span balance); exits non-zero on any violation.
 audit-smoke:
 	dune exec bin/lo.exe -- trace chaos -n 16 --duration 8 --rate 5 --seed 1 --audit
+
+# Conformance fuzzing at a seconds-scale budget: a seeded batch of
+# generated scenarios judged against the full oracle stack, plus one
+# mutation run that plants a hidden protocol violation and requires
+# the oracles to catch it — so the smoke fails both when the protocol
+# regresses and when the harness goes blind.
+fuzz-smoke:
+	dune exec bin/lo.exe -- fuzz -n 24 --seed 1
+	dune exec bin/lo.exe -- fuzz -n 8 --seed 1 --mutate inject
 
 # Formatting is checked only when ocamlformat is available; the
 # toolchain image does not ship it and installing is out of scope.

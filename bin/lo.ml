@@ -169,6 +169,117 @@ let run_selfcheck _scale =
     (Lo_core.Commitment.verify scheme (Lo_core.Commitment.Log.current_digest log));
   print_endline "all self-checks passed."
 
+let run_fuzz cases seed mutate replay repro_dir shrink_budget jobs =
+  let print_verdict (o : Lo_check.Harness.outcome) =
+    let v = o.Lo_check.Harness.verdict in
+    Printf.printf "  scenario: %s\n" (Lo_check.Scenario.describe o.scenario);
+    Printf.printf "  events: %d  detections: %d  required: %d\n" o.events
+      (List.length v.Lo_check.Oracle.detections)
+      v.Lo_check.Oracle.required_detections;
+    if v.Lo_check.Oracle.failures <> [] then
+      print_endline
+        (Lo_check.Oracle.failures_to_string v.Lo_check.Oracle.failures)
+  in
+  match replay with
+  | Some path -> (
+      match Lo_check.Harness.read_repro ~path with
+      | Error msg ->
+          prerr_endline ("fuzz: cannot load repro: " ^ msg);
+          exit 2
+      | Ok scenario ->
+          let o = Lo_check.Harness.execute scenario in
+          Printf.printf "replaying %s\n" path;
+          print_verdict o;
+          if Lo_check.Harness.failed o then begin
+            print_endline "replay: FAILED (as recorded)";
+            exit 1
+          end
+          else print_endline "replay: passed")
+  | None -> (
+      let results = Lo_check.Harness.fuzz ~n:cases ~seed ?mutation:mutate ?jobs () in
+      let failures =
+        List.filter
+          (fun c -> Lo_check.Harness.failed c.Lo_check.Harness.outcome)
+          results
+      in
+      let total_events, total_detections, total_required, with_adv =
+        List.fold_left
+          (fun (e, d, r, a) c ->
+            let o = c.Lo_check.Harness.outcome in
+            let v = o.Lo_check.Harness.verdict in
+            ( e + o.Lo_check.Harness.events,
+              d + List.length v.Lo_check.Oracle.detections,
+              r + v.Lo_check.Oracle.required_detections,
+              a
+              + min 1
+                  (List.length
+                     o.Lo_check.Harness.scenario.Lo_check.Scenario.adversaries)
+            ))
+          (0, 0, 0, 0) results
+      in
+      Printf.printf
+        "fuzz: %d cases (seed %d)%s\n\
+        \  adversarial cases: %d   events audited: %d\n\
+        \  detections: %d (required %d)   failing cases: %d\n"
+        cases seed
+        (match mutate with Some m -> " mutation=" ^ m | None -> "")
+        with_adv total_events total_detections total_required
+        (List.length failures);
+      match mutate with
+      | Some m ->
+          (* Sensitivity check: the harness must catch the hidden
+             deviation whenever it observably fired. *)
+          let vacuous, missed, caught =
+            List.fold_left
+              (fun (v, miss, c) case ->
+                let o = case.Lo_check.Harness.outcome in
+                if Lo_check.Harness.failed o then (v, miss, c + 1)
+                else if o.Lo_check.Harness.mutant_observable = 0 then
+                  (v + 1, miss, c)
+                else (v, case.Lo_check.Harness.index :: miss, c))
+              (0, [], 0) results
+          in
+          Printf.printf "mutate %s: caught %d, vacuous %d, missed %d\n" m
+            caught vacuous (List.length missed);
+          if missed <> [] then begin
+            List.iter
+              (fun i -> Printf.printf "  case %d: mutant escaped the oracles\n" i)
+              (List.rev missed);
+            print_endline "mutate: FAILED (mutant survived)";
+            exit 1
+          end;
+          if caught = 0 then begin
+            print_endline
+              "mutate: FAILED (mutation never fired; no case caught)";
+            exit 1
+          end;
+          print_endline "mutate: all observable mutants caught"
+      | None ->
+          if failures = [] then print_endline "fuzz: all oracles passed"
+          else begin
+            List.iter
+              (fun c ->
+                let o = c.Lo_check.Harness.outcome in
+                Printf.printf "case %d FAILED\n" c.Lo_check.Harness.index;
+                print_verdict o;
+                let minimal, runs =
+                  Lo_check.Harness.shrink ?budget:shrink_budget
+                    o.Lo_check.Harness.scenario
+                in
+                let path =
+                  Filename.concat repro_dir
+                    (Printf.sprintf "fuzz-repro-%d.json" c.Lo_check.Harness.index)
+                in
+                Lo_check.Harness.write_repro ~path minimal;
+                Printf.printf
+                  "  shrunk in %d runs to: %s\n  repro written to %s\n" runs
+                  (Lo_check.Scenario.describe minimal)
+                  path)
+              failures;
+            print_endline "fuzz: FAILED";
+            exit 1
+          end)
+
 let run_all scale =
   run_fig6 scale;
   run_fig7 scale;
@@ -259,6 +370,76 @@ let () =
          Term.(
            const run_trace $ scale_term $ scenario_arg $ out_arg $ audit_flag
            $ capacity_arg));
+      (let cases_arg =
+         Arg.(
+           value & opt int 50
+           & info [ "n"; "cases" ] ~docv:"N"
+               ~doc:"Number of generated scenarios.")
+       in
+       let seed_arg =
+         Arg.(
+           value & opt int 1
+           & info [ "seed" ] ~docv:"SEED"
+               ~doc:"Campaign seed; every case derives from (seed, index).")
+       in
+       let mutate_arg =
+         let names =
+           String.concat ", " (List.map fst Lo_check.Harness.mutations)
+         in
+         Arg.(
+           value
+           & opt (some (enum
+                          (List.map
+                             (fun (name, _) -> (name, name))
+                             Lo_check.Harness.mutations)))
+               None
+           & info [ "mutate" ] ~docv:"RULE"
+               ~doc:
+                 (Printf.sprintf
+                    "Sensitivity mode: hide a known deviation (%s) on one \
+                     node and demand the oracles catch it."
+                    names))
+       in
+       let replay_arg =
+         Arg.(
+           value
+           & opt (some file) None
+           & info [ "replay" ] ~docv:"FILE"
+               ~doc:
+                 "Re-run one repro file byte-identically instead of \
+                  generating a campaign.")
+       in
+       let repro_dir_arg =
+         Arg.(
+           value & opt dir "."
+           & info [ "repro-dir" ] ~docv:"DIR"
+               ~doc:"Where shrunk repro files are written.")
+       in
+       let shrink_budget_arg =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "shrink-budget" ] ~docv:"RUNS"
+               ~doc:"Max re-runs the shrinker may spend per failure \
+                     (default 40).")
+       in
+       let jobs_arg =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "jobs"; "j" ] ~docv:"J"
+               ~doc:"Domains to fan cases across (default: LO_JOBS or \
+                     core count).")
+       in
+       Cmd.v
+         (Cmd.info "fuzz"
+            ~doc:
+              "Conformance fuzzing: random swarm scenarios judged against \
+               the oracle stack, with automatic shrinking to minimal \
+               repros")
+         Term.(
+           const run_fuzz $ cases_arg $ seed_arg $ mutate_arg $ replay_arg
+           $ repro_dir_arg $ shrink_budget_arg $ jobs_arg));
       cmd "selfcheck" "Verify the crypto and sketch substrates against known vectors" run_selfcheck;
       cmd "all" "Run the entire evaluation" run_all;
     ]

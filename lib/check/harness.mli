@@ -1,0 +1,66 @@
+(** The conformance harness: compile a {!Scenario} onto
+    {!Lo_sim.Runner}, judge it with {!Oracle}, shrink failures, and fan
+    campaigns across the domain pool.
+
+    Everything here is deterministic in the scenario alone: executing
+    the same scenario twice — in the same process, another process, or
+    from a repro file written weeks earlier — produces the same trace,
+    the same verdict and the same failure strings. *)
+
+type outcome = {
+  scenario : Scenario.t;  (** as executed (mutation normalised) *)
+  verdict : Oracle.verdict;
+  events : int;  (** trace events emitted by the run *)
+  mutant : int option;  (** node running the hidden mutation, if any *)
+  mutant_observable : int;
+      (** observable deviations by the mutant — [0] means the mutation
+          never fired and the case is vacuous for sensitivity testing *)
+}
+
+val failed : outcome -> bool
+(** At least one oracle failure. *)
+
+val mutations : (string * string) list
+(** Supported [--mutate] modes as [(name, description)]: each silently
+    re-enables a known adversarial deviation on one hidden node —
+    ["shuffle-skip"] (skip the canonical intra-bundle shuffle, order by
+    fee), ["inject"] (smuggle uncommitted transactions into blocks),
+    ["omit"] (silently censor blockspace), ["silent"] (stop answering
+    protocol requests). The harness must catch the run red-handed even
+    though the ground truth claims everyone is honest. *)
+
+val with_mutation : Scenario.t -> string -> Scenario.t
+(** Arm the scenario with a hidden mutation (normalising knobs the
+    mutation needs, e.g. block production for block-stage mutations).
+    @raise Invalid_argument on an unknown mutation name. *)
+
+val execute : Scenario.t -> outcome
+(** One full run: build the deployment (tracing on), apply behaviours,
+    faults, workload, blocks and perturbations from the scenario, drive
+    to the horizon, judge. *)
+
+val shrink : ?budget:int -> Scenario.t -> Scenario.t * int
+(** Greedy minimisation of a failing scenario: repeatedly move to the
+    first {!Scenario.shrink_candidates} that still fails, until none
+    does or [budget] (default 40) re-runs are spent. Returns the
+    minimal failing scenario and the number of runs used. The input
+    should itself fail ({!execute} + {!failed}); if it does not, it is
+    returned unchanged. *)
+
+type case = { index : int; outcome : outcome }
+
+val fuzz :
+  n:int ->
+  seed:int ->
+  ?mutation:string ->
+  ?jobs:int ->
+  unit ->
+  case list
+(** The campaign: generate scenarios [0..n-1] from [seed], arm each
+    with [mutation] (if given), execute across the
+    {!Lo_sim.Parallel} domain pool, return in index order. *)
+
+val write_repro : path:string -> Scenario.t -> unit
+(** One-line JSON file ({!Scenario.to_json_string} + newline). *)
+
+val read_repro : path:string -> (Scenario.t, string) result

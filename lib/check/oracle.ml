@@ -1,0 +1,200 @@
+module Trace = Lo_obs.Trace
+module Event = Lo_obs.Event
+module Audit = Lo_obs.Audit
+module Query = Lo_obs.Query
+module Runner = Lo_sim.Runner
+module Sim = Lo_sim.Scenario
+open Lo_core
+
+type failure = { oracle : string; detail : string }
+type detection = { adversary : int; via : string; at : float }
+
+type verdict = {
+  failures : failure list;
+  detections : detection list;
+  events_checked : int;
+  required_detections : int;
+}
+
+let block_kinds = [ "block-inject"; "block-reorder"; "block-censor" ]
+
+(* A deviation carries a protocol obligation only when the network had
+   a chance to see it with [slack] seconds to spare: a silently dropped
+   commit request (recorded at receipt, so the requester is already
+   waiting), or a tampered block some honest node accepted. Stage-I/II
+   censorship and an unshown equivocation fork are invisible by
+   construction — tracked, never required. *)
+let observable ~slack ~horizon ~is_adv ~entries ~idx (at, dkind, height) =
+  if String.equal dkind "silent-drop" then at <= horizon -. slack
+  else if List.mem dkind block_kinds then
+    List.exists
+      (fun (t0, node, h) ->
+        (not (is_adv node)) && Some h = height && t0 <= horizon -. slack)
+      (Query.accepts_of_creator entries ~creator:idx)
+  else false
+
+let observable_deviations ?(slack = 15.) ~horizon ~is_adv ~entries ~node ~idx
+    () =
+  List.filter
+    (observable ~slack ~horizon ~is_adv ~entries ~idx)
+    (Node.deviations node)
+
+let judge ~adversaries ~horizon ?(slack = 15.) ~run ~trace () =
+  let d = run.Runner.deployment in
+  let dir = d.Sim.directory in
+  let nodes = d.Sim.nodes in
+  let n = Array.length nodes in
+  let is_adv i = List.mem_assoc i adversaries in
+  let index_of id = Directory.index_of dir id in
+  let entries = Trace.events trace in
+  let failures = ref [] in
+  let detections = ref [] in
+  let fail oracle detail = failures := { oracle; detail } :: !failures in
+  let detect adversary via at = detections := { adversary; via; at } :: !detections in
+
+  (* Layer 1: the replay audit. A violation naming a configured
+     adversary is the protocol catching it — reclassify as detection;
+     anything blaming an honest node (or the stream itself) fails. *)
+  let report = Audit.check_trace ~horizon trace in
+  List.iter
+    (fun (v : Audit.violation) ->
+      if v.node >= 0 && is_adv v.node then
+        detect v.node ("audit:" ^ v.invariant) v.at
+      else fail "audit" (Audit.violation_to_string v))
+    report.violations;
+
+  (* Layer 2: no-honest-exposure — both the exposure events in the
+     trace and every node's final accountability state. *)
+  let seen_exposure = Hashtbl.create 16 in
+  let honest_exposure ~accuser ~accused ~where =
+    if not (Hashtbl.mem seen_exposure (accuser, accused)) then begin
+      Hashtbl.add seen_exposure (accuser, accused) ();
+      fail "no-honest-exposure"
+        (Printf.sprintf "node %d exposed honest node %d (%s)" accuser accused
+           where)
+    end
+  in
+  List.iter
+    (fun (at, accuser, accused) ->
+      if is_adv accused then detect accused "expose" at
+      else honest_exposure ~accuser ~accused ~where:"trace")
+    (Query.exposures entries);
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (peer_id, _ev) ->
+        match index_of peer_id with
+        | Some p when not (is_adv p) ->
+            honest_exposure ~accuser:i ~accused:p ~where:"final state"
+        | _ -> ())
+      (Accountability.exposed_peers (Node.accountability nodes.(i)))
+  done;
+
+  (* Layer 3: evidence-transferability — every filed exposure must
+     verify standalone and accuse the peer it is filed under. *)
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (peer_id, ev) ->
+        if not (Evidence.verify d.Sim.scheme ev) then
+          fail "evidence-transferability"
+            (Printf.sprintf "node %d holds unverifiable evidence against %s"
+               i (Evidence.describe ev))
+        else if not (String.equal (Evidence.accused ev) peer_id) then
+          fail "evidence-transferability"
+            (Printf.sprintf
+               "node %d filed evidence under the wrong peer (%s)" i
+               (Evidence.describe ev)))
+      (Accountability.exposed_peers (Node.accountability nodes.(i)))
+  done;
+
+  (* Layer 4: detection-completeness against each adversary's own
+     ground-truth deviation log. *)
+  let detection_of idx =
+    List.find_map
+      (fun { Trace.at; ev } ->
+        let hit node via =
+          if node <> idx && not (is_adv node) then Some (at, via) else None
+        in
+        match ev with
+        | Event.Suspect { node; peer } when peer = idx -> hit node "suspect"
+        | Event.Expose { node; peer } when peer = idx -> hit node "expose"
+        | Event.Violation { node; peer; _ } when peer = idx ->
+            hit node "violation"
+        | _ -> None)
+      entries
+  in
+  let audit_detected idx =
+    List.exists (fun (v : Audit.violation) -> v.node = idx) report.violations
+  in
+  let required = ref 0 in
+  List.iter
+    (fun (idx, _kind) ->
+      let caught = detection_of idx in
+      (match caught with
+      | Some (at, via) -> detect idx via at
+      | None -> ());
+      List.iter
+        (fun (at, dkind, height) ->
+          incr required;
+          if caught = None && not (audit_detected idx) then
+            fail "detection-completeness"
+              (Printf.sprintf
+                 "adversary %d deviated (%s%s at %.2f) but was never \
+                  suspected or exposed"
+                 idx dkind
+                 (match height with
+                 | Some h -> Printf.sprintf " h=%d" h
+                 | None -> "")
+                 at))
+        (observable_deviations ~slack ~horizon ~is_adv ~entries
+           ~node:nodes.(idx) ~idx ()))
+    adversaries;
+
+  (* Layer 5: cross-node prefix agreement on honest owners' snapshots. *)
+  let snapshots = Hashtbl.create 256 in
+  for i = 0 to n - 1 do
+    if not (is_adv i) then
+      List.iter
+        (fun (owner, seq, dg) ->
+          match index_of owner with
+          | Some o when not (is_adv o) -> (
+              match Hashtbl.find_opt snapshots (owner, seq) with
+              | None -> Hashtbl.add snapshots (owner, seq) (dg, i)
+              | Some (dg0, holder0) ->
+                  if not (Commitment.equal_content dg0 dg) then
+                    fail "prefix-agreement"
+                      (Printf.sprintf
+                         "nodes %d and %d hold different snapshots of \
+                          honest node %d at seq %d"
+                         holder0 i o seq))
+          | _ -> ())
+        (Node.digest_snapshots nodes.(i))
+  done;
+
+  (* Deterministic order: failures by (oracle, detail); detections by
+     (adversary, time), earliest per adversary first. *)
+  let failures =
+    List.sort_uniq
+      (fun a b ->
+        match String.compare a.oracle b.oracle with
+        | 0 -> String.compare a.detail b.detail
+        | c -> c)
+      !failures
+  in
+  let detections =
+    List.sort
+      (fun a b ->
+        match compare a.adversary b.adversary with
+        | 0 -> compare a.at b.at
+        | c -> c)
+      !detections
+  in
+  {
+    failures;
+    detections;
+    events_checked = report.events_checked;
+    required_detections = !required;
+  }
+
+let failures_to_string failures =
+  String.concat "\n"
+    (List.map (fun f -> Printf.sprintf "[%s] %s" f.oracle f.detail) failures)

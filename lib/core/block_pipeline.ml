@@ -265,7 +265,25 @@ let build_block t (env : Node_env.t) ~policy =
           tx);
     }
   in
+  let honest_out = out in
   let out = Adversary.tamper_block t.adversary ctx out in
+  (* Ground truth for the conformance oracles: a block-stage deviation
+     happened iff tampering actually changed the honest output. *)
+  (if
+     out.Policy.txids <> honest_out.Policy.txids
+     || out.Policy.bundle_sizes <> honest_out.Policy.bundle_sizes
+   then
+     let kind =
+       match t.adversary with
+       | Adversary.Block_injector -> Some "block-inject"
+       | Adversary.Block_reorderer -> Some "block-reorder"
+       | Adversary.Blockspace_censor _ -> Some "block-censor"
+       | _ -> None
+     in
+     match kind with
+     | Some kind ->
+         env.record_deviation ~kind ~height:(Some (chain_height t + 1))
+     | None -> ());
   if out.Policy.txids = [] then None
   else begin
     let start_seq, commit_seq, bundle_sizes, appendix =

@@ -60,7 +60,9 @@ let ingest_batch t (env : Node_env.t) ~from txs =
       match Tx.prevalidate env.config.scheme tx with
       | Error _ -> ()
       | Ok () ->
-          if not (Adversary.censors_tx t.adversary tx) then begin
+          if Adversary.censors_tx t.adversary tx then
+            env.record_deviation ~kind:"censor-content" ~height:None
+          else begin
             let short = Tx.short_id tx in
             if not (Commitment.Log.contains env.primary_log short) then
               env.commit ~source:(Some from_id) ~ids:[ short ];

@@ -77,6 +77,9 @@ type t = {
   reconciler : Reconciler.t;
   pipeline : Block_pipeline.t;
   seen_exposures : (string, unit) Hashtbl.t;
+  deviations : (string * int option, float) Hashtbl.t;
+      (* ground truth for the conformance oracles: (kind, block height)
+         -> first simulated time this node deviated that way *)
   mutable env : Node_env.t option; (* set once in [create] *)
 }
 
@@ -90,6 +93,18 @@ let accountability t = t.acc
 let neighbors t = t.neighbors
 let set_neighbors t ns = t.neighbors <- ns
 let now t = Network.now t.net
+
+(* Deduplicated by (kind, height): the oracles only need the first time
+   each distinct deviation happened, and a silent censor would otherwise
+   log every dropped message. *)
+let record_deviation t ~kind ~height =
+  if not (Hashtbl.mem t.deviations (kind, height)) then
+    Hashtbl.add t.deviations (kind, height) (now t)
+
+let deviations t =
+  Hashtbl.fold (fun (kind, height) at acc -> (at, kind, height) :: acc)
+    t.deviations []
+  |> List.sort compare
 
 let send_msg t ~dst msg =
   Network.send t.net ~src:t.index ~dst ~tag:(Messages.tag msg)
@@ -203,6 +218,7 @@ let make_env t =
     expose = (fun ~accused evidence -> expose t ~accused evidence);
     retry_inspections =
       (fun ~owner -> Block_pipeline.retry_inspections t.pipeline (env t) ~owner);
+    record_deviation = (fun ~kind ~height -> record_deviation t ~kind ~height);
   }
 
 let create config ~net ~mux ~index ~directory ~signer ~neighbors ~behavior =
@@ -237,6 +253,7 @@ let create config ~net ~mux ~index ~directory ~signer ~neighbors ~behavior =
       pipeline =
         Block_pipeline.create ~adversary:behavior ~tracker ~content ~mempool;
       seen_exposures = Hashtbl.create 16;
+      deviations = Hashtbl.create 4;
       env = None;
     }
   in
@@ -247,6 +264,7 @@ let head_hash t = Block_pipeline.head_hash t.pipeline
 let chain_height t = Block_pipeline.chain_height t.pipeline
 let find_block t ~height = Block_pipeline.find_block t.pipeline ~height
 let known_digest t ~peer = Peer_tracker.latest t.tracker ~peer
+let digest_snapshots t = Peer_tracker.snapshots t.tracker
 let commitment_storage_bytes t = Peer_tracker.storage_bytes t.tracker
 let missing_content_count t = Content_sync.missing_count t.content
 
@@ -264,13 +282,15 @@ let submit_tx t tx =
   match Tx.prevalidate t.config.scheme tx with
   | Error _ -> ()
   | Ok () ->
-      if Adversary.censors_tx t.behavior tx then ()
+      if Adversary.censors_tx t.behavior tx then
+        record_deviation t ~kind:"censor-tx" ~height:None
       else begin
         let short = Tx.short_id tx in
         if not (Commitment.Log.contains t.log short) then begin
           append_primary t ~source:None ~ids:[ short ];
           (match t.alt_log with
           | Some alt ->
+              record_deviation t ~kind:"equivocate" ~height:None;
               let alt_tx = equivocator_alt_tx t tx in
               ignore
                 (Commitment.Log.append alt ~source:None
@@ -292,9 +312,13 @@ let handle_exposure t evidence =
 
 (* --- message dispatch --- *)
 
-let handle_message t _net ~from ~tag:_ payload =
-  if Adversary.drops_all_messages t.behavior then ()
-    (* drops everything: the Fig. 6 faulty miner *)
+let handle_message t _net ~from ~tag payload =
+  if Adversary.drops_all_messages t.behavior then
+    (* Drops everything: the Fig. 6 faulty miner. Ground truth only
+       counts ignored commit requests — those are the drops the
+       requester's retry escalation is guaranteed to notice. *)
+    (if String.equal tag "lo:commit-req" then
+       record_deviation t ~kind:"silent-drop" ~height:None)
   else begin
     match Messages.decode payload with
     | exception Lo_codec.Reader.Malformed _ -> ()

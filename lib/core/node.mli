@@ -132,11 +132,27 @@ val find_block : t -> height:int -> Block.t option
 val known_digest : t -> peer:string -> Commitment.digest option
 (** Latest stored commitment digest of a peer. *)
 
+val digest_snapshots : t -> (string * int * Commitment.digest) list
+(** Every peer commitment snapshot this node retains, as
+    [(owner id, seq, digest)] sorted by owner then seq — the raw
+    material for the cross-node prefix-agreement oracle of [Lo_check]. *)
+
 val commitment_storage_bytes : t -> int
 (** Bytes of peer commitment digests currently retained (Sec. 6.5
     memory metric; own log excluded). *)
 
 val missing_content_count : t -> int
+
+val deviations : t -> (float * string * int option) list
+(** Ground-truth log of this node's own adversarial deviations, sorted
+    by time: [(first time, kind, block height)]. Kinds: ["silent-drop"]
+    (ignored a commit request), ["censor-tx"] / ["censor-content"]
+    (Stage I/II censorship), ["equivocate"] (the fork diverged),
+    ["block-inject"] / ["block-reorder"] / ["block-censor"] (the block
+    at [height] was tampered with). Deduplicated by (kind, height);
+    always empty for honest nodes. Feeds the detection-completeness
+    oracle of [Lo_check] — every entry is a deviation the protocol
+    should eventually suspect or expose. *)
 
 val ack_signing_bytes : txid:string -> string
 (** Bytes a miner signs when acknowledging a submission (Stage I); used

@@ -87,4 +87,5 @@ type t = {
   commit : source:string option -> ids:int list -> unit;
   expose : accused:string -> Evidence.t -> unit;
   retry_inspections : owner:string -> unit;
+  record_deviation : kind:string -> height:int option -> unit;
 }

@@ -95,4 +95,9 @@ type t = {
       (** record + gossip an exposure (deduplicated by the node) *)
   retry_inspections : owner:string -> unit;
       (** re-run inspections parked on missing digests of [owner] *)
+  record_deviation : kind:string -> height:int option -> unit;
+      (** ground-truth ledger of the node's {e own} adversarial
+          deviations (see {!Node.deviations}); honest code paths never
+          call it. [height] ties block-stage deviations to the tampered
+          block so oracles can match them to honest acceptances. *)
 }

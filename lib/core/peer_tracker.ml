@@ -48,6 +48,14 @@ let digest_pair t ~owner ~seq =
       | _ -> None
     end
 
+let snapshots t =
+  Hashtbl.fold
+    (fun owner st acc ->
+      Hashtbl.fold (fun seq d acc -> (owner, seq, d) :: acc) st.digests acc)
+    t.peers []
+  |> List.sort (fun (o1, s1, _) (o2, s2, _) ->
+         match String.compare o1 o2 with 0 -> Int.compare s1 s2 | c -> c)
+
 let bundle_of_seq t ~owner ~seq =
   match Hashtbl.find_opt t.peers owner with
   | None -> None

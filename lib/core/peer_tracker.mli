@@ -40,6 +40,12 @@ val handle_digest_request :
 (** Serve a {!Messages.Digest_request} from our own log or the stored
     snapshots of a third party. *)
 
+val snapshots : t -> (string * int * Commitment.digest) list
+(** Every stored digest snapshot, as [(owner, seq, digest)] sorted by
+    owner then seq — the raw material for the cross-node
+    commitment-prefix-agreement oracle: two correct nodes may never hold
+    content-different snapshots of the same honest owner and seq. *)
+
 val recent_digests : t -> exclude_owner:string -> Commitment.digest list
 (** Recently received third-party digests (for transitive gossip),
     excluding those owned by the target peer. *)

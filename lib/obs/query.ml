@@ -1,0 +1,48 @@
+let exposures entries =
+  List.filter_map
+    (fun { Trace.at; ev } ->
+      match ev with
+      | Event.Expose { node; peer } -> Some (at, node, peer)
+      | _ -> None)
+    entries
+
+let first_detection entries ~peer =
+  List.find_map
+    (fun { Trace.at; ev } ->
+      match ev with
+      | Event.Suspect { node; peer = p } when p = peer && node <> peer ->
+          Some (at, "suspect")
+      | Event.Expose { node; peer = p } when p = peer && node <> peer ->
+          Some (at, "expose")
+      | Event.Violation { node; peer = p; _ } when p = peer && node <> peer ->
+          Some (at, "violation")
+      | _ -> None)
+    entries
+
+let first_send_to entries ~dst ~tag =
+  List.find_map
+    (fun { Trace.at; ev } ->
+      match ev with
+      | Event.Send { dst = d; tag = t; _ } when d = dst && String.equal t tag
+        ->
+          Some at
+      | _ -> None)
+    entries
+
+let accepts_of_creator entries ~creator =
+  List.filter_map
+    (fun { Trace.at; ev } ->
+      match ev with
+      | Event.Block_accept { node; creator = c; height; _ }
+        when c = creator && node <> creator ->
+          Some (at, node, height)
+      | _ -> None)
+    entries
+
+let suspects_of entries ~peer =
+  List.filter_map
+    (fun { Trace.at; ev } ->
+      match ev with
+      | Event.Suspect { node; peer = p } when p = peer -> Some (at, node)
+      | _ -> None)
+    entries

@@ -27,8 +27,9 @@ type run = {
 
 let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
     ?rate ?duration ?(workload = `Poisson) ?workload_seed ?rotate_period
-    ?blocks ?(drain = 20.) ?(wire = fun _ -> ()) ?(after_inject = fun _ -> ())
-    ?trace ~scale ~seed () =
+    ?blocks ?(blocks_only_honest = true) ?(drain = 20.)
+    ?(wire = fun _ -> ()) ?(after_inject = fun _ -> ()) ?trace ~scale ~seed
+    () =
   (* Wall-clock self-profiling: phase timings live beside the trace but
      outside the deterministic event stream (excluded from JSONL), so
      they never threaten byte-identical replays. *)
@@ -93,7 +94,8 @@ let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
   | None -> ());
   (match blocks with
   | Some (policy, interval) ->
-      Scenario.schedule_blocks d ~policy ~interval ~until:run.horizon ()
+      Scenario.schedule_blocks d ~policy ~interval ~until:run.horizon
+        ~only_honest:blocks_only_honest ()
   | None -> ());
   note_phase "inject";
   Network.run_until d.net run.horizon;

@@ -48,6 +48,7 @@ val run_lo :
   ?workload_seed:int ->
   ?rotate_period:float ->
   ?blocks:Lo_core.Policy.t * float ->
+  ?blocks_only_honest:bool ->
   ?drain:float ->
   ?wire:(run -> unit) ->
   ?after_inject:(run -> unit) ->
@@ -63,9 +64,12 @@ val run_lo :
     [txs]/[created]/[fees]), [after_inject] (schedule extra events),
     install the fault plan [faults] (if given; stats land in
     [fault_stats]), neighbour rotation every [rotate_period] (if
-    given), block production with ([policy], [interval]) (if given),
-    then [Network.run_until (workload duration + drain)] (drain default
-    20 s).
+    given), block production with ([policy], [interval]) (if given;
+    [blocks_only_honest] — default [true], matching the paper's
+    leader-election model — excludes faulty miners from leadership;
+    the conformance fuzzer passes [false] so block-stage adversaries
+    actually get to deviate), then [Network.run_until (workload
+    duration + drain)] (drain default 20 s).
 
     [trace] attaches an observability sink for the whole life cycle:
     protocol events stream into it during the run, in-flight messages

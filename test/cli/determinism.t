@@ -1,0 +1,8 @@
+Determinism lint: simulation runs must be a pure function of the
+scenario seed, so the only module allowed to mention OCaml's Random is
+the seeded splitmix64 generator that wraps all randomness. A match
+below means someone smuggled ambient randomness into the protocol or
+the harness.
+
+  $ grep -rnE '\bRandom\.' --include='*.ml' --include='*.mli' ../../lib ../../bin \
+  >   | grep -v 'lib/net/rng\.ml' | sort

@@ -1,0 +1,51 @@
+Golden outputs: seeded runs must be byte-identical across machines and
+releases — any diff here is either a behaviour change (update the
+fixture deliberately) or a determinism regression (fix the code).
+
+A small traced baseline run with the auditor on. The harness
+wall-clock table is the single nondeterministic section of the
+report, so it is elided; everything else — event counts, wire flow,
+byte totals, the audit verdict — is exact.
+
+  $ ../../bin/lo.exe trace baseline -n 12 --duration 6 --rate 4 --seed 1 --audit | sed '/wall-clock/,/^run /d'
+  
+  == Trace — events by kind ==
+  kind        count
+  -----------------
+  block       24   
+  commit      166  
+  deliver     2322 
+  send        2322 
+  span_begin  259  
+  span_end    259  
+  
+  == Trace — wire flow by message tag ==
+  tag              sent  delivered  dropped  blocked  sent bytes
+  --------------------------------------------------------------
+  lo:block         264   264        0        0        119.37 KB 
+  lo:commit-req    333   333        0        0        72.60 KB  
+  lo:commit-resp   333   333        0        0        68.99 KB  
+  lo:digest        462   462        0        0        312.95 KB 
+  lo:digest-reply  368   368        0        0        821.72 KB 
+  lo:digest-req    380   380        0        0        12.99 KB  
+  lo:txs           182   182        0        0        92.67 KB  
+  
+  audit: PASS — 0 violation(s) over 5352 events (0 unclosed span(s), 0 standing suspicion(s) excused)
+
+The chaos sweep grid: every cell of the fault matrix, including
+latency quantiles, suspicion counts and the exposure column, is a
+pure function of the seed.
+
+  $ ../../bin/lo.exe chaos -n 12 --duration 6 --rate 4 --reps 1 --seed 1
+  
+  == Chaos — fault injection (all nodes honest; exposures must be zero) ==
+  churn/s  part (s)  burst  crash  kinds  lat mean  lat p95  recon ok  susp  withdrawn  resolved  exposed  audit
+  --------------------------------------------------------------------------------------------------------------
+  0.10     1.5       0.15   1/1    5      1.499     5.022    74.1%     67    67         100.0%    0        off  
+  0.10     1.5       0.35   0/0    4      0.899     2.003    85.4%     0     0          100.0%    0        off  
+  0.10     3.0       0.15   0/0    3      0.804     1.486    93.4%     0     0          100.0%    0        off  
+  0.10     3.0       0.35   1/1    4      0.822     1.682    85.8%     11    11         100.0%    0        off  
+  0.30     1.5       0.15   2/2    5      1.984     7.745    62.8%     102   102        100.0%    0        off  
+  0.30     1.5       0.35   2/2    5      1.835     6.208    65.8%     20    20         100.0%    0        off  
+  0.30     3.0       0.15   3/3    4      0.833     1.864    70.2%     131   131        100.0%    0        off  
+  0.30     3.0       0.35   4/4    4      0.935     2.070    76.4%     11    11         100.0%    0        off  

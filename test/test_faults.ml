@@ -80,6 +80,7 @@ let make_harness () =
         (fun ~source ~ids -> ignore (Commitment.Log.append log ~source ~ids));
       expose = (fun ~accused:_ _ -> ());
       retry_inspections = (fun ~owner:_ -> ());
+      record_deviation = (fun ~kind:_ ~height:_ -> ());
     }
   in
   {

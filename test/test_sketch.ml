@@ -493,6 +493,111 @@ let strata_tests =
         reconcile (max 8 (2 * est)) 0);
   ]
 
+(* ---------------- Randomised properties ----------------
+
+   The conformance-harness PR hardens these two modules with qcheck
+   properties: the partitioned reconciler must recover exactly the
+   symmetric difference for any input shape, the monolithic baseline
+   must decode-or-fail honestly at its capacity bound, and the strata
+   estimator must survive the wire byte-for-byte. *)
+
+(* Three disjoint random sets (shared, only-local, only-remote) of
+   bounded size, drawn from the nonzero GF(2^32) elements. *)
+let split_sets_gen =
+  QCheck2.Gen.(
+    map
+      (fun (seed, n_shared, n_local, n_remote) ->
+        let rng = Lo_net.Rng.create seed in
+        let seen = Hashtbl.create 64 in
+        let draw () =
+          let rec go () =
+            let v = 1 + Lo_net.Rng.int rng (Gf2m.mask Gf2m.gf32 - 1) in
+            if Hashtbl.mem seen v then go ()
+            else begin
+              Hashtbl.add seen v ();
+              v
+            end
+          in
+          go ()
+        in
+        let take n = List.init n (fun _ -> draw ()) in
+        (take n_shared, take n_local, take n_remote))
+      (quad (int_range 0 1_000_000) (int_bound 60) (int_bound 25)
+         (int_bound 25)))
+
+let sorted = List.sort compare
+
+let prop_tests =
+  [
+    qtest ~count:100 "partitioned: recovers any symmetric difference"
+      split_sets_gen
+      (fun (shared, only_local, only_remote) ->
+        let _, diff =
+          Partitioned.reconcile ~capacity:8 ~local:(shared @ only_local)
+            ~remote:(shared @ only_remote) ()
+        in
+        sorted diff = sorted (only_local @ only_remote));
+    qtest ~count:100 "partitioned: direction symmetric" split_sets_gen
+      (fun (shared, only_local, only_remote) ->
+        let _, d1 =
+          Partitioned.reconcile ~capacity:8 ~local:(shared @ only_local)
+            ~remote:(shared @ only_remote) ()
+        in
+        let _, d2 =
+          Partitioned.reconcile ~capacity:8 ~local:(shared @ only_remote)
+            ~remote:(shared @ only_local) ()
+        in
+        sorted d1 = sorted d2);
+    qtest ~count:100 "monolithic: decodes exactly within capacity"
+      split_sets_gen
+      (fun (shared, only_local, only_remote) ->
+        let diff_size = List.length only_local + List.length only_remote in
+        let capacity = max 1 diff_size in
+        match
+          Partitioned.reconcile_monolithic ~capacity
+            ~local:(shared @ only_local) ~remote:(shared @ only_remote) ()
+        with
+        | _, Some diff -> sorted diff = sorted (only_local @ only_remote)
+        | _, None -> false)
+      (* a difference within capacity must never fail to decode *);
+    qtest ~count:100 "monolithic: never crashes over capacity"
+      split_sets_gen
+      (fun (shared, only_local, only_remote) ->
+        (* Over-capacity decodes may fail (None) — they must not raise
+           and must count the failure. *)
+        let diff_size = List.length only_local + List.length only_remote in
+        if diff_size < 2 then true
+        else
+          let capacity = diff_size / 2 in
+          match
+            Partitioned.reconcile_monolithic ~capacity
+              ~local:(shared @ only_local) ~remote:(shared @ only_remote) ()
+          with
+          | stats, None -> stats.Partitioned.decode_failures >= 1
+          | _, Some _ ->
+              (* A capacity-c sketch holds at most c roots, so a correct
+                 decode is impossible here; a spurious one is only
+                 permitted past the BCH distance bound at 2c. *)
+              diff_size > 2 * capacity);
+    qtest ~count:50 "strata: wire round-trip preserves estimates"
+      split_sets_gen
+      (fun (shared, only_local, only_remote) ->
+        let a = Strata.of_list (shared @ only_local) in
+        let b = Strata.of_list (shared @ only_remote) in
+        let rt s =
+          let w = Lo_codec.Writer.create () in
+          Strata.encode w s;
+          Strata.decode_wire (Lo_codec.Reader.of_string (Lo_codec.Writer.contents w))
+        in
+        Strata.estimate (rt a) (rt b) = Strata.estimate a b
+        && Strata.estimate (rt a) (rt a) = 0);
+    qtest ~count:50 "strata: estimate is symmetric" split_sets_gen
+      (fun (shared, only_local, only_remote) ->
+        let a = Strata.of_list (shared @ only_local) in
+        let b = Strata.of_list (shared @ only_remote) in
+        Strata.estimate a b = Strata.estimate b a);
+  ]
+
 let () =
   Alcotest.run "lo_sketch"
     [
@@ -503,4 +608,5 @@ let () =
       ("bch-bound", bch_bound_tests);
       ("partitioned", partitioned_tests);
       ("strata", strata_tests);
+      ("properties", prop_tests);
     ]

@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fuzz-smoke fmt bench clean
+.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fuzz-smoke live-smoke fmt bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # The one-stop gate: everything compiles, the full test suite passes,
 # and a tiny seeded chaos scenario exercises the fault-injection paths.
 check:
-	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke
+	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) live-smoke
 
 # Small deterministic fault-injection run (churn + partitions + loss
 # bursts + latency spikes + link degradation); exits non-zero if any
@@ -33,6 +33,14 @@ audit-smoke:
 fuzz-smoke:
 	dune exec bin/lo.exe -- fuzz -n 24 --seed 1
 	dune exec bin/lo.exe -- fuzz -n 8 --seed 1 --mutate inject
+
+# Real processes, real sockets: an 8-node localhost cluster over the
+# live TCP transport for 5 seconds. The forked nodes' traces are merged
+# into one stream and replayed through the invariant auditor; the exit
+# code is non-zero on any audit violation, honest exposure, or node
+# crash.
+live-smoke:
+	dune exec bin/lo.exe -- cluster -n 8 --tps 40 --duration 5 --seed 1 --base-port 7611
 
 # Formatting is checked only when ocamlformat is available; the
 # toolchain image does not ship it and installing is out of scope.

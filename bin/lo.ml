@@ -288,6 +288,35 @@ let run_all scale =
   run_fig10 scale;
   run_memcpu scale
 
+(* --- live localhost cluster (lib/live) --- *)
+
+let run_serve id n base_port seed tps duration epoch out =
+  let epoch =
+    (* Standalone use: agree on "the next whole second + 1" so that
+       independently launched processes pick the same zero without a
+       coordinator, or take the exact epoch `lo cluster` passed down. *)
+    match epoch with
+    | Some e -> e
+    | None -> Float.of_int (int_of_float (Lo_live.Clock.now_s ()) + 2)
+  in
+  let cfg =
+    Lo_live.Host.config ~id ~n ~base_port ~seed ~tps ~duration ~epoch ()
+  in
+  let stats = Lo_live.Host.run ?trace_path:out cfg in
+  Printf.printf
+    "node %d: %d txs submitted, %d frames out, %d frames in, %d unknown-tag, \
+     %d trace events\n"
+    id stats.Lo_live.Host.submitted stats.Lo_live.Host.frames_out
+    stats.Lo_live.Host.frames_in stats.Lo_live.Host.unknown
+    stats.Lo_live.Host.trace_events
+
+let run_cluster n tps duration seed base_port out_dir =
+  let report =
+    Lo_live.Cluster.run ?out_dir ~base_port ~n ~tps ~duration ~seed ()
+  in
+  print_endline (Lo_live.Cluster.summary report);
+  if not (Lo_live.Cluster.ok report) then exit 1
+
 let cmd name doc run =
   Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
 
@@ -440,6 +469,115 @@ let () =
          Term.(
            const run_fuzz $ cases_arg $ seed_arg $ mutate_arg $ replay_arg
            $ repro_dir_arg $ shrink_budget_arg $ jobs_arg));
+      (let id_arg =
+         Arg.(
+           required
+           & opt (some int) None
+           & info [ "id" ] ~docv:"ID" ~doc:"This node's index in [0, n).")
+       in
+       let n_arg =
+         Arg.(
+           value & opt int 4
+           & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+       in
+       let port_arg =
+         Arg.(
+           value & opt int Lo_live.Host.default_base_port
+           & info [ "base-port" ] ~docv:"PORT"
+               ~doc:"Node $(i) listens on 127.0.0.1:(PORT + i).")
+       in
+       let seed_arg =
+         Arg.(
+           value & opt int 1
+           & info [ "seed" ] ~docv:"SEED"
+               ~doc:
+                 "Deployment seed: identities, overlay and workload are \
+                  all derived from it, so every process agrees without \
+                  coordination.")
+       in
+       let tps_arg =
+         Arg.(
+           value & opt float 20.
+           & info [ "tps" ] ~docv:"RATE"
+               ~doc:"Cluster-wide submission rate (txs per second).")
+       in
+       let duration_arg =
+         Arg.(
+           value & opt float 10.
+           & info [ "duration" ] ~docv:"SECONDS"
+               ~doc:"Workload seconds after the shared epoch.")
+       in
+       let epoch_arg =
+         Arg.(
+           value
+           & opt (some float) None
+           & info [ "epoch" ] ~docv:"UNIX_TIME"
+               ~doc:
+                 "Absolute wall-clock protocol time zero (default: the \
+                  next whole second + 1, which independently launched \
+                  peers agree on).")
+       in
+       let out_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "out"; "o" ] ~docv:"FILE"
+               ~doc:"Write this node's event trace as JSONL to $(docv).")
+       in
+       Cmd.v
+         (Cmd.info "serve"
+            ~doc:
+              "Run one live LO node over localhost TCP (the non-simulated \
+               transport backend)")
+         Term.(
+           const run_serve $ id_arg $ n_arg $ port_arg $ seed_arg $ tps_arg
+           $ duration_arg $ epoch_arg $ out_arg));
+      (let n_arg =
+         Arg.(
+           value & opt int 16
+           & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+       in
+       let tps_arg =
+         Arg.(
+           value & opt float 200.
+           & info [ "tps" ] ~docv:"RATE"
+               ~doc:"Cluster-wide submission rate (txs per second).")
+       in
+       let duration_arg =
+         Arg.(
+           value & opt float 10.
+           & info [ "duration" ] ~docv:"SECONDS"
+               ~doc:"Workload seconds after the shared epoch.")
+       in
+       let seed_arg =
+         Arg.(
+           value & opt int 1
+           & info [ "seed" ] ~docv:"SEED" ~doc:"Deployment seed.")
+       in
+       let port_arg =
+         Arg.(
+           value & opt int Lo_live.Host.default_base_port
+           & info [ "base-port" ] ~docv:"PORT"
+               ~doc:"Node $(i) listens on 127.0.0.1:(PORT + i).")
+       in
+       let out_dir_arg =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "out-dir" ] ~docv:"DIR"
+               ~doc:
+                 "Where per-node and merged JSONL traces land (default: a \
+                  fresh directory under the system temp dir).")
+       in
+       Cmd.v
+         (Cmd.info "cluster"
+            ~doc:
+              "Fork a full localhost cluster of live nodes, merge the \
+               per-node traces, audit the merged stream, and fail on any \
+               violation or honest exposure")
+         Term.(
+           const run_cluster $ n_arg $ tps_arg $ duration_arg $ seed_arg
+           $ port_arg $ out_dir_arg));
       cmd "selfcheck" "Verify the crypto and sketch substrates against known vectors" run_selfcheck;
       cmd "all" "Run the entire evaluation" run_all;
     ]

@@ -36,7 +36,10 @@ let () =
   in
   let nodes =
     Array.init n (fun i ->
-        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+        Node.create config
+          ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+          ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(Lo_net.Topology.neighbors topo i)
           ~behavior:(behavior i))
   in
@@ -84,9 +87,9 @@ let () =
   Array.iter
     (fun node ->
       (Node.hooks node).Node.on_violation <-
-        (fun v ~block:_ ~now ->
+        (fun v ~block:_ ->
           if Node.index node = 1 then
-            Format.printf "  [%.2fs] miner 1 sees %a@." now
+            Format.printf "  [%.2fs] miner 1 sees %a@." (Net.now net)
               Inspector.pp_violation v))
     nodes;
   Net.run_until net 20.0;

@@ -27,7 +27,10 @@ let () =
   in
   let nodes =
     Array.init miners (fun i ->
-        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+        Node.create config
+          ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+          ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(Lo_net.Topology.neighbors topo i)
           ~behavior:(if i = 0 then Node.Block_reorderer else Node.Honest))
   in
@@ -40,7 +43,8 @@ let () =
     signers;
   (* Observer: node 1's verified exposures drive the slashing. *)
   (Node.hooks nodes.(1)).Node.on_exposure <-
-    (fun ~accused ~now ->
+    (fun ~accused ->
+      let now = Net.now net in
       match Accountability.status (Node.accountability nodes.(1)) accused with
       | Accountability.Exposed evidence ->
           Printf.printf "[%.2fs] exposure verified (%s); slashing...\n" now

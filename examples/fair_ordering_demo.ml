@@ -25,7 +25,8 @@ let run policy =
   Array.iter
     (fun node ->
       (Node.hooks node).Node.on_block_accepted <-
-        (fun block ~now ->
+        (fun block ->
+          let now = Net.now d.net in
           if String.equal (Node.node_id node) block.Block.creator then
             List.iter
               (fun txid ->

@@ -25,7 +25,10 @@ let () =
   let config = Node.default_config scheme in
   let nodes =
     Array.init n (fun i ->
-        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+        Node.create config
+          ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+          ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(everyone i) ~behavior:Node.Honest)
   in
   Array.iter Node.start nodes;
@@ -69,7 +72,7 @@ let () =
   Array.iter
     (fun node ->
       (Node.hooks node).Node.on_violation <-
-        (fun v ~block:_ ~now:_ ->
+        (fun v ~block:_ ->
           incr violations;
           Format.printf "violation: %a@." Inspector.pp_violation v))
     nodes;

@@ -29,7 +29,10 @@ let () =
   let behavior i = if i = 2 then Node.Block_injector else Node.Honest in
   let nodes =
     Array.init n (fun i ->
-        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+        Node.create config
+          ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+          ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(Lo_net.Topology.neighbors topo i)
           ~behavior:(behavior i))
   in
@@ -65,10 +68,10 @@ let () =
   Array.iter
     (fun node ->
       (Node.hooks node).Node.on_violation <-
-        (fun v ~block:_ ~now ->
+        (fun v ~block:_ ->
           match v with
           | Inspector.Injection _ when !first_detection = None ->
-              first_detection := Some (Node.index node, now)
+              first_detection := Some (Node.index node, Net.now net)
           | _ -> ()))
     nodes;
   Net.run_until net 20.0;

@@ -66,7 +66,7 @@ let admit t (env : Node_env.t) (block : Block.t) =
                appendix = block.appendix;
              })
     | None -> ());
-    env.hooks.on_block_accepted block ~now:(env.now ())
+    env.hooks.on_block_accepted block
   end
 
 (* --- inspection --- *)
@@ -115,7 +115,7 @@ let rec inspect_block t (env : Node_env.t) (block : Block.t) ~from =
     in
     List.iter
       (fun violation ->
-        env.hooks.on_violation violation ~block ~now:(env.now ());
+        env.hooks.on_violation violation ~block;
         (match env.trace with
         | Some tr ->
             Lo_obs.Trace.emit tr ~at:(env.now ())

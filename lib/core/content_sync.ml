@@ -50,7 +50,7 @@ let store_content t (env : Node_env.t) tx ~from_peer =
     | `Duplicate -> ()
     | `Added _ ->
         Hashtbl.remove t.missing short;
-        env.hooks.on_tx_content tx ~now:(env.now ())
+        env.hooks.on_tx_content tx
   end
 
 let ingest_batch t (env : Node_env.t) ~from txs =

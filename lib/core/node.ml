@@ -8,9 +8,8 @@
    commitment log(s), the message dispatch and the periodic timers, and
    hands every submodule a {!Node_env.t} of service closures. *)
 
-module Network = Lo_net.Network
-module Mux = Lo_net.Mux
 module Rng = Lo_net.Rng
+module Transport = Lo_transport
 module Signer = Lo_crypto.Signer
 
 type behavior = Adversary.t =
@@ -45,21 +44,20 @@ type config = Node_env.config = {
 let default_config = Node_env.default_config
 
 type hooks = Node_env.hooks = {
-  mutable on_tx_content : Tx.t -> now:float -> unit;
-  mutable on_block_accepted : Block.t -> now:float -> unit;
-  mutable on_exposure : accused:string -> now:float -> unit;
-  mutable on_suspicion : suspect:string -> now:float -> unit;
-  mutable on_suspicion_cleared : suspect:string -> now:float -> unit;
-  mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
-  mutable on_sketch_decode : now:float -> unit;
-  mutable on_reconcile : now:float -> unit;
-  mutable on_reconcile_complete : now:float -> unit;
+  mutable on_tx_content : Tx.t -> unit;
+  mutable on_block_accepted : Block.t -> unit;
+  mutable on_exposure : accused:string -> unit;
+  mutable on_suspicion : suspect:string -> unit;
+  mutable on_suspicion_cleared : suspect:string -> unit;
+  mutable on_violation : Inspector.violation -> block:Block.t -> unit;
+  mutable on_sketch_decode : unit -> unit;
+  mutable on_reconcile : unit -> unit;
+  mutable on_reconcile_complete : unit -> unit;
 }
 
 type t = {
   config : config;
-  net : Network.t;
-  mux : Mux.t;
+  transport : Transport.t;
   index : int;
   directory : Directory.t;
   signer : Signer.t;
@@ -92,7 +90,7 @@ let commitment_log t = t.log
 let accountability t = t.acc
 let neighbors t = t.neighbors
 let set_neighbors t ns = t.neighbors <- ns
-let now t = Network.now t.net
+let now t = t.transport.Transport.now ()
 
 (* Deduplicated by (kind, height): the oracles only need the first time
    each distinct deviation happened, and a silent censor would otherwise
@@ -107,15 +105,15 @@ let deviations t =
   |> List.sort compare
 
 let send_msg t ~dst msg =
-  Network.send t.net ~src:t.index ~dst ~tag:(Messages.tag msg)
+  t.transport.Transport.send ~dst ~tag:(Messages.tag msg)
     (Messages.encode msg)
 
 (* One wire encoding per broadcast, shared across every neighbor —
    [Messages.encode] on a digest-bearing message is the expensive part
    of the fan-out. *)
 let broadcast t msg =
-  Network.send_many t.net ~src:t.index ~dsts:t.neighbors
-    ~tag:(Messages.tag msg) (Messages.encode msg)
+  t.transport.Transport.send_many ~dsts:t.neighbors ~tag:(Messages.tag msg)
+    (Messages.encode msg)
 
 let log_for t ~peer_index =
   match t.alt_log with
@@ -132,7 +130,7 @@ let wire_digest t ~peer_index =
    filter (range check + known-id dedup, order preserved) because
    [Log.append] does not report which ids survived. *)
 let append_primary t ~source ~ids =
-  match Network.trace t.net with
+  match t.transport.Transport.trace with
   | None -> ignore (Commitment.Log.append t.log ~source ~ids)
   | Some tr -> begin
       let seen = Hashtbl.create 8 in
@@ -172,8 +170,8 @@ let commit_bundle t ~source ~ids =
 let expose t ~accused evidence =
   if not (String.equal accused t.my_id) then begin
     if Accountability.expose t.acc ~peer:accused evidence then begin
-      t.hooks.on_exposure ~accused ~now:(now t);
-      (match Network.trace t.net with
+      t.hooks.on_exposure ~accused;
+      (match t.transport.Transport.trace with
       | Some tr ->
           Lo_obs.Trace.emit tr ~at:(now t)
             (Lo_obs.Event.Expose
@@ -197,7 +195,7 @@ let make_env t =
   {
     Node_env.config = t.config;
     hooks = t.hooks;
-    trace = Network.trace t.net;
+    trace = t.transport.Transport.trace;
     my_id = t.my_id;
     my_index = t.index;
     signer = t.signer;
@@ -207,7 +205,7 @@ let make_env t =
     now = (fun () -> now t);
     send = (fun ~dst msg -> send_msg t ~dst msg);
     broadcast = (fun msg -> broadcast t msg);
-    schedule = (fun ~delay fn -> Network.schedule t.net ~delay (fun _ -> fn ()));
+    schedule = (fun ~delay fn -> t.transport.Transport.schedule ~delay fn);
     id_of = (fun i -> Directory.id_of t.directory i);
     index_of = (fun id -> Directory.index_of t.directory id);
     population = (fun () -> Directory.size t.directory);
@@ -221,7 +219,7 @@ let make_env t =
     record_deviation = (fun ~kind ~height -> record_deviation t ~kind ~height);
   }
 
-let create config ~net ~mux ~index ~directory ~signer ~neighbors ~behavior =
+let create config ~transport ~rng ~directory ~signer ~neighbors ~behavior =
   let my_id = Signer.id signer in
   let mk_log () =
     Commitment.Log.create ~sketch_capacity:config.sketch_capacity
@@ -233,15 +231,14 @@ let create config ~net ~mux ~index ~directory ~signer ~neighbors ~behavior =
   let t =
     {
       config;
-      net;
-      mux;
-      index;
+      transport;
+      index = transport.Transport.self;
       directory;
       signer;
       my_id;
       neighbors;
       behavior;
-      rng = Rng.split (Network.rng net);
+      rng;
       mempool;
       log = mk_log ();
       alt_log = (if Adversary.forks_log behavior then Some (mk_log ()) else None);
@@ -312,7 +309,7 @@ let handle_exposure t evidence =
 
 (* --- message dispatch --- *)
 
-let handle_message t _net ~from ~tag payload =
+let handle_message t ~from ~tag payload =
   if Adversary.drops_all_messages t.behavior then
     (* Drops everything: the Fig. 6 faulty miner. Ground truth only
        counts ignored commit requests — those are the drops the
@@ -376,7 +373,7 @@ let rec digest_share_round t =
           List.iter
             (fun d -> send_msg t ~dst:target (Messages.Digest_share d))
             (Rng.sample_without_replacement t.rng 2 pool)));
-  Network.schedule t.net ~delay:t.config.digest_share_period (fun _ ->
+  t.transport.Transport.schedule ~delay:t.config.digest_share_period (fun () ->
       digest_share_round t)
 
 (* Crash recovery (the restart path): re-announce our commitment head to
@@ -404,17 +401,18 @@ let handle_restart t =
     t.neighbors
 
 let start t =
-  (* Register through the mux so other protocols (the peer sampler) can
-     share the node. *)
-  Mux.register t.mux t.index ~proto:"lo" (handle_message t);
+  (* Subscribe by protocol prefix so other protocols (the peer sampler)
+     can share the node's transport endpoint. *)
+  t.transport.Transport.subscribe ~proto:"lo" (fun ~from ~tag payload ->
+      handle_message t ~from ~tag payload);
   if not (Adversary.drops_all_messages t.behavior) then begin
-    Network.set_restart_handler t.net t.index (fun _ -> handle_restart t);
-    Network.schedule t.net
+    t.transport.Transport.set_restart_handler (fun () -> handle_restart t);
+    t.transport.Transport.schedule
       ~delay:(Rng.float t.rng t.config.reconcile_period)
-      (fun _ -> Reconciler.round t.reconciler (env t));
-    Network.schedule t.net
+      (fun () -> Reconciler.round t.reconciler (env t));
+    t.transport.Transport.schedule
       ~delay:(Rng.float t.rng t.config.digest_share_period)
-      (fun _ -> digest_share_round t)
+      (fun () -> digest_share_round t)
   end
 
 let build_block t ~policy = Block_pipeline.build_block t.pipeline (env t) ~policy

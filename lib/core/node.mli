@@ -1,4 +1,4 @@
-(** A full LØ node over the discrete-event simulator.
+(** A full LØ node over any {!Lo_transport} backend.
 
     A thin façade: identity, commitment log(s), message dispatch and
     timers live here, while the protocol logic is layered into
@@ -67,34 +67,40 @@ type config = Node_env.config = {
 val default_config : Lo_crypto.Signer.scheme -> config
 
 type hooks = Node_env.hooks = {
-  mutable on_tx_content : Tx.t -> now:float -> unit;
+  mutable on_tx_content : Tx.t -> unit;
       (** content entered the mempool (Fig. 7 latency) *)
-  mutable on_block_accepted : Block.t -> now:float -> unit;
-  mutable on_exposure : accused:string -> now:float -> unit;
-  mutable on_suspicion : suspect:string -> now:float -> unit;
-  mutable on_suspicion_cleared : suspect:string -> now:float -> unit;
-  mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
-  mutable on_sketch_decode : now:float -> unit;
+  mutable on_block_accepted : Block.t -> unit;
+  mutable on_exposure : accused:string -> unit;
+  mutable on_suspicion : suspect:string -> unit;
+  mutable on_suspicion_cleared : suspect:string -> unit;
+  mutable on_violation : Inspector.violation -> block:Block.t -> unit;
+  mutable on_sketch_decode : unit -> unit;
       (** one sketch set-reconciliation attempt *)
-  mutable on_reconcile : now:float -> unit;
+  mutable on_reconcile : unit -> unit;
       (** one active reconciliation round opened with a neighbour
           (Fig. 10) *)
-  mutable on_reconcile_complete : now:float -> unit;
-      (** an outstanding commit request was answered (chaos metric) *)
+  mutable on_reconcile_complete : unit -> unit;
+      (** an outstanding commit request was answered (chaos metric).
+          Hooks no longer carry an explicit [now] — consumers needing
+          the event time read the deployment clock (see
+          {!Node_env.hooks}). *)
 }
 
 type t
 
 val create :
   config ->
-  net:Lo_net.Network.t ->
-  mux:Lo_net.Mux.t ->
-  index:int ->
+  transport:Lo_transport.t ->
+  rng:Lo_net.Rng.t ->
   directory:Directory.t ->
   signer:Lo_crypto.Signer.t ->
   neighbors:int list ->
   behavior:behavior ->
   t
+(** The node's index is [transport.self]. [rng] is the node's single
+    deterministic stream; under the DES backend pass a
+    [Rng.split] of the engine's root generator so seeded runs stay
+    reproducible, under the live backend any per-node seed works. *)
 
 val start : t -> unit
 (** Register handlers (including the network restart handler driving
@@ -102,7 +108,8 @@ val start : t -> unit
     and digest-share timers (staggered by a random offset). *)
 
 val handle_restart : t -> unit
-(** The recovery path, run automatically by {!Lo_net.Network.restart}:
+(** The recovery path, run via the transport's restart handler (the DES
+    backend wires it to {!Lo_net.Network.restart}):
     re-announce the commitment head, request missed peer snapshots, and
     restart reconciliation from the persisted log position. Exposed for
     tests and manual fault scripts. *)

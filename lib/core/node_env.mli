@@ -44,20 +44,27 @@ type config = {
 
 val default_config : Lo_crypto.Signer.scheme -> config
 
+(** Instrumentation callbacks. Fired synchronously from the protocol
+    code path; a consumer that needs the event's time reads the
+    deployment clock itself (e.g. [Lo_net.Network.now], or
+    {!Lo_transport.t.now}) — the transport clock replaced the explicit
+    [now:float] threading these callbacks used to carry, and reading it
+    never consumes RNG state, so instrumentation cannot perturb a
+    seeded run. *)
 type hooks = {
-  mutable on_tx_content : Tx.t -> now:float -> unit;
+  mutable on_tx_content : Tx.t -> unit;
       (** content entered the mempool (Fig. 7 latency) *)
-  mutable on_block_accepted : Block.t -> now:float -> unit;
-  mutable on_exposure : accused:string -> now:float -> unit;
-  mutable on_suspicion : suspect:string -> now:float -> unit;
-  mutable on_suspicion_cleared : suspect:string -> now:float -> unit;
-  mutable on_violation : Inspector.violation -> block:Block.t -> now:float -> unit;
-  mutable on_sketch_decode : now:float -> unit;
+  mutable on_block_accepted : Block.t -> unit;
+  mutable on_exposure : accused:string -> unit;
+  mutable on_suspicion : suspect:string -> unit;
+  mutable on_suspicion_cleared : suspect:string -> unit;
+  mutable on_violation : Inspector.violation -> block:Block.t -> unit;
+  mutable on_sketch_decode : unit -> unit;
       (** one sketch set-reconciliation attempt *)
-  mutable on_reconcile : now:float -> unit;
+  mutable on_reconcile : unit -> unit;
       (** one active reconciliation round opened with a neighbour
           (Fig. 10) *)
-  mutable on_reconcile_complete : now:float -> unit;
+  mutable on_reconcile_complete : unit -> unit;
       (** a previously outstanding commit request was answered
           (reconciliation success-rate metric in the chaos runs) *)
 }

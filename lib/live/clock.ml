@@ -1,0 +1,2 @@
+let now_s () = Unix.gettimeofday ()
+let sleep s = if s > 0. then Unix.sleepf s

@@ -1,0 +1,13 @@
+(** Wall-clock access for the live runtime.
+
+    The single place in the tree allowed to read the host clock: the
+    determinism lint ([test/cli/determinism.t]) bans [Unix.] and
+    wall-clock reads everywhere outside [lib/live], so simulation code
+    that needs wall time for self-profiling (never for protocol
+    decisions) must route through here. *)
+
+val now_s : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+val sleep : float -> unit
+(** Sleep at least the given number of seconds. *)

@@ -1,0 +1,149 @@
+type report = {
+  n : int;
+  seed : int;
+  duration : float;
+  out_dir : string;
+  submitted : int;
+  achieved_tps : float;
+  frames : int;
+  unknown : int;
+  events : int;
+  exposures : int;
+  failed_nodes : int list;
+  audit : Lo_obs.Audit.report;
+}
+
+let trace_path dir i = Filename.concat dir (Printf.sprintf "node-%d.jsonl" i)
+let stats_path dir i = Filename.concat dir (Printf.sprintf "node-%d.stats" i)
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let default_out_dir () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "lo-cluster-%d" (Unix.getpid ()))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let child ~cfg ~dir i =
+  let code =
+    try
+      let stats = Host.run ~trace_path:(trace_path dir i) cfg in
+      Out_channel.with_open_text (stats_path dir i) (fun oc ->
+          Printf.fprintf oc "%d %d %d %d %d\n" stats.Host.submitted
+            stats.Host.frames_out stats.Host.frames_in stats.Host.unknown
+            stats.Host.trace_events);
+      0
+    with e ->
+      Printf.eprintf "lo cluster: node %d failed: %s\n%!" i
+        (Printexc.to_string e);
+      1
+  in
+  Stdlib.exit code
+
+let run ?out_dir ?(base_port = Host.default_base_port)
+    ?(drain = Host.default_drain) ~n ~tps ~duration ~seed () =
+  if n <= 0 then invalid_arg "Cluster.run: n";
+  let dir = match out_dir with Some d -> d | None -> default_out_dir () in
+  mkdir_p dir;
+  (* Give every process time to build its deployment, bind and connect
+     before protocol time zero; scale mildly with cluster size. *)
+  let epoch = Clock.now_s () +. 1.0 +. (0.05 *. float_of_int n) in
+  let pids =
+    List.init n (fun i ->
+        let cfg =
+          Host.config ~id:i ~n ~base_port ~seed ~tps ~duration ~drain ~epoch ()
+        in
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 -> child ~cfg ~dir i
+        | pid -> (i, pid))
+  in
+  let failed_nodes =
+    List.filter_map
+      (fun (i, pid) ->
+        let _, status = Unix.waitpid [] pid in
+        match status with Unix.WEXITED 0 -> None | _ -> Some i)
+      pids
+  in
+  let entries =
+    List.concat_map
+      (fun i ->
+        if List.mem i failed_nodes then []
+        else
+          match Lo_obs.Jsonl.parse (read_file (trace_path dir i)) with
+          | Ok es -> es
+          | Error msg ->
+              failwith (Printf.sprintf "node %d trace unreadable: %s" i msg))
+      (List.init n Fun.id)
+  in
+  (* Stable by timestamp: same-instant events keep node order, which is
+     all the auditor's non-decreasing-time requirement needs. *)
+  let entries =
+    List.stable_sort
+      (fun (a : Lo_obs.Trace.entry) b -> Float.compare a.at b.at)
+      entries
+  in
+  Out_channel.with_open_text (Filename.concat dir "merged.jsonl") (fun oc ->
+      List.iter
+        (fun e -> output_string oc (Lo_obs.Jsonl.line e ^ "\n"))
+        entries);
+  let audit = Lo_obs.Audit.check entries in
+  let exposures =
+    List.length
+      (List.filter
+         (fun (e : Lo_obs.Trace.entry) ->
+           match e.ev with Lo_obs.Event.Expose _ -> true | _ -> false)
+         entries)
+  in
+  let submitted = ref 0 and frames = ref 0 and unknown = ref 0 in
+  List.iter
+    (fun i ->
+      if not (List.mem i failed_nodes) then
+        Scanf.sscanf (read_file (stats_path dir i)) " %d %d %d %d %d"
+          (fun s _out f_in u _ev ->
+            submitted := !submitted + s;
+            frames := !frames + f_in;
+            unknown := !unknown + u))
+    (List.init n Fun.id);
+  {
+    n;
+    seed;
+    duration;
+    out_dir = dir;
+    submitted = !submitted;
+    achieved_tps = float_of_int !submitted /. duration;
+    frames = !frames;
+    unknown = !unknown;
+    events = List.length entries;
+    exposures;
+    failed_nodes;
+    audit;
+  }
+
+let ok r = r.failed_nodes = [] && Lo_obs.Audit.ok r.audit && r.exposures = 0
+
+let summary r =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "cluster: n=%d seed=%d duration=%.1fs out=%s\n" r.n r.seed
+    r.duration r.out_dir;
+  Printf.bprintf b "workload: %d txs submitted (%.1f tx/s), %d frames, %d unknown-tag\n"
+    r.submitted r.achieved_tps r.frames r.unknown;
+  Printf.bprintf b "audit: %s\n" (Lo_obs.Audit.summary r.audit);
+  List.iter
+    (fun v ->
+      Printf.bprintf b "  %s\n" (Lo_obs.Audit.violation_to_string v))
+    r.audit.Lo_obs.Audit.violations;
+  Printf.bprintf b "exposures: %d%s\n" r.exposures
+    (if r.exposures = 0 then "" else " (HONEST NODE EXPOSED)");
+  (match r.failed_nodes with
+  | [] -> ()
+  | l ->
+      Printf.bprintf b "failed nodes: %s\n"
+        (String.concat "," (List.map string_of_int l)));
+  Printf.bprintf b "result: %s" (if ok r then "PASS" else "FAIL");
+  Buffer.contents b

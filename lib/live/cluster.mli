@@ -1,0 +1,45 @@
+(** A full localhost cluster: fork one {!Host} process per node, wait,
+    merge the per-node traces into a single chronological stream, and
+    audit it.
+
+    The parent never exchanges protocol traffic with the children; it
+    only picks a shared epoch, collects exit statuses, and reads the
+    JSONL trace plus a tiny stats file each child leaves in [out_dir]
+    ([node-<i>.jsonl] / [node-<i>.stats]). The merged stream is written
+    to [merged.jsonl] and fed to {!Lo_obs.Audit.check}. *)
+
+type report = {
+  n : int;
+  seed : int;
+  duration : float;
+  out_dir : string;
+  submitted : int;  (** transactions injected across the cluster *)
+  achieved_tps : float;  (** [submitted / duration] *)
+  frames : int;  (** TCP frames received across the cluster *)
+  unknown : int;  (** deliveries with no subscribed protocol *)
+  events : int;  (** merged trace entries audited *)
+  exposures : int;  (** [Expose] events — must be 0 in an honest run *)
+  failed_nodes : int list;  (** children that exited non-zero *)
+  audit : Lo_obs.Audit.report;
+}
+
+val run :
+  ?out_dir:string ->
+  ?base_port:int ->
+  ?drain:float ->
+  n:int ->
+  tps:float ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  report
+(** Blocks for roughly [duration + drain] plus startup. [out_dir]
+    defaults to a fresh directory under the system temp dir; existing
+    files in it are overwritten. *)
+
+val ok : report -> bool
+(** All children exited cleanly, the audit passed, and no honest node
+    was exposed. *)
+
+val summary : report -> string
+(** Multi-line human-readable report. *)

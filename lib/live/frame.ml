@@ -1,0 +1,67 @@
+module Writer = Lo_codec.Writer
+module Reader = Lo_codec.Reader
+
+let version = 1
+let max_body = 16 * 1024 * 1024
+
+type frame = { version : int; src : int; tag : string; payload : string }
+
+let encode ~src ~tag payload =
+  let w = Writer.create ~initial_size:(String.length payload + 64) () in
+  Writer.u8 w version;
+  Writer.varint w src;
+  Writer.bytes w tag;
+  Writer.bytes w payload;
+  let body = Writer.contents w in
+  let h = Writer.create ~initial_size:4 () in
+  Writer.u32 h (String.length body);
+  Writer.contents h ^ body
+
+let decode_body body =
+  let r = Reader.of_string body in
+  let version = Reader.u8 r in
+  let src = Reader.varint r in
+  let tag = Reader.bytes r in
+  let payload = Reader.bytes r in
+  Reader.expect_end r;
+  { version; src; tag; payload }
+
+module Decoder = struct
+  (* A growing byte accumulator with a consumed prefix; compacted when
+     the dead prefix dominates so long sessions stay O(live bytes). *)
+  type t = { mutable buf : Buffer.t; mutable pos : int }
+
+  let create () = { buf = Buffer.create 4096; pos = 0 }
+
+  let feed t ?(off = 0) ?len chunk =
+    let len = match len with Some l -> l | None -> String.length chunk - off in
+    Buffer.add_substring t.buf chunk off len
+
+  let buffered t = Buffer.length t.buf - t.pos
+
+  let compact t =
+    if t.pos > 65536 && t.pos > Buffer.length t.buf / 2 then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      let fresh = Buffer.create (String.length rest + 4096) in
+      Buffer.add_string fresh rest;
+      t.buf <- fresh;
+      t.pos <- 0
+    end
+
+  let next t =
+    if buffered t < 4 then None
+    else begin
+      let b i = Char.code (Buffer.nth t.buf (t.pos + i)) in
+      let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if len > max_body then
+        raise
+          (Reader.Malformed (Printf.sprintf "frame body length %d > max" len));
+      if buffered t < 4 + len then None
+      else begin
+        let body = Buffer.sub t.buf (t.pos + 4) len in
+        t.pos <- t.pos + 4 + len;
+        compact t;
+        Some (decode_body body)
+      end
+    end
+end

@@ -1,0 +1,53 @@
+(** Length-prefixed wire framing for the live TCP backend.
+
+    Layout (all integers through {!Lo_codec}, big-endian):
+
+    {v
+    u32   body length (bytes that follow; <= max_body)
+    u8    protocol version (currently 1)
+    varint  sender's dense node index
+    bytes   tag   (varint length prefix + bytes)
+    bytes   payload (varint length prefix + bytes)
+    v}
+
+    The version byte is part of the body so a frame from a newer peer
+    still parses structurally: the dispatcher surfaces it as an
+    unknown-tag delivery instead of desynchronising the stream. The
+    incremental {!Decoder} tolerates arbitrary chunking — partial
+    headers, split bodies, many frames per read — which is what TCP
+    provides. *)
+
+val version : int
+(** Wire version this implementation speaks (1). *)
+
+val max_body : int
+(** Upper bound on the body length (16 MiB); a larger prefix marks a
+    corrupt or hostile stream. *)
+
+type frame = { version : int; src : int; tag : string; payload : string }
+
+val encode : src:int -> tag:string -> string -> string
+(** Whole frame, ready to write. *)
+
+val decode_body : string -> frame
+(** Parse one frame body (everything after the length prefix).
+    @raise Lo_codec.Reader.Malformed on structural garbage. *)
+
+(** Incremental decoder over a byte stream. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> ?off:int -> ?len:int -> string -> unit
+  (** Append a received chunk (or a slice of it). *)
+
+  val next : t -> frame option
+  (** The next complete frame, if buffered.
+      @raise Lo_codec.Reader.Malformed on a corrupt stream (oversized
+      length prefix or unparseable body); the stream cannot be resumed
+      after this. *)
+
+  val buffered : t -> int
+  (** Bytes held waiting for a complete frame. *)
+end

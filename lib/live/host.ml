@@ -1,0 +1,329 @@
+module Rng = Lo_net.Rng
+module Signer = Lo_crypto.Signer
+open Lo_core
+
+type config = {
+  id : int;
+  n : int;
+  base_port : int;
+  seed : int;
+  tps : float;
+  duration : float;
+  drain : float;
+  epoch : float;
+  trace_capacity : int;
+}
+
+let default_drain = 3.0
+let default_trace_capacity = 1 lsl 20
+let default_base_port = 7350
+
+let config ~id ~n ?(base_port = default_base_port) ?(seed = 1) ?(tps = 20.)
+    ?(duration = 10.) ?(drain = default_drain)
+    ?(trace_capacity = default_trace_capacity) ~epoch () =
+  if n <= 0 then invalid_arg "Host.config: n";
+  if id < 0 || id >= n then invalid_arg "Host.config: id";
+  { id; n; base_port; seed; tps; duration; drain; epoch; trace_capacity }
+
+type stats = {
+  submitted : int;
+  frames_out : int;
+  frames_in : int;
+  unknown : int;
+  trace_events : int;
+}
+
+(* How long the post-quiesce loop must stay silent (no frame in or out)
+   before the node may exit early; bounded above by [drain]. *)
+let quiet_exit = 1.0
+
+let loopback = Unix.inet_addr_loopback
+
+(* The same deployment derivation as [Lo_sim.Scenario.build_lo]: every
+   process reconstructs all n identities (which also populates the
+   simulation scheme's verification registry) and the seed-determined
+   overlay, so the cluster agrees on directory and topology without any
+   coordination traffic. *)
+let derive_deployment ~n ~seed =
+  let scheme = Signer.simulation () in
+  let signers =
+    Array.init n (fun i ->
+        Signer.make scheme ~seed:(Printf.sprintf "lo-node-%d-%d" seed i))
+  in
+  let directory = Directory.create ~ids:(Array.map Signer.id signers) in
+  let topo_rng = Rng.create ((seed * 31) + 7) in
+  let out_degree = min 8 (max 1 (n - 1)) in
+  let topology = Lo_net.Topology.build topo_rng ~n ~out_degree ~max_in:125 in
+  let client = Signer.make scheme ~seed:(Printf.sprintf "client-%d" seed) in
+  (scheme, signers, directory, topology, client)
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd bytes !off (len - !off) with
+    | 0 -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let run ?trace_path cfg =
+  let { id; n; base_port; seed; tps; duration; drain; epoch; trace_capacity } =
+    cfg
+  in
+  let scheme, signers, directory, topology, client =
+    derive_deployment ~n ~seed
+  in
+  let trace = Lo_obs.Trace.create ~capacity:trace_capacity () in
+  let now_rel () = Clock.now_s () -. epoch in
+  let emit ev = Lo_obs.Trace.emit trace ~at:(now_rel ()) ev in
+
+  (* --- sockets --- *)
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (loopback, base_port + id));
+  Unix.listen listener (2 * n);
+  let conns = Array.make n None in
+  let connect_peer j =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (loopback, base_port + j)) with
+    | () ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        conns.(j) <- Some fd
+    | exception Unix.Unix_error _ -> close_quietly fd
+  in
+  (* Everyone listens before anyone must be reachable, so just retry
+     until the epoch (plus slack for stragglers under load). *)
+  let connect_deadline = epoch +. 2.0 in
+  let rec connect_all () =
+    for j = 0 to n - 1 do
+      if j <> id && conns.(j) = None then connect_peer j
+    done;
+    if Array.exists2 (fun j c -> j <> id && c = None)
+         (Array.init n Fun.id) conns
+    then
+      if Clock.now_s () > connect_deadline then
+        failwith
+          (Printf.sprintf "lo serve %d: peers unreachable after %.1fs" id
+             (Clock.now_s () -. (epoch -. 2.0)))
+      else begin
+        Clock.sleep 0.05;
+        connect_all ()
+      end
+  in
+
+  (* --- transport state --- *)
+  let timers = Timer_wheel.create () in
+  let subs : (string, Lo_transport.handler) Hashtbl.t = Hashtbl.create 4 in
+  let restart_handler = ref (fun () -> ()) in
+  let local : (string * string) Queue.t = Queue.create () in
+  let submitted = ref 0 in
+  let frames_out = ref 0 in
+  let frames_in = ref 0 in
+  let unknown = ref 0 in
+  let last_activity = ref 0. in
+
+  let send_to ~dst ~tag payload =
+    let bytes = String.length payload in
+    if dst = id then begin
+      emit (Lo_obs.Event.Send { src = id; dst; tag; bytes });
+      Queue.add (tag, payload) local
+    end
+    else
+      match conns.(dst) with
+      | None ->
+          (* Never connected (or already torn down): refused at send
+             time, outside bandwidth conservation — like the DES. *)
+          emit
+            (Lo_obs.Event.Drop
+               { src = id; dst; tag; bytes; reason = Lo_obs.Event.Blocked })
+      | Some fd -> (
+          emit (Lo_obs.Event.Send { src = id; dst; tag; bytes });
+          incr frames_out;
+          last_activity := now_rel ();
+          try write_all fd (Frame.encode ~src:id ~tag payload)
+          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            close_quietly fd;
+            conns.(dst) <- None;
+            emit
+              (Lo_obs.Event.Drop
+                 { src = id; dst; tag; bytes; reason = Lo_obs.Event.Down }))
+  in
+  let transport =
+    {
+      Lo_transport.self = id;
+      now = now_rel;
+      send = (fun ~dst ~tag payload -> send_to ~dst ~tag payload);
+      send_many =
+        (fun ~dsts ~tag payload ->
+          List.iter (fun dst -> send_to ~dst ~tag payload) dsts);
+      schedule =
+        (fun ~delay fn -> Timer_wheel.schedule timers ~at:(now_rel () +. delay) fn);
+      subscribe = (fun ~proto handler -> Hashtbl.replace subs proto handler);
+      set_restart_handler = (fun fn -> restart_handler := fn);
+      trace = Some trace;
+    }
+  in
+
+  let node =
+    Node.create
+      (Node.default_config scheme)
+      ~transport
+      ~rng:(Rng.create (((seed * 1_000_003) + id) lxor 0x5bd1e995))
+      ~directory ~signer:signers.(id)
+      ~neighbors:(Lo_net.Topology.neighbors topology id)
+      ~behavior:Node.Honest
+  in
+
+  let dispatch ~from ~tag payload =
+    emit
+      (Lo_obs.Event.Deliver
+         { src = from; dst = id; tag; bytes = String.length payload });
+    match Hashtbl.find_opt subs (Lo_net.Mux.proto_of_tag tag) with
+    | Some handler -> handler ~from ~tag payload
+    | None ->
+        incr unknown;
+        emit (Lo_obs.Event.Unknown_tag { node = id; src = from; tag })
+  in
+  let handle_frame (f : Frame.frame) =
+    incr frames_in;
+    last_activity := now_rel ();
+    if f.version <> Frame.version then begin
+      (* A peer speaking a newer framing: account the delivery, then
+         surface the skew instead of losing the message silently. *)
+      emit
+        (Lo_obs.Event.Deliver
+           {
+             src = f.src;
+             dst = id;
+             tag = f.tag;
+             bytes = String.length f.payload;
+           });
+      incr unknown;
+      emit
+        (Lo_obs.Event.Unknown_tag
+           { node = id; src = f.src; tag = Printf.sprintf "v%d:%s" f.version f.tag })
+    end
+    else dispatch ~from:f.src ~tag:f.tag f.payload
+  in
+
+  (* --- workload: the simulator's generator, filtered to this node --- *)
+  let wl_rng = Rng.create ((seed * 97) + 13) in
+  let wl_config =
+    { Lo_workload.Tx_gen.default_config with rate = tps; duration }
+  in
+  let specs = Lo_workload.Tx_gen.generate wl_rng wl_config ~num_nodes:n in
+  List.iter
+    (fun spec ->
+      if spec.Lo_workload.Tx_gen.origin mod n = id then begin
+        let tx =
+          Tx.create ~signer:client ~fee:spec.Lo_workload.Tx_gen.fee
+            ~created_at:spec.Lo_workload.Tx_gen.created_at
+            ~payload:(Lo_workload.Tx_gen.payload spec)
+        in
+        Timer_wheel.schedule timers ~at:spec.Lo_workload.Tx_gen.created_at
+          (fun () ->
+            incr submitted;
+            Node.submit_tx node tx)
+      end)
+    specs;
+
+  (* --- startup barrier --- *)
+  connect_all ();
+  let wait = epoch -. Clock.now_s () in
+  if wait > 0. then Clock.sleep wait;
+  Node.start node;
+  last_activity := now_rel ();
+
+  (* --- event loop --- *)
+  let read_buf = Bytes.create 65536 in
+  let decoders : (Unix.file_descr, Frame.Decoder.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let incoming = ref [] in
+  let drop_incoming fd =
+    close_quietly fd;
+    Hashtbl.remove decoders fd;
+    incoming := List.filter (fun f -> f != fd) !incoming
+  in
+  let running = ref true in
+  while !running do
+    let now = now_rel () in
+    if now >= duration +. drain then running := false
+    else if
+      now >= duration
+      && now -. !last_activity >= quiet_exit
+      && Queue.is_empty local
+    then running := false
+    else begin
+      (* Quiesce at [duration]: frozen timers stop new rounds, retries
+         and submissions; the cascade of in-flight replies drains. *)
+      if now < duration then ignore (Timer_wheel.run_due timers ~now);
+      while not (Queue.is_empty local) do
+        let tag, payload = Queue.pop local in
+        last_activity := now_rel ();
+        dispatch ~from:id ~tag payload
+      done;
+      let timeout =
+        let cap = 0.05 in
+        if now >= duration then cap
+        else
+          match Timer_wheel.next_due timers with
+          | Some t -> Float.max 0.001 (Float.min cap (t -. now_rel ()))
+          | None -> cap
+      in
+      match Unix.select (listener :: !incoming) [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd == listener then begin
+                let c, _ = Unix.accept listener in
+                (try Unix.setsockopt c Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ -> ());
+                Hashtbl.replace decoders c (Frame.Decoder.create ());
+                incoming := c :: !incoming
+              end
+              else
+                match Unix.read fd read_buf 0 (Bytes.length read_buf) with
+                | 0 -> drop_incoming fd
+                | k -> (
+                    let dec = Hashtbl.find decoders fd in
+                    Frame.Decoder.feed dec (Bytes.sub_string read_buf 0 k);
+                    try
+                      let continue = ref true in
+                      while !continue do
+                        match Frame.Decoder.next dec with
+                        | Some f -> handle_frame f
+                        | None -> continue := false
+                      done
+                    with Lo_codec.Reader.Malformed _ -> drop_incoming fd)
+                | exception
+                    Unix.Unix_error
+                      ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+                    drop_incoming fd)
+            readable
+    end
+  done;
+
+  (* --- shutdown --- *)
+  List.iter close_quietly !incoming;
+  Array.iter (function Some fd -> close_quietly fd | None -> ()) conns;
+  close_quietly listener;
+  (match trace_path with
+  | Some path ->
+      let oc = open_out path in
+      Lo_obs.Jsonl.output oc trace;
+      close_out oc
+  | None -> ());
+  {
+    submitted = !submitted;
+    frames_out = !frames_out;
+    frames_in = !frames_in;
+    unknown = !unknown;
+    trace_events = Lo_obs.Trace.total trace;
+  }

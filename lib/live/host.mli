@@ -1,0 +1,68 @@
+(** One live LØ node: the {!Lo_transport} backend over localhost TCP.
+
+    The host owns a listening socket on [base_port + id], one outgoing
+    connection per peer (messages from [i] to [j] always travel on the
+    connection [i] opened to [j]; the frame carries the sender index),
+    a wall-clock {!Timer_wheel}, and a {!Lo_obs.Trace} sink, and runs
+    an unmodified {!Lo_core.Node} over them with a select loop.
+
+    Protocol time is wall-clock seconds since the shared [epoch], so
+    the traces of independently started processes merge into one
+    audit-ready stream. Phases of a run:
+
+    + bind + listen, then connect to every peer (retrying until
+      [epoch]; peers are still starting up);
+    + at [epoch]: start the node, schedule the workload (the same
+      deterministic generator as the simulator — every process derives
+      the full spec list from [seed] and submits the subset whose
+      origin maps to it);
+    + until [duration]: full protocol — timers fire, messages flow;
+    + from [duration] (quiesce): timers freeze, so no new rounds or
+      submissions start, but the loop keeps reading and responding
+      until the message cascade settles ([quiet_exit] of silence) or
+      [duration + drain] hard-caps the run. This lets in-flight sends
+      reach their Deliver events so the merged trace satisfies the
+      auditor's bandwidth-conservation invariant. *)
+
+type config = {
+  id : int;
+  n : int;
+  base_port : int;
+  seed : int;
+  tps : float;  (** cluster-wide submission rate, txs per second *)
+  duration : float;  (** seconds of workload after the epoch *)
+  drain : float;  (** hard cap on the settle period after quiesce *)
+  epoch : float;  (** absolute wall-clock zero shared by the cluster *)
+  trace_capacity : int;
+}
+
+val default_drain : float
+val default_trace_capacity : int
+
+val config :
+  id:int ->
+  n:int ->
+  ?base_port:int ->
+  ?seed:int ->
+  ?tps:float ->
+  ?duration:float ->
+  ?drain:float ->
+  ?trace_capacity:int ->
+  epoch:float ->
+  unit ->
+  config
+
+val default_base_port : int
+
+type stats = {
+  submitted : int;  (** transactions injected at this node *)
+  frames_out : int;  (** frames written to peers *)
+  frames_in : int;  (** frames read and dispatched *)
+  unknown : int;  (** deliveries with no subscribed proto (counted, traced) *)
+  trace_events : int;
+}
+
+val run : ?trace_path:string -> config -> stats
+(** Run one node to completion. Writes the node's full event trace as
+    JSONL to [trace_path] when given. Raises [Failure] if a peer stays
+    unreachable past the epoch. *)

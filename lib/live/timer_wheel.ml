@@ -1,0 +1,24 @@
+module Q = Lo_net.Event_queue
+
+type t = { q : (unit -> unit) Q.t }
+
+let create () = { q = Q.create () }
+let schedule t ~at fn = Q.add t.q ~time:at fn
+let next_due t = Q.peek_time t.q
+let pending t = Q.size t.q
+
+let run_due t ~now =
+  let ran = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Q.peek_time t.q with
+    | Some time when time <= now -> begin
+        match Q.pop t.q with
+        | Some (_, fn) ->
+            incr ran;
+            fn ()
+        | None -> continue := false
+      end
+    | Some _ | None -> continue := false
+  done;
+  !ran

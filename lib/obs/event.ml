@@ -27,6 +27,7 @@ type t =
     }
   | Crash of { node : int }
   | Restart of { node : int }
+  | Unknown_tag of { node : int; src : int; tag : string }
 
 let kind = function
   | Send _ -> "send"
@@ -42,6 +43,7 @@ let kind = function
   | Block_accept _ -> "block"
   | Crash _ -> "crash"
   | Restart _ -> "restart"
+  | Unknown_tag _ -> "unknown_tag"
 
 let drop_reason_label = function
   | Blocked -> "blocked"

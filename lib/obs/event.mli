@@ -53,6 +53,10 @@ type t =
     }
   | Crash of { node : int }
   | Restart of { node : int }
+  | Unknown_tag of { node : int; src : int; tag : string }
+      (** [node] received a message whose tag belongs to no subscribed
+          protocol (e.g. a peer speaking a newer protocol version);
+          the message was counted and discarded, not silently lost *)
 
 val kind : t -> string
 (** Stable lowercase label per constructor (the JSONL ["ev"] field). *)

@@ -79,7 +79,11 @@ let line { Trace.at; ev } =
       Buffer.add_char b ']';
       ints "omitted" omitted;
       int "appendix" appendix
-  | Event.Crash { node } | Event.Restart { node } -> int "node" node);
+  | Event.Crash { node } | Event.Restart { node } -> int "node" node
+  | Event.Unknown_tag { node; src; tag } ->
+      int "node" node;
+      int "src" src;
+      str "tag" tag);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -251,6 +255,9 @@ let parse_line s =
             }
       | "crash" -> Event.Crash { node = int "node" }
       | "restart" -> Event.Restart { node = int "node" }
+      | "unknown_tag" ->
+          Event.Unknown_tag
+            { node = int "node"; src = int "src"; tag = str "tag" }
       | k -> fail "unknown event kind %s" k
     in
     Ok { Trace.at; ev }

@@ -156,7 +156,7 @@ let account t (ev : Event.t) =
     end
   | Event.Commit_append _ | Event.Suspect _ | Event.Clear _ | Event.Expose _
   | Event.Violation _ | Event.Block_accept _ | Event.Crash _
-  | Event.Restart _ ->
+  | Event.Restart _ | Event.Unknown_tag _ ->
       ()
 
 let emit t ~at ev =

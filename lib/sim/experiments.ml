@@ -100,13 +100,14 @@ let fig6_run ~scale ~fraction ~rep =
              if not malicious.(i) then begin
                let count = ref 0 in
                (Node.hooks node).Node.on_suspicion <-
-                 (fun ~suspect ~now ->
+                 (fun ~suspect ->
                    if Hashtbl.mem bad_set suspect then begin
                      incr count;
-                     if !count = num_bad then all_suspected_at.(i) <- now
+                     if !count = num_bad then
+                       all_suspected_at.(i) <- Network.now d.Scenario.net
                    end);
                (Node.hooks node).Node.on_suspicion_cleared <-
-                 (fun ~suspect ~now:_ ->
+                 (fun ~suspect ->
                    if Hashtbl.mem bad_set suspect then begin
                      decr count;
                      all_suspected_at.(i) <- infinity
@@ -148,8 +149,9 @@ let fig6_run ~scale ~fraction ~rep =
              let i = Node.index node in
              if not malicious.(i) then
                (Node.hooks node).Node.on_exposure <-
-                 (fun ~accused ~now ->
+                 (fun ~accused ->
                    if Hashtbl.mem bad_set accused then begin
+                     let now = Network.now d.Scenario.net in
                      if not (Hashtbl.mem first_at accused) then
                        Hashtbl.add first_at accused now;
                      Hashtbl.replace last_at accused now;
@@ -273,9 +275,10 @@ let fig7_rep ~scale ~rep =
            (fun node ->
              let i = Node.index node in
              (Node.hooks node).Node.on_reconcile <-
-               (fun ~now:_ -> rounds.(i) <- rounds.(i) + 1);
+               (fun () -> rounds.(i) <- rounds.(i) + 1);
              (Node.hooks node).Node.on_tx_content <-
-               (fun tx ~now ->
+               (fun tx ->
+                 let now = Network.now r.Runner.deployment.Scenario.net in
                  match Hashtbl.find_opt r.Runner.created tx.Tx.id with
                  | Some t0 when now > t0 ->
                      let dt = now -. t0 in
@@ -380,7 +383,8 @@ let block_latency_run ?(cap_factor = 0.6) ~scale ~policy ~n ~seed () =
          Array.iter
            (fun node ->
              (Node.hooks node).Node.on_block_accepted <-
-               (fun block ~now ->
+               (fun block ->
+                 let now = Network.now r.Runner.deployment.Scenario.net in
                  (* Record at the block creator (earliest acceptance). *)
                  if String.equal (Node.node_id node) block.Block.creator then
                    List.iter
@@ -645,7 +649,7 @@ let fig10 ?(scale = default_scale) ?(rates = [ 2.; 5.; 10.; 20.; 40. ]) () =
                Array.iter
                  (fun node ->
                    (Node.hooks node).Node.on_reconcile <-
-                     (fun ~now:_ -> incr decodes))
+                     (fun () -> incr decodes))
                  r.Runner.deployment.Scenario.nodes)
              ());
         let per_node_min =
@@ -787,7 +791,7 @@ let exposure_latency_one ~scale ~seed ~share_period =
            (fun i node ->
              if i >= num_bad then
                (Node.hooks node).Node.on_exposure <-
-                 (fun ~accused ~now ->
+                 (fun ~accused ->
                    if Array.exists (String.equal accused) bad_ids then begin
                      let c =
                        1
@@ -796,7 +800,8 @@ let exposure_latency_one ~scale ~seed ~share_period =
                      in
                      Hashtbl.replace counts accused c;
                      if c = threshold then
-                       Hashtbl.replace exposed_90_at accused now
+                       Hashtbl.replace exposed_90_at accused
+                         (Network.now d.Scenario.net)
                    end))
            d.Scenario.nodes)
        ~after_inject:(fun r ->
@@ -883,9 +888,9 @@ let ablation ?(scale = default_scale) () =
   result
 
 let time_ms f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Lo_live.Clock.now_s () in
   let r = f () in
-  (r, 1000. *. (Unix.gettimeofday () -. t0))
+  (r, 1000. *. (Lo_live.Clock.now_s () -. t0))
 
 let decode_cost_for diff ~seed =
   let rng = Rng.create seed in
@@ -1067,12 +1072,11 @@ let chaos_cell_run ~scale ~churn_rate ~partition_duration ~burst_loss ~rep
         Array.iter
           (fun node ->
             let h = Node.hooks node in
-            h.Node.on_reconcile <- (fun ~now:_ -> incr attempts);
-            h.Node.on_reconcile_complete <- (fun ~now:_ -> incr completes);
-            h.Node.on_suspicion <- (fun ~suspect:_ ~now:_ -> incr raised);
-            h.Node.on_suspicion_cleared <-
-              (fun ~suspect:_ ~now:_ -> incr cleared);
-            h.Node.on_exposure <- (fun ~accused:_ ~now:_ -> incr exposures))
+            h.Node.on_reconcile <- (fun () -> incr attempts);
+            h.Node.on_reconcile_complete <- (fun () -> incr completes);
+            h.Node.on_suspicion <- (fun ~suspect:_ -> incr raised);
+            h.Node.on_suspicion_cleared <- (fun ~suspect:_ -> incr cleared);
+            h.Node.on_exposure <- (fun ~accused:_ -> incr exposures))
           r.Runner.deployment.Scenario.nodes)
       ()
   in

@@ -33,11 +33,11 @@ let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
   (* Wall-clock self-profiling: phase timings live beside the trace but
      outside the deterministic event stream (excluded from JSONL), so
      they never threaten byte-identical replays. *)
-  let phase_clock = ref (Unix.gettimeofday ()) in
+  let phase_clock = ref (Lo_live.Clock.now_s ()) in
   let note_phase name =
     match trace with
     | Some tr ->
-        let now = Unix.gettimeofday () in
+        let now = Lo_live.Clock.now_s () in
         Lo_obs.Trace.note_phase tr name (now -. !phase_clock);
         phase_clock := now
     | None -> ()
@@ -107,10 +107,12 @@ let run_lo ?(config = fun c -> c) ?behaviors ?malicious ?loss_rate ?faults ?n
 
 let content_latency_probe run =
   let stats = Metrics.Stats.create () in
+  let net = run.deployment.Scenario.net in
   Array.iter
     (fun node ->
       (Node.hooks node).Node.on_tx_content <-
-        (fun tx ~now ->
+        (fun tx ->
+          let now = Network.now net in
           match Hashtbl.find_opt run.created tx.Tx.id with
           | Some t0 when now > t0 -> Metrics.Stats.add stats (now -. t0)
           | _ -> ()))

@@ -37,8 +37,10 @@ let build_lo ?(config = Fun.id) ?(behaviors = fun _ -> Node.Honest) ?malicious
   let node_config = config (Node.default_config scheme) in
   let nodes =
     Array.init n (fun i ->
-        Node.create node_config ~net ~mux ~index:i ~directory
-          ~signer:signers.(i)
+        let transport = Lo_net.Sim_transport.make ~net ~mux ~node:i in
+        Node.create node_config ~transport
+          ~rng:(Rng.split (Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(Topology.neighbors topology i)
           ~behavior:(behaviors i))
   in

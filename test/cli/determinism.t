@@ -6,3 +6,13 @@ the harness.
 
   $ grep -rnE '\bRandom\.' --include='*.ml' --include='*.mli' ../../lib ../../bin \
   >   | grep -v 'lib/net/rng\.ml' | sort
+
+The same contract for time and the operating system: protocol and
+harness code reads the clock through its Transport (the DES under
+simulation), never from the host. Everything that genuinely needs the
+OS — sockets, forks, wall clock — lives in lib/live, the one
+non-simulated transport backend; anywhere else, `Unix.` or a wall-clock
+read is a determinism leak.
+
+  $ grep -rnE '\bUnix\.|\bgettimeofday\b|Sys\.time\b' --include='*.ml' --include='*.mli' ../../lib ../../bin \
+  >   | grep -v 'lib/live/' | sort

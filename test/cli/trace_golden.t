@@ -1,0 +1,18 @@
+Golden traces across the transport inversion: routing the DES through
+the Transport interface must not change a single byte of the event
+stream. The fixtures were generated before the refactor; `cmp` (not a
+summary diff) is the point — same seed, same JSONL, byte for byte.
+
+The adversary scenario exercises suspicion, exposure and block
+inspection on top of the full wire protocol:
+
+  $ ../../bin/lo.exe trace adversary -n 10 --duration 4 --rate 3 --seed 1 --out fig6.jsonl > /dev/null
+  $ cmp fig6.jsonl fixtures/trace_fig6_seed1.jsonl && echo identical
+  identical
+
+The chaos scenario adds churn, partitions and loss bursts — the widest
+event-kind coverage (crashes, restarts, drops, withdrawals):
+
+  $ ../../bin/lo.exe trace chaos -n 8 --duration 3 --rate 3 --seed 1 --out chaos.jsonl > /dev/null
+  $ cmp chaos.jsonl fixtures/trace_chaos_seed1.jsonl && echo identical
+  identical

@@ -109,7 +109,10 @@ let mk_world ?(behaviors = fun _ -> Node.Honest) ?(miners = 10) ~seed () =
   let config = Node.default_config scheme in
   let nodes =
     Array.init miners (fun i ->
-        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+        Node.create config
+          ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+          ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(Lo_net.Topology.neighbors topo i)
           ~behavior:(behaviors i))
   in
@@ -204,8 +207,10 @@ let integration_tests =
         in
         let nodes =
           Array.init n (fun i ->
-              Node.create config ~net ~mux ~index:i ~directory
-                ~signer:signers.(i)
+              Node.create config
+                ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+                ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+                ~directory ~signer:signers.(i)
                 ~neighbors:(Lo_net.Topology.neighbors topo i)
                 ~behavior:(if i = 0 then Node.Block_reorderer else Node.Honest))
         in
@@ -260,8 +265,10 @@ let integration_tests =
         let config = Node.default_config scheme in
         let nodes =
           Array.init n (fun i ->
-              Node.create config ~net ~mux ~index:i ~directory
-                ~signer:signers.(i)
+              Node.create config
+                ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+                ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+                ~directory ~signer:signers.(i)
                 ~neighbors:(Lo_net.Topology.neighbors topo i)
                 ~behavior:(if i = 0 then Node.Equivocator else Node.Honest))
         in
@@ -272,7 +279,8 @@ let integration_tests =
           (fun s -> Enforcement.register ledger ~id:(Signer.id s) ~stake:1000)
           signers;
         (Node.hooks nodes.(1)).Node.on_exposure <-
-          (fun ~accused ~now ->
+          (fun ~accused ->
+            let now = Net.now net in
             match Accountability.status (Node.accountability nodes.(1)) accused with
             | Accountability.Exposed ev -> Enforcement.punish ledger ~id:accused ev ~now
             | _ -> ());

@@ -46,7 +46,7 @@ let make_harness () =
   let cleared = ref [] in
   let hooks = Node_env.no_hooks () in
   hooks.Node_env.on_suspicion_cleared <-
-    (fun ~suspect ~now:_ -> cleared := suspect :: !cleared);
+    (fun ~suspect -> cleared := suspect :: !cleared);
   let env =
     {
       Node_env.config;
@@ -217,7 +217,10 @@ let mk_network ~n ~seed () =
   in
   let nodes =
     Array.init n (fun i ->
-        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+        Node.create config
+          ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+          ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(Lo_net.Topology.neighbors topo i)
           ~behavior:Node.Honest)
   in
@@ -243,7 +246,7 @@ let crash_heal_tests =
         Array.iter
           (fun node ->
             (Node.hooks node).Node.on_suspicion_cleared <-
-              (fun ~suspect:_ ~now:_ -> incr cleared_events))
+              (fun ~suspect:_ -> incr cleared_events))
           d.nodes;
         for k = 0 to 5 do
           submit d ~target:k ~fee:(3 + k) (Printf.sprintf "pre%d" k)

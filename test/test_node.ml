@@ -30,7 +30,10 @@ let mk_network ?(behaviors = fun _ -> Node.Honest) ?(n = 25) ~seed () =
   let config = Node.default_config scheme in
   let nodes =
     Array.init n (fun i ->
-        Node.create config ~net ~mux ~index:i ~directory ~signer:signers.(i)
+        Node.create config
+          ~transport:(Lo_net.Sim_transport.make ~net ~mux ~node:i)
+          ~rng:(Lo_net.Rng.split (Lo_net.Network.rng net))
+          ~directory ~signer:signers.(i)
           ~neighbors:(Lo_net.Topology.neighbors topo i)
           ~behavior:(behaviors i))
   in
@@ -52,7 +55,7 @@ let dissemination_tests =
         let events = ref 0 in
         Array.iter
           (fun node ->
-            (Node.hooks node).Node.on_tx_content <- (fun _ ~now:_ -> incr events))
+            (Node.hooks node).Node.on_tx_content <- (fun _ -> incr events))
           d.nodes;
         for k = 0 to 9 do
           ignore (submit d ~target:(k mod 25) ~fee:(10 + k) (Printf.sprintf "p%d" k))
@@ -112,7 +115,7 @@ let accuracy_tests =
         Array.iter
           (fun node ->
             (Node.hooks node).Node.on_violation <-
-              (fun _ ~block:_ ~now:_ -> incr violations))
+              (fun _ ~block:_ -> incr violations))
           d.nodes;
         check_bool "block" true (Node.build_block d.nodes.(3) ~policy:Policy.Lo_fifo <> None);
         Net.run_until d.net 35.0;
@@ -522,10 +525,10 @@ let slow_node_tests =
           (fun i node ->
             if i <> 6 then begin
               (Node.hooks node).Node.on_suspicion <-
-                (fun ~suspect ~now:_ ->
+                (fun ~suspect ->
                   if String.equal suspect id6 then incr transient);
               (Node.hooks node).Node.on_suspicion_cleared <-
-                (fun ~suspect ~now:_ ->
+                (fun ~suspect ->
                   if String.equal suspect id6 then incr cleared)
             end)
           d.nodes;
@@ -645,7 +648,7 @@ let collusion_tests =
         Array.iter
           (fun node ->
             (Node.hooks node).Node.on_violation <-
-              (fun v ~block:_ ~now:_ ->
+              (fun v ~block:_ ->
                 match v with
                 | Inspector.Injection { bundle_seq = None; _ } ->
                     incr injection_flags

@@ -48,9 +48,9 @@ let make_harness () =
   let cleared = ref [] in
   let hooks = Node_env.no_hooks () in
   hooks.Node_env.on_suspicion <-
-    (fun ~suspect ~now:_ -> suspicions := suspect :: !suspicions);
+    (fun ~suspect -> suspicions := suspect :: !suspicions);
   hooks.Node_env.on_suspicion_cleared <-
-    (fun ~suspect ~now:_ -> cleared := suspect :: !cleared);
+    (fun ~suspect -> cleared := suspect :: !cleared);
   let env =
     {
       Node_env.config;

@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fuzz-smoke live-smoke fmt bench clean
+.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fuzz-smoke live-smoke live-chaos-smoke fmt bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # The one-stop gate: everything compiles, the full test suite passes,
 # and a tiny seeded chaos scenario exercises the fault-injection paths.
 check:
-	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) live-smoke
+	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) live-smoke && $(MAKE) live-chaos-smoke
 
 # Small deterministic fault-injection run (churn + partitions + loss
 # bursts + latency spikes + link degradation); exits non-zero if any
@@ -41,6 +41,15 @@ fuzz-smoke:
 # crash.
 live-smoke:
 	dune exec bin/lo.exe -- cluster -n 8 --tps 40 --duration 5 --seed 1 --base-port 7611
+
+# The same live cluster under supervised chaos: two nodes are
+# SIGKILLed mid-run and respawned (rebuilding their commitment logs
+# from their own write-ahead traces), and every host injects seeded
+# socket-level frame faults (drop/duplicate/delay/truncate/garble).
+# The merged per-incarnation stream must still pass all five audit
+# invariants with zero honest exposures.
+live-chaos-smoke:
+	dune exec bin/lo.exe -- cluster -n 8 --tps 40 --duration 6 --seed 1 --base-port 7731 --chaos kills=2,down=1.2
 
 # Formatting is checked only when ocamlformat is available; the
 # toolchain image does not ship it and installing is out of scope.

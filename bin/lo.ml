@@ -310,9 +310,19 @@ let run_serve id n base_port seed tps duration epoch out =
     stats.Lo_live.Host.frames_in stats.Lo_live.Host.unknown
     stats.Lo_live.Host.trace_events
 
-let run_cluster n tps duration seed base_port out_dir =
+let run_cluster n tps duration seed base_port out_dir chaos =
+  let chaos =
+    match chaos with
+    | None -> None
+    | Some spec -> (
+        match Lo_live.Cluster.chaos_of_string spec with
+        | Ok c -> Some c
+        | Error msg ->
+            prerr_endline ("lo cluster: " ^ msg);
+            exit 2)
+  in
   let report =
-    Lo_live.Cluster.run ?out_dir ~base_port ~n ~tps ~duration ~seed ()
+    Lo_live.Cluster.run ?out_dir ?chaos ~base_port ~n ~tps ~duration ~seed ()
   in
   print_endline (Lo_live.Cluster.summary report);
   if not (Lo_live.Cluster.ok report) then exit 1
@@ -569,15 +579,30 @@ let () =
                  "Where per-node and merged JSONL traces land (default: a \
                   fresh directory under the system temp dir).")
        in
+       let chaos_arg =
+         Arg.(
+           value
+           & opt (some ~none:"off" string) None
+           & info [ "chaos" ] ~docv:"SPEC"
+               ~doc:
+                 "Seeded chaos: SIGKILL and respawn nodes mid-run and \
+                  inject socket-level frame faults. $(docv) is \
+                  \"key=value,...\" over the defaults \
+                  (kills=3,down=1.5 plus mild link faults); keys: \
+                  kills, rate (Poisson kills/s instead of exact \
+                  kills), down, drop, dup, delay, dmax, trunc, \
+                  garble. The empty string takes every default.")
+       in
        Cmd.v
          (Cmd.info "cluster"
             ~doc:
-              "Fork a full localhost cluster of live nodes, merge the \
-               per-node traces, audit the merged stream, and fail on any \
-               violation or honest exposure")
+              "Fork a full localhost cluster of live nodes — optionally \
+               under seeded chaos (kill/respawn plus socket faults) — \
+               merge the per-incarnation traces, audit the merged \
+               stream, and fail on any violation or honest exposure")
          Term.(
            const run_cluster $ n_arg $ tps_arg $ duration_arg $ seed_arg
-           $ port_arg $ out_dir_arg));
+           $ port_arg $ out_dir_arg $ chaos_arg));
       cmd "selfcheck" "Verify the crypto and sketch substrates against known vectors" run_selfcheck;
       cmd "all" "Run the entire evaluation" run_all;
     ]

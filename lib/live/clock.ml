@@ -1,2 +1,15 @@
 let now_s () = Unix.gettimeofday ()
-let sleep s = if s > 0. then Unix.sleepf s
+
+(* Restarted on EINTR with the remaining duration: supervisor signals
+   (e.g. SIGCHLD from chaos respawns) must not cut a sleep short. *)
+let sleep s =
+  if s > 0. then begin
+    let deadline = now_s () +. s in
+    let rec go left =
+      if left > 0. then begin
+        (try Unix.sleepf left with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go (deadline -. now_s ())
+      end
+    in
+    go s
+  end

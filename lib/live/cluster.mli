@@ -1,12 +1,56 @@
-(** A full localhost cluster: fork one {!Host} process per node, wait,
-    merge the per-node traces into a single chronological stream, and
-    audit it.
+(** A full localhost cluster: fork one {!Host} process per node,
+    supervise it (optionally killing and respawning nodes per a seeded
+    chaos schedule), merge the per-incarnation traces into a single
+    chronological stream, and audit it.
 
     The parent never exchanges protocol traffic with the children; it
-    only picks a shared epoch, collects exit statuses, and reads the
-    JSONL trace plus a tiny stats file each child leaves in [out_dir]
-    ([node-<i>.jsonl] / [node-<i>.stats]). The merged stream is written
-    to [merged.jsonl] and fed to {!Lo_obs.Audit.check}. *)
+    only picks a shared epoch, delivers SIGKILLs on schedule, collects
+    exit statuses with a non-blocking reap loop, and reads the JSONL
+    trace plus a tiny stats file each incarnation leaves in [out_dir]
+    ([node-<i>.<incarnation>.jsonl] / [.stats]). The merged stream is
+    written to [merged.jsonl] and fed to {!Lo_obs.Audit.check}.
+
+    {b Chaos.} With [chaos] set, the supervisor compiles the schedule
+    to process-level {!Lo_net.Fault_plan.Crash} events: at each kill
+    time the victim is SIGKILLed (no flush, no goodbye — the real crash
+    model) and after its down window it is respawned with
+    [incarnation + 1] and the trace files of its prior lives, which is
+    all {!Host} needs to rebuild its commitment log, close orphaned
+    spans, re-arm suspicions and rejoin ({!Resume}). The supervisor
+    distinguishes its own kills from genuine failures when reaping, and
+    inserts the [Crash] events the victims could not write into the
+    merged stream. Because the host's trace is a write-ahead log
+    flushed before socket writes, a kill leaves only non-negative
+    per-tag bandwidth deficits; the supervisor closes them with
+    synthetic crash drops at the horizon ([synthesized_drops]) — only
+    when kills were actually induced, so a deficit in a clean run still
+    fails the audit. A watchdog SIGKILLs any child that outlives the
+    horizon by a grace period and fails the run. *)
+
+type chaos = {
+  kills : int;  (** distinct victims to kill exactly once (when [rate = None]) *)
+  rate : float option;
+      (** Poisson kills/s via {!Lo_net.Fault_plan.churn} instead *)
+  mean_down : float;  (** mean seconds between a kill and its respawn *)
+  link : Faulty_link.spec;
+      (** socket-level fault rates applied inside every host *)
+}
+
+val default_chaos : chaos
+(** 3 kills, mean 1.5 s down, mild link faults (~4% of frames
+    perturbed). *)
+
+val chaos_of_string : string -> (chaos, string) result
+(** Parse a ["key=value,..."] spec over {!default_chaos}: [kills],
+    [rate], [down], [drop], [dup], [delay], [dmax], [trunc], [garble].
+    The empty string means {!default_chaos}. *)
+
+val plan_of_chaos :
+  n:int -> duration:float -> seed:int -> chaos -> Lo_net.Fault_plan.t
+(** The seeded process-level kill schedule: [Crash {node; down_for}]
+    events with kill times in the first 60% of the run and down windows
+    clamped so every respawn lands by 85% of [duration] — a restart
+    needs live traffic left to rejoin. *)
 
 type report = {
   n : int;
@@ -19,7 +63,18 @@ type report = {
   unknown : int;  (** deliveries with no subscribed protocol *)
   events : int;  (** merged trace entries audited *)
   exposures : int;  (** [Expose] events — must be 0 in an honest run *)
-  failed_nodes : int list;  (** children that exited non-zero *)
+  failed_nodes : int list;
+      (** children that exited non-zero, died to a signal the
+          supervisor did not send, or left an unreadable trace *)
+  induced_kills : (float * int) list;
+      (** (seconds after epoch, node) for each SIGKILL delivered *)
+  restarts : int;  (** [Restart] events in the merged trace *)
+  reconnects : int;  (** links re-established after having been up *)
+  watchdog_killed : int list;  (** children killed past the deadline *)
+  synthesized_drops : int;
+      (** crash drops added to close kill-induced bandwidth deficits *)
+  truncated_lines : int;
+      (** partial trailing trace lines discarded across all files *)
   audit : Lo_obs.Audit.report;
 }
 
@@ -27,19 +82,23 @@ val run :
   ?out_dir:string ->
   ?base_port:int ->
   ?drain:float ->
+  ?chaos:chaos ->
   n:int ->
   tps:float ->
   duration:float ->
   seed:int ->
   unit ->
   report
-(** Blocks for roughly [duration + drain] plus startup. [out_dir]
-    defaults to a fresh directory under the system temp dir; existing
-    files in it are overwritten. *)
+(** Blocks for roughly [duration + drain] plus startup (plus the
+    watchdog grace if a child hangs). [out_dir] defaults to a fresh
+    directory under the system temp dir; existing files in it are
+    overwritten. Without [chaos] no kills are induced and no drops are
+    synthesized. *)
 
 val ok : report -> bool
-(** All children exited cleanly, the audit passed, and no honest node
-    was exposed. *)
+(** All children exited cleanly (induced kills excepted), the watchdog
+    stayed idle, the audit passed, no honest node was exposed, and
+    every induced kill produced a restart. *)
 
 val summary : report -> string
 (** Multi-line human-readable report. *)

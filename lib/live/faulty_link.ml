@@ -1,0 +1,62 @@
+module Rng = Lo_net.Rng
+
+type spec = {
+  drop : float;
+  dup : float;
+  delay : float;
+  delay_max : float;
+  truncate : float;
+  garble : float;
+}
+
+type action =
+  | Pass
+  | Drop
+  | Duplicate
+  | Delay of float
+  | Truncate of int
+  | Garble
+
+let none =
+  { drop = 0.; dup = 0.; delay = 0.; delay_max = 0.; truncate = 0.; garble = 0. }
+
+let garble_tag = "zz:chaos"
+
+let is_none s =
+  s.drop = 0. && s.dup = 0. && s.delay = 0. && s.truncate = 0. && s.garble = 0.
+
+let validate s =
+  let rate name r =
+    if r < 0. || r > 1. || Float.is_nan r then
+      invalid_arg (Printf.sprintf "Faulty_link: %s rate %g outside [0,1]" name r)
+  in
+  rate "drop" s.drop;
+  rate "dup" s.dup;
+  rate "delay" s.delay;
+  rate "truncate" s.truncate;
+  rate "garble" s.garble;
+  if s.drop +. s.dup +. s.delay +. s.truncate +. s.garble > 1. then
+    invalid_arg "Faulty_link: rates sum above 1";
+  if s.delay > 0. && s.delay_max <= 0. then
+    invalid_arg "Faulty_link: delay_max must be positive when delay > 0"
+
+let decide s rng ~frame_len =
+  if is_none s then Pass
+  else begin
+    let u = Rng.float rng 1.0 in
+    (* Stacked thresholds: one uniform draw picks the branch, so the
+       per-frame cost of a quiet spec is a single rng step. *)
+    let t1 = s.drop in
+    let t2 = t1 +. s.dup in
+    let t3 = t2 +. s.delay in
+    let t4 = t3 +. s.truncate in
+    let t5 = t4 +. s.garble in
+    if u < t1 then Drop
+    else if u < t2 then Duplicate
+    else if u < t3 then Delay (Float.max 1e-3 (Rng.float rng s.delay_max))
+    else if u < t4 then
+      if frame_len < 2 then Pass
+      else Truncate (1 + Rng.int rng (frame_len - 1))
+    else if u < t5 then Garble
+    else Pass
+  end

@@ -48,6 +48,10 @@ module Decoder = struct
       t.pos <- 0
     end
 
+  let reset t =
+    t.buf <- Buffer.create 4096;
+    t.pos <- 0
+
   let next t =
     if buffered t < 4 then None
     else begin
@@ -61,7 +65,15 @@ module Decoder = struct
         let body = Buffer.sub t.buf (t.pos + 4) len in
         t.pos <- t.pos + 4 + len;
         compact t;
-        Some (decode_body body)
+        (* Contain decode failures: whatever a hostile body makes the
+           codec raise, the caller sees the one documented exception and
+           the decoder has already consumed the bad frame, so a [reset]
+           (or even plain continued feeding) can resynchronise. *)
+        match decode_body body with
+        | f -> Some f
+        | exception (Reader.Malformed _ as e) -> raise e
+        | exception _ ->
+            raise (Reader.Malformed "frame body failed to decode")
       end
     end
 end

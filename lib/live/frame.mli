@@ -45,9 +45,16 @@ module Decoder : sig
   val next : t -> frame option
   (** The next complete frame, if buffered.
       @raise Lo_codec.Reader.Malformed on a corrupt stream (oversized
-      length prefix or unparseable body); the stream cannot be resumed
-      after this. *)
+      length prefix or unparseable body) — and only that exception,
+      whatever bytes arrive. After an unparseable body the bad frame
+      has been consumed, so feeding may continue; after an oversized
+      prefix the stream position itself is lost and the caller should
+      {!reset} (or drop the connection). *)
 
   val buffered : t -> int
   (** Bytes held waiting for a complete frame. *)
+
+  val reset : t -> unit
+  (** Discard all buffered bytes, returning the decoder to its freshly
+      created state — the resync point after {!next} raised. *)
 end

@@ -12,6 +12,9 @@ type config = {
   drain : float;
   epoch : float;
   trace_capacity : int;
+  incarnation : int;
+  resume_from : string list;
+  faults : Faulty_link.spec;
 }
 
 let default_drain = 3.0
@@ -20,10 +23,28 @@ let default_base_port = 7350
 
 let config ~id ~n ?(base_port = default_base_port) ?(seed = 1) ?(tps = 20.)
     ?(duration = 10.) ?(drain = default_drain)
-    ?(trace_capacity = default_trace_capacity) ~epoch () =
+    ?(trace_capacity = default_trace_capacity) ?(incarnation = 0)
+    ?(resume_from = []) ?(faults = Faulty_link.none) ~epoch () =
   if n <= 0 then invalid_arg "Host.config: n";
   if id < 0 || id >= n then invalid_arg "Host.config: id";
-  { id; n; base_port; seed; tps; duration; drain; epoch; trace_capacity }
+  if incarnation < 0 then invalid_arg "Host.config: incarnation";
+  if incarnation > 0 && resume_from = [] then
+    invalid_arg "Host.config: incarnation > 0 needs resume_from";
+  Faulty_link.validate faults;
+  {
+    id;
+    n;
+    base_port;
+    seed;
+    tps;
+    duration;
+    drain;
+    epoch;
+    trace_capacity;
+    incarnation;
+    resume_from;
+    faults;
+  }
 
 type stats = {
   submitted : int;
@@ -31,11 +52,24 @@ type stats = {
   frames_in : int;
   unknown : int;
   trace_events : int;
+  reconnects : int;
 }
 
 (* How long the post-quiesce loop must stay silent (no frame in or out)
    before the node may exit early; bounded above by [drain]. *)
 let quiet_exit = 1.0
+
+(* Per-peer cap on queued unwritten wire bytes; beyond it new frames
+   are refused with an accounted drop (tail drop). *)
+let max_queue_bytes = 1 lsl 18
+
+(* An established connection with queued bytes but no write progress
+   for this long is declared half-open and torn down. *)
+let stall_timeout = 4.0
+
+(* A connect attempt (SYN sent, not yet established) older than this is
+   abandoned; localhost either answers or refuses almost instantly. *)
+let connect_timeout = 1.0
 
 let loopback = Unix.inet_addr_loopback
 
@@ -43,7 +77,8 @@ let loopback = Unix.inet_addr_loopback
    process reconstructs all n identities (which also populates the
    simulation scheme's verification registry) and the seed-determined
    overlay, so the cluster agrees on directory and topology without any
-   coordination traffic. *)
+   coordination traffic — and a respawned incarnation re-derives the
+   exact identity its predecessor held. *)
 let derive_deployment ~n ~seed =
   let scheme = Signer.simulation () in
   let signers =
@@ -57,21 +92,59 @@ let derive_deployment ~n ~seed =
   let client = Signer.make scheme ~seed:(Printf.sprintf "client-%d" seed) in
   (scheme, signers, directory, topology, client)
 
-let write_all fd s =
-  let len = String.length s in
-  let bytes = Bytes.unsafe_of_string s in
-  let off = ref 0 in
-  while !off < len do
-    match Unix.write fd bytes !off (len - !off) with
-    | 0 -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
-    | k -> off := !off + k
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
-
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* --- per-peer outgoing link -------------------------------------- *)
+
+(* One queued wire write. [pbytes] is the payload size the trace
+   charges (frame overhead is not accounted, matching the DES).
+   [accounted] entries already carried their Drop event when they were
+   created (fault-injected truncation prefixes), so losing them later
+   must not charge bandwidth again. *)
+type wire_entry = {
+  bytes : string;
+  tag : string;
+  pbytes : int;
+  accounted : bool;
+  mutable off : int;
+}
+
+type wire_item =
+  | Data of wire_entry
+  | Cut  (** close the connection here (fault-injected truncation) *)
+
+(* Outgoing connection state machine per peer:
+   fd = None                 -> Down (reconnect clock armed)
+   fd = Some _, up = false   -> Connecting (await writability)
+   fd = Some _, up = true    -> Up (drain queue as select allows) *)
+type link = {
+  peer : int;
+  addr : Unix.sockaddr;
+  mutable fd : Unix.file_descr option;
+  mutable up : bool;
+  queue : wire_item Queue.t;
+  mutable queued_bytes : int;  (** unwritten bytes across the queue *)
+  backoff : Reconnect.t;
+  mutable ever_up : bool;
+  mutable last_progress : float;
+      (** rel time of the last write progress (or connect start) *)
+}
+
 let run ?trace_path cfg =
-  let { id; n; base_port; seed; tps; duration; drain; epoch; trace_capacity } =
+  let {
+    id;
+    n;
+    base_port;
+    seed;
+    tps;
+    duration;
+    drain;
+    epoch;
+    trace_capacity;
+    incarnation;
+    resume_from;
+    faults;
+  } =
     cfg
   in
   let scheme, signers, directory, topology, client =
@@ -81,39 +154,142 @@ let run ?trace_path cfg =
   let now_rel () = Clock.now_s () -. epoch in
   let emit ev = Lo_obs.Trace.emit trace ~at:(now_rel ()) ev in
 
+  (* --- write-ahead trace ---
+     Every event is appended to [wal] the moment it is emitted (the
+     trace observer sees the node's own emissions too) and flushed to
+     disk once per loop iteration, *before* any socket write of that
+     iteration. The ordering is the crash-safety contract: a frame can
+     only reach a peer after the Send that charged it is durable, so a
+     SIGKILL leaves per-tag deficits that are strictly positive (sent
+     >= delivered + dropped) and the supervisor can close them with
+     synthetic crash drops — and a respawned incarnation can rebuild
+     its commitment log from its own durable prefix without ever
+     signing a conflicting history. *)
+  let wal = Buffer.create 65536 in
+  let wal_oc =
+    match trace_path with
+    | Some path ->
+        let oc = open_out path in
+        Lo_obs.Trace.set_observer trace
+          (Some
+             (fun e ->
+               Buffer.add_string wal (Lo_obs.Jsonl.line e);
+               Buffer.add_char wal '\n'));
+        Some oc
+    | None -> None
+  in
+  let wal_flush () =
+    match wal_oc with
+    | Some oc when Buffer.length wal > 0 ->
+        Buffer.output_buffer oc wal;
+        Buffer.clear wal;
+        flush oc
+    | _ -> ()
+  in
+
   (* --- sockets --- *)
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
   Unix.bind listener (Unix.ADDR_INET (loopback, base_port + id));
   Unix.listen listener (2 * n);
-  let conns = Array.make n None in
-  let connect_peer j =
-    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_INET (loopback, base_port + j)) with
-    | () ->
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ -> ());
-        conns.(j) <- Some fd
-    | exception Unix.Unix_error _ -> close_quietly fd
+  Unix.set_nonblock listener;
+
+  (* Link-layer randomness (backoff jitter, fault draws) is seeded per
+     (cluster seed, node, incarnation): deterministic given the chaos
+     plan, decorrelated across nodes and across lives of one node. *)
+  let link_rng =
+    Rng.create
+      ((((seed * 1_000_003) + id) lxor 0x7f4a7c15) + (incarnation * 7919))
   in
-  (* Everyone listens before anyone must be reachable, so just retry
-     until the epoch (plus slack for stragglers under load). *)
-  let connect_deadline = epoch +. 2.0 in
-  let rec connect_all () =
-    for j = 0 to n - 1 do
-      if j <> id && conns.(j) = None then connect_peer j
-    done;
-    if Array.exists2 (fun j c -> j <> id && c = None)
-         (Array.init n Fun.id) conns
-    then
-      if Clock.now_s () > connect_deadline then
-        failwith
-          (Printf.sprintf "lo serve %d: peers unreachable after %.1fs" id
-             (Clock.now_s () -. (epoch -. 2.0)))
-      else begin
-        Clock.sleep 0.05;
-        connect_all ()
-      end
+  let reconnects = ref 0 in
+  let links =
+    Array.init n (fun j ->
+        {
+          peer = j;
+          addr = Unix.ADDR_INET (loopback, base_port + j);
+          fd = None;
+          up = false;
+          queue = Queue.create ();
+          queued_bytes = 0;
+          backoff = Reconnect.create ~rng:link_rng ();
+          ever_up = false;
+          last_progress = 0.;
+        })
+  in
+  let link_fd_up l = match l.fd with Some fd when l.up -> Some fd | _ -> None in
+
+  (* Tear down [l]'s connection (established or in progress). The
+     partially written head frame, if any, can never be completed on a
+     future connection — the peer's decoder will discard the partial
+     tail at EOF — so it is dropped and charged here. *)
+  let link_down l ~reason =
+    match l.fd with
+    | None -> ()
+    | Some fd ->
+        close_quietly fd;
+        l.fd <- None;
+        let was_up = l.up in
+        l.up <- false;
+        (match Queue.peek_opt l.queue with
+        | Some (Data e) when e.off > 0 ->
+            ignore (Queue.pop l.queue);
+            l.queued_bytes <- l.queued_bytes - (String.length e.bytes - e.off);
+            if not e.accounted then
+              emit
+                (Lo_obs.Event.Drop
+                   {
+                     src = id;
+                     dst = l.peer;
+                     tag = e.tag;
+                     bytes = e.pbytes;
+                     reason = Lo_obs.Event.Down;
+                   })
+        | _ -> ());
+        if was_up then begin
+          emit (Lo_obs.Event.Conn_down { node = id; peer = l.peer; reason });
+          Reconnect.lost l.backoff ~now:(now_rel ())
+        end
+        else Reconnect.failed l.backoff ~now:(now_rel ())
+  in
+  let link_established l =
+    (match l.fd with
+    | Some fd -> (
+        try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ())
+    | None -> ());
+    l.up <- true;
+    l.last_progress <- now_rel ();
+    emit
+      (Lo_obs.Event.Conn_up
+         { node = id; peer = l.peer; attempts = Reconnect.attempts l.backoff + 1 });
+    if l.ever_up then incr reconnects;
+    l.ever_up <- true;
+    Reconnect.opened l.backoff
+  in
+  (* A connecting socket turned writable: either established or failed;
+     SO_ERROR tells which. *)
+  let link_finish_connect l =
+    match l.fd with
+    | None -> ()
+    | Some fd -> (
+        match Unix.getsockopt_error fd with
+        | None -> link_established l
+        | Some _ -> link_down l ~reason:"refused")
+  in
+  let link_start_connect l =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    l.last_progress <- now_rel ();
+    match Unix.connect fd l.addr with
+    | () ->
+        l.fd <- Some fd;
+        link_established l
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EINTR), _, _) ->
+        (* EINTR: POSIX continues the connect asynchronously. *)
+        l.fd <- Some fd
+    | exception Unix.Unix_error _ ->
+        close_quietly fd;
+        Reconnect.failed l.backoff ~now:(now_rel ())
   in
 
   (* --- transport state --- *)
@@ -127,31 +303,78 @@ let run ?trace_path cfg =
   let unknown = ref 0 in
   let last_activity = ref 0. in
 
+  (* Queue one encoded frame on [l]; the Send was already charged.
+     Tail drop when the peer's buffer is full: the frame is refused and
+     charged as a Down drop (the buffer only backs up when the peer is
+     down or stalled), keeping conservation exact. *)
+  let enqueue_frame l ~tag ~pbytes ~accounted frame =
+    let blen = String.length frame in
+    if l.queued_bytes + blen > max_queue_bytes then begin
+      if not accounted then
+        emit
+          (Lo_obs.Event.Drop
+             {
+               src = id;
+               dst = l.peer;
+               tag;
+               bytes = pbytes;
+               reason = Lo_obs.Event.Down;
+             })
+    end
+    else begin
+      Queue.add (Data { bytes = frame; tag; pbytes; accounted; off = 0 }) l.queue;
+      l.queued_bytes <- l.queued_bytes + blen
+    end
+  in
+  let charge_and_enqueue ~dst ~tag ~pbytes frame =
+    emit (Lo_obs.Event.Send { src = id; dst; tag; bytes = pbytes });
+    enqueue_frame links.(dst) ~tag ~pbytes ~accounted:false frame
+  in
   let send_to ~dst ~tag payload =
-    let bytes = String.length payload in
+    let pbytes = String.length payload in
     if dst = id then begin
-      emit (Lo_obs.Event.Send { src = id; dst; tag; bytes });
+      emit (Lo_obs.Event.Send { src = id; dst; tag; bytes = pbytes });
       Queue.add (tag, payload) local
     end
-    else
-      match conns.(dst) with
-      | None ->
-          (* Never connected (or already torn down): refused at send
-             time, outside bandwidth conservation — like the DES. *)
+    else begin
+      let frame = Frame.encode ~src:id ~tag payload in
+      match Faulty_link.decide faults link_rng ~frame_len:(String.length frame)
+      with
+      | Faulty_link.Pass -> charge_and_enqueue ~dst ~tag ~pbytes frame
+      | Faulty_link.Drop ->
+          (* The wire ate it whole: charged and immediately lost. *)
+          emit (Lo_obs.Event.Send { src = id; dst; tag; bytes = pbytes });
           emit
             (Lo_obs.Event.Drop
-               { src = id; dst; tag; bytes; reason = Lo_obs.Event.Blocked })
-      | Some fd -> (
-          emit (Lo_obs.Event.Send { src = id; dst; tag; bytes });
-          incr frames_out;
-          last_activity := now_rel ();
-          try write_all fd (Frame.encode ~src:id ~tag payload)
-          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-            close_quietly fd;
-            conns.(dst) <- None;
-            emit
-              (Lo_obs.Event.Drop
-                 { src = id; dst; tag; bytes; reason = Lo_obs.Event.Down }))
+               { src = id; dst; tag; bytes = pbytes; reason = Lo_obs.Event.Loss })
+      | Faulty_link.Duplicate ->
+          charge_and_enqueue ~dst ~tag ~pbytes frame;
+          charge_and_enqueue ~dst ~tag ~pbytes frame
+      | Faulty_link.Delay d ->
+          (* Charged when it actually enters the queue; timers freeze at
+             quiesce, so a delay past the horizon is never charged. *)
+          Timer_wheel.schedule timers
+            ~at:(now_rel () +. d)
+            (fun () -> charge_and_enqueue ~dst ~tag ~pbytes frame)
+      | Faulty_link.Truncate keep ->
+          (* The peer sees a prefix then EOF: its decoder discards the
+             partial tail. Charged as a loss up front; the prefix entry
+             is marked accounted so no later drop double-charges it. *)
+          emit (Lo_obs.Event.Send { src = id; dst; tag; bytes = pbytes });
+          emit
+            (Lo_obs.Event.Drop
+               { src = id; dst; tag; bytes = pbytes; reason = Lo_obs.Event.Loss });
+          let l = links.(dst) in
+          enqueue_frame l ~tag ~pbytes ~accounted:true (String.sub frame 0 keep);
+          Queue.add Cut l.queue
+      | Faulty_link.Garble ->
+          (* Same payload under an alien tag: parses as a valid frame,
+             exercises the receiver's unknown-tag path. Charged under
+             the replacement tag so per-tag conservation still holds. *)
+          let gtag = Faulty_link.garble_tag in
+          charge_and_enqueue ~dst ~tag:gtag ~pbytes
+            (Frame.encode ~src:id ~tag:gtag payload)
+    end
   in
   let transport =
     {
@@ -162,7 +385,8 @@ let run ?trace_path cfg =
         (fun ~dsts ~tag payload ->
           List.iter (fun dst -> send_to ~dst ~tag payload) dsts);
       schedule =
-        (fun ~delay fn -> Timer_wheel.schedule timers ~at:(now_rel () +. delay) fn);
+        (fun ~delay fn ->
+          Timer_wheel.schedule timers ~at:(now_rel () +. delay) fn);
       subscribe = (fun ~proto handler -> Hashtbl.replace subs proto handler);
       set_restart_handler = (fun fn -> restart_handler := fn);
       trace = Some trace;
@@ -178,6 +402,45 @@ let run ?trace_path cfg =
       ~neighbors:(Lo_net.Topology.neighbors topology id)
       ~behavior:Node.Honest
   in
+
+  (* --- restart restoration ---
+     Before any traffic: rebuild the commitment log from this node's
+     own durable trace (crash amnesia would otherwise make the fresh
+     log's digests conflict with the pre-crash history still held by
+     peers — indistinguishable from equivocation), close the spans the
+     previous incarnation left open, and re-arm its standing suspicions
+     so the reconciler's restart path re-probes and withdraws them. *)
+  if incarnation > 0 then begin
+    match Resume.scan ~node:id resume_from with
+    | Error msg ->
+        failwith (Printf.sprintf "lo serve %d: resume failed: %s" id msg)
+    | Ok r ->
+        let log = Node.commitment_log node in
+        List.iter
+          (fun ids ->
+            match Commitment.Log.append log ~source:None ~ids with
+            | Some _ -> ()
+            | None ->
+                failwith
+                  (Printf.sprintf "lo serve %d: resume lost a bundle" id))
+          r.Resume.bundles;
+        if Commitment.Log.seq log <> r.Resume.last_seq then
+          failwith
+            (Printf.sprintf "lo serve %d: resume seq mismatch (%d <> %d)" id
+               (Commitment.Log.seq log) r.Resume.last_seq);
+        List.iter
+          (fun key ->
+            emit (Lo_obs.Event.Span_end { node = id; key; ok = false }))
+          r.Resume.open_spans;
+        let acc = Node.accountability node in
+        List.iter
+          (fun peer ->
+            if peer >= 0 && peer < n && peer <> id then
+              Accountability.suspect acc
+                ~peer:(Directory.id_of directory peer)
+                ~now:(now_rel ()) ~reason:"restored after restart")
+          r.Resume.suspects
+  end;
 
   let dispatch ~from ~tag payload =
     emit
@@ -206,20 +469,31 @@ let run ?trace_path cfg =
       incr unknown;
       emit
         (Lo_obs.Event.Unknown_tag
-           { node = id; src = f.src; tag = Printf.sprintf "v%d:%s" f.version f.tag })
+           {
+             node = id;
+             src = f.src;
+             tag = Printf.sprintf "v%d:%s" f.version f.tag;
+           })
     end
     else dispatch ~from:f.src ~tag:f.tag f.payload
   in
 
-  (* --- workload: the simulator's generator, filtered to this node --- *)
+  (* --- workload: the simulator's generator, filtered to this node ---
+     A respawned incarnation re-derives the same spec list and skips
+     everything scheduled before its rebirth: those submissions are
+     simply lost with the crash, as they should be. *)
   let wl_rng = Rng.create ((seed * 97) + 13) in
   let wl_config =
     { Lo_workload.Tx_gen.default_config with rate = tps; duration }
   in
   let specs = Lo_workload.Tx_gen.generate wl_rng wl_config ~num_nodes:n in
+  let workload_from = if incarnation = 0 then Float.neg_infinity else now_rel () in
   List.iter
     (fun spec ->
-      if spec.Lo_workload.Tx_gen.origin mod n = id then begin
+      if
+        spec.Lo_workload.Tx_gen.origin mod n = id
+        && spec.Lo_workload.Tx_gen.created_at >= workload_from
+      then begin
         let tx =
           Tx.create ~signer:client ~fee:spec.Lo_workload.Tx_gen.fee
             ~created_at:spec.Lo_workload.Tx_gen.created_at
@@ -232,14 +506,18 @@ let run ?trace_path cfg =
       end)
     specs;
 
-  (* --- startup barrier --- *)
-  connect_all ();
-  let wait = epoch -. Clock.now_s () in
-  if wait > 0. then Clock.sleep wait;
-  Node.start node;
-  last_activity := now_rel ();
-
-  (* --- event loop --- *)
+  (* --- event loop ---
+     One unified loop from process birth: connections are attempted
+     and accepted before the epoch (no blocking barrier — a respawned
+     node joins a cluster that is already past it), the protocol starts
+     the first time the loop observes relative time >= 0, and quiesce/
+     drain behave as before. Within an iteration the order is
+       timers -> local deliveries -> link upkeep -> WAL flush ->
+       select -> writes -> reads
+     so every byte that leaves the process was preceded by a durable
+     trace record of its Send (flush before writes), and frames queued
+     by this iteration's reads drain no earlier than the next
+     iteration's writes — after their events are flushed too. *)
   let read_buf = Bytes.create 65536 in
   let decoders : (Unix.file_descr, Frame.Decoder.t) Hashtbl.t =
     Hashtbl.create 16
@@ -250,14 +528,27 @@ let run ?trace_path cfg =
     Hashtbl.remove decoders fd;
     incoming := List.filter (fun f -> f != fd) !incoming
   in
+  let started = ref false in
   let running = ref true in
+  let queues_empty () =
+    Array.for_all (fun l -> Queue.is_empty l.queue) links
+  in
   while !running do
     let now = now_rel () in
+    if (not !started) && now >= 0. then begin
+      started := true;
+      Node.start node;
+      if incarnation > 0 then begin
+        emit (Lo_obs.Event.Restart { node = id });
+        !restart_handler ()
+      end;
+      last_activity := now_rel ()
+    end;
     if now >= duration +. drain then running := false
     else if
       now >= duration
       && now -. !last_activity >= quiet_exit
-      && Queue.is_empty local
+      && Queue.is_empty local && queues_empty ()
     then running := false
     else begin
       (* Quiesce at [duration]: frozen timers stop new rounds, retries
@@ -268,6 +559,43 @@ let run ?trace_path cfg =
         last_activity := now_rel ();
         dispatch ~from:id ~tag payload
       done;
+      (* Link upkeep: abandon stuck connects, tear down half-open
+         connections (progress stalled with bytes queued), start
+         reconnects whose backoff clock has expired. *)
+      Array.iter
+        (fun l ->
+          if l.peer <> id then begin
+            (match l.fd with
+            | Some _ when (not l.up) && now -. l.last_progress > connect_timeout
+              ->
+                link_down l ~reason:"connect-timeout"
+            | Some _
+              when l.up
+                   && (not (Queue.is_empty l.queue))
+                   && now -. l.last_progress > stall_timeout ->
+                link_down l ~reason:"stalled"
+            | _ -> ());
+            if l.fd = None && Reconnect.ready l.backoff ~now then
+              link_start_connect l
+          end)
+        links;
+      wal_flush ();
+      let reads =
+        listener :: !incoming
+        @ Array.fold_left
+            (fun acc l ->
+              match link_fd_up l with Some fd -> fd :: acc | None -> acc)
+            [] links
+      in
+      let writes =
+        Array.fold_left
+          (fun acc l ->
+            match l.fd with
+            | Some fd when (not l.up) || not (Queue.is_empty l.queue) ->
+                fd :: acc
+            | _ -> acc)
+          [] links
+      in
       let timeout =
         let cap = 0.05 in
         if now >= duration then cap
@@ -276,54 +604,147 @@ let run ?trace_path cfg =
           | Some t -> Float.max 0.001 (Float.min cap (t -. now_rel ()))
           | None -> cap
       in
-      match Unix.select (listener :: !incoming) [] [] timeout with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | readable, _, _ ->
-          List.iter
-            (fun fd ->
-              if fd == listener then begin
-                let c, _ = Unix.accept listener in
-                (try Unix.setsockopt c Unix.TCP_NODELAY true
-                 with Unix.Unix_error _ -> ());
-                Hashtbl.replace decoders c (Frame.Decoder.create ());
-                incoming := c :: !incoming
-              end
-              else
-                match Unix.read fd read_buf 0 (Bytes.length read_buf) with
-                | 0 -> drop_incoming fd
-                | k -> (
-                    let dec = Hashtbl.find decoders fd in
-                    Frame.Decoder.feed dec (Bytes.sub_string read_buf 0 k);
-                    try
-                      let continue = ref true in
-                      while !continue do
-                        match Frame.Decoder.next dec with
-                        | Some f -> handle_frame f
-                        | None -> continue := false
-                      done
-                    with Lo_codec.Reader.Malformed _ -> drop_incoming fd)
+      let readable, writable, _ = Retry.select reads writes [] timeout in
+      (* Writes first: everything written here was charged in a
+         previous iteration and is already durable. *)
+      List.iter
+        (fun fd ->
+          match
+            Array.find_opt (fun l -> l.fd = Some fd && l.peer <> id) links
+          with
+          | None -> ()
+          | Some l ->
+              if not l.up then link_finish_connect l;
+              if l.up then begin
+                let continue = ref true in
+                while !continue && not (Queue.is_empty l.queue) do
+                  match Queue.peek l.queue with
+                  | Cut ->
+                      ignore (Queue.pop l.queue);
+                      (* Graceful FIN: frames written before the cut are
+                         delivered; the peer sees EOF mid-frame and
+                         discards the partial tail. *)
+                      link_down l ~reason:"cut";
+                      continue := false
+                  | Data e -> (
+                      let len = String.length e.bytes in
+                      match
+                        Retry.write fd
+                          (Bytes.unsafe_of_string e.bytes)
+                          e.off (len - e.off)
+                      with
+                      | 0 ->
+                          link_down l ~reason:"eof";
+                          continue := false
+                      | k ->
+                          e.off <- e.off + k;
+                          l.queued_bytes <- l.queued_bytes - k;
+                          l.last_progress <- now_rel ();
+                          if e.off = len then begin
+                            ignore (Queue.pop l.queue);
+                            if not e.accounted then incr frames_out;
+                            last_activity := now_rel ()
+                          end
+                          else continue := false
+                      | exception
+                          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                        ->
+                          continue := false
+                      | exception Unix.Unix_error _ ->
+                          link_down l ~reason:"reset";
+                          continue := false)
+                done
+              end)
+        writable;
+      List.iter
+        (fun fd ->
+          if fd == listener then begin
+            let continue = ref true in
+            while !continue do
+              match Retry.accept listener with
+              | c, _ ->
+                  (try Unix.setsockopt c Unix.TCP_NODELAY true
+                   with Unix.Unix_error _ -> ());
+                  Hashtbl.replace decoders c (Frame.Decoder.create ());
+                  incoming := c :: !incoming
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  continue := false
+              | exception Unix.Unix_error _ -> continue := false
+            done
+          end
+          else if Hashtbl.mem decoders fd then begin
+            match Retry.read fd read_buf 0 (Bytes.length read_buf) with
+            | 0 -> drop_incoming fd
+            | k -> (
+                let dec = Hashtbl.find decoders fd in
+                Frame.Decoder.feed dec (Bytes.sub_string read_buf 0 k);
+                try
+                  let continue = ref true in
+                  while !continue do
+                    match Frame.Decoder.next dec with
+                    | Some f -> handle_frame f
+                    | None -> continue := false
+                  done
+                with Lo_codec.Reader.Malformed _ -> drop_incoming fd)
+            | exception
+                Unix.Unix_error
+                  ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+                drop_incoming fd
+          end
+          else begin
+            (* Readability on an outgoing connection: the peer never
+               sends data on it, so this is either EOF (peer died or
+               cut us — half-open detection) or junk to discard. *)
+            match
+              Array.find_opt (fun l -> link_fd_up l = Some fd) links
+            with
+            | None -> ()
+            | Some l -> (
+                match Retry.read fd read_buf 0 1024 with
+                | 0 -> link_down l ~reason:"eof"
+                | _ -> ()
                 | exception
-                    Unix.Unix_error
-                      ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
-                    drop_incoming fd)
-            readable
+                    Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                    ()
+                | exception Unix.Unix_error _ -> link_down l ~reason:"reset")
+          end)
+        readable
     end
   done;
 
   (* --- shutdown --- *)
+  Array.iter
+    (fun l ->
+      if l.peer <> id then begin
+        Queue.iter
+          (function
+            | Data e when not e.accounted ->
+                emit
+                  (Lo_obs.Event.Drop
+                     {
+                       src = id;
+                       dst = l.peer;
+                       tag = e.tag;
+                       bytes = e.pbytes;
+                       reason =
+                         (if e.off > 0 then Lo_obs.Event.Down
+                          else Lo_obs.Event.In_flight);
+                     })
+            | Data _ | Cut -> ())
+          l.queue;
+        match l.fd with Some fd -> close_quietly fd | None -> ()
+      end)
+    links;
   List.iter close_quietly !incoming;
-  Array.iter (function Some fd -> close_quietly fd | None -> ()) conns;
   close_quietly listener;
-  (match trace_path with
-  | Some path ->
-      let oc = open_out path in
-      Lo_obs.Jsonl.output oc trace;
-      close_out oc
-  | None -> ());
+  wal_flush ();
+  (match wal_oc with Some oc -> close_out oc | None -> ());
   {
     submitted = !submitted;
     frames_out = !frames_out;
     frames_in = !frames_in;
     unknown = !unknown;
     trace_events = Lo_obs.Trace.total trace;
+    reconnects = !reconnects;
   }

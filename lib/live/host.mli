@@ -10,19 +10,41 @@
     the traces of independently started processes merge into one
     audit-ready stream. Phases of a run:
 
-    + bind + listen, then connect to every peer (retrying until
-      [epoch]; peers are still starting up);
-    + at [epoch]: start the node, schedule the workload (the same
-      deterministic generator as the simulator — every process derives
-      the full spec list from [seed] and submits the subset whose
-      origin maps to it);
-    + until [duration]: full protocol — timers fire, messages flow;
+    + from process birth: bind + listen, and keep per-peer outgoing
+      connections alive from one unified select loop — non-blocking
+      connects, exponential-backoff reconnects with seeded jitter
+      ({!Reconnect}), bounded per-peer write queues, half-open
+      detection. There is no startup barrier: a respawned node joins a
+      cluster that is already past its epoch;
+    + the first time the loop sees relative time >= 0: start the node,
+      schedule the workload (the same deterministic generator as the
+      simulator — every process derives the full spec list from [seed]
+      and submits the subset whose origin maps to it). An incarnation
+      > 0 first restores its pre-crash state (below), emits [Restart]
+      and fires the transport restart handler so [Node.handle_restart]
+      re-announces its head and re-requests its peers';
+    + until [duration]: full protocol — timers fire, messages flow,
+      and when [faults] is non-trivial every outgoing frame passes
+      through {!Faulty_link.decide};
     + from [duration] (quiesce): timers freeze, so no new rounds or
-      submissions start, but the loop keeps reading and responding
-      until the message cascade settles ([quiet_exit] of silence) or
-      [duration + drain] hard-caps the run. This lets in-flight sends
-      reach their Deliver events so the merged trace satisfies the
-      auditor's bandwidth-conservation invariant. *)
+      submissions start, but the loop keeps reading, writing and
+      responding until the message cascade settles ([quiet_exit] of
+      silence with empty write queues) or [duration + drain] hard-caps
+      the run.
+
+    {b Crash safety (the write-ahead trace).} With a [trace_path], the
+    host streams every trace event to the file the loop iteration it is
+    emitted, and always flushes *before* draining socket write queues.
+    So when a chaos supervisor SIGKILLs the process mid-run: (a) any
+    frame that reached a peer has its [Send] on disk — per-tag
+    bandwidth deficits of a killed node are strictly positive and the
+    supervisor can close them with synthetic crash drops; and (b) the
+    durable trace is a faithful prefix of the node's observable
+    history, which is what makes restart safe for accountability. A
+    respawned incarnation replays its own [Commit_append] events to
+    rebuild the exact commitment log ({!Resume}) — never re-signing a
+    conflicting digest history — closes its orphaned spans, and re-arms
+    its standing suspicions for the reconciler to resolve. *)
 
 type config = {
   id : int;
@@ -34,6 +56,12 @@ type config = {
   drain : float;  (** hard cap on the settle period after quiesce *)
   epoch : float;  (** absolute wall-clock zero shared by the cluster *)
   trace_capacity : int;
+  incarnation : int;
+      (** 0 for a first life; > 0 for a respawn after a crash *)
+  resume_from : string list;
+      (** trace files of this node's prior incarnations, in order;
+          required when [incarnation > 0] *)
+  faults : Faulty_link.spec;  (** {!Faulty_link.none} for a clean wire *)
 }
 
 val default_drain : float
@@ -48,6 +76,9 @@ val config :
   ?duration:float ->
   ?drain:float ->
   ?trace_capacity:int ->
+  ?incarnation:int ->
+  ?resume_from:string list ->
+  ?faults:Faulty_link.spec ->
   epoch:float ->
   unit ->
   config
@@ -56,13 +87,16 @@ val default_base_port : int
 
 type stats = {
   submitted : int;  (** transactions injected at this node *)
-  frames_out : int;  (** frames written to peers *)
+  frames_out : int;  (** frames fully written to peers *)
   frames_in : int;  (** frames read and dispatched *)
   unknown : int;  (** deliveries with no subscribed proto (counted, traced) *)
   trace_events : int;
+  reconnects : int;
+      (** connections re-established after having been up once *)
 }
 
 val run : ?trace_path:string -> config -> stats
-(** Run one node to completion. Writes the node's full event trace as
-    JSONL to [trace_path] when given. Raises [Failure] if a peer stays
-    unreachable past the epoch. *)
+(** Run one node to completion. Writes the node's event trace as
+    streaming JSONL to [trace_path] when given (flushed ahead of socket
+    writes — see the crash-safety contract above). Raises [Failure] if
+    resuming from an unreadable or gapped prior trace. *)

@@ -1,0 +1,81 @@
+module Event = Lo_obs.Event
+
+type t = {
+  bundles : int list list;
+  last_seq : int;
+  open_spans : string list;
+  suspects : int list;
+  events : int;
+  truncated_lines : int;
+}
+
+let parse_lenient ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text ->
+      let lines = String.split_on_char '\n' text in
+      let blank l = String.equal (String.trim l) "" in
+      let rec go acc lineno = function
+        | [] -> Ok (List.rev acc, 0)
+        | l :: rest ->
+            if blank l then go acc (lineno + 1) rest
+            else begin
+              match Lo_obs.Jsonl.parse_line l with
+              | Ok e -> go (e :: acc) (lineno + 1) rest
+              | Error msg ->
+                  if List.for_all blank rest then Ok (List.rev acc, 1)
+                  else Error (Printf.sprintf "%s: line %d: %s" path lineno msg)
+            end
+      in
+      go [] 1 lines
+
+let scan ~node paths =
+  let bundles = ref [] in
+  let last_seq = ref 0 in
+  let spans : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let suspects : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let events = ref 0 in
+  let truncated = ref 0 in
+  let step (e : Lo_obs.Trace.entry) =
+    incr events;
+    match e.ev with
+    | Event.Commit_append { node = n; seq; ids; _ } when n = node ->
+        if seq <> !last_seq + 1 then
+          failwith
+            (Printf.sprintf "commit gap: bundle %d after head %d" seq !last_seq);
+        bundles := ids :: !bundles;
+        last_seq := seq
+    | Event.Span_begin { node = n; key } when n = node ->
+        Hashtbl.replace spans key ()
+    | Event.Span_end { node = n; key; _ } when n = node ->
+        Hashtbl.remove spans key
+    | Event.Suspect { node = n; peer } when n = node && peer >= 0 ->
+        Hashtbl.replace suspects peer ()
+    | Event.Clear { node = n; peer } when n = node -> Hashtbl.remove suspects peer
+    | Event.Expose { node = n; peer } when n = node ->
+        Hashtbl.remove suspects peer
+    | _ -> ()
+  in
+  try
+    List.iter
+      (fun path ->
+        match parse_lenient ~path with
+        | Error msg -> failwith msg
+        | Ok (entries, cut) ->
+            truncated := !truncated + cut;
+            List.iter step entries)
+      paths;
+    Ok
+      {
+        bundles = List.rev !bundles;
+        last_seq = !last_seq;
+        open_spans =
+          Hashtbl.fold (fun k () acc -> k :: acc) spans []
+          |> List.sort String.compare;
+        suspects =
+          Hashtbl.fold (fun p () acc -> p :: acc) suspects []
+          |> List.sort Int.compare;
+        events = !events;
+        truncated_lines = !truncated;
+      }
+  with Failure msg -> Error msg

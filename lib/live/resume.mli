@@ -1,0 +1,44 @@
+(** Rebuilding a host's protocol state from its own prior trace files.
+
+    The live host streams every trace event to disk as a write-ahead
+    log *before* the bytes that caused it can leave the process (see
+    {!Host.run}), so after a SIGKILL the node's durable trace is a
+    faithful prefix of what the rest of the cluster observed from it.
+    That makes restart safe for accountability: a respawned node that
+    re-appended transactions to a fresh commitment log would sign a
+    second, conflicting digest history for the same sequence numbers —
+    crash amnesia would be indistinguishable from equivocation and the
+    honest node would be exposed. Instead the new incarnation replays
+    its own [Commit_append] events to rebuild the exact log, closes the
+    spans its previous life left open, and re-arms its standing
+    suspicions so the reconciler's restart path can resolve them. *)
+
+type t = {
+  bundles : int list list;
+      (** short-id bundles in append order; replaying them through
+          [Commitment.Log.append] reproduces the pre-crash log *)
+  last_seq : int;  (** head bundle seq after replay; 0 if none *)
+  open_spans : string list;
+      (** span keys begun but never ended, sorted; the new incarnation
+          must emit [Span_end ~ok:false] for each *)
+  suspects : int list;
+      (** peers this node suspected and never cleared or exposed,
+          sorted *)
+  events : int;  (** total events scanned across all files *)
+  truncated_lines : int;
+      (** partial trailing lines discarded (at most one per file — the
+          line the SIGKILL interrupted) *)
+}
+
+val parse_lenient :
+  path:string -> (Lo_obs.Trace.entry list * int, string) result
+(** Parse a JSONL trace file, tolerating one partial trailing line
+    (returned count), which is exactly what a kill mid-append leaves.
+    A parse failure anywhere else is real corruption and an [Error]. *)
+
+val scan : node:int -> string list -> (t, string) result
+(** Fold the trace files of [node]'s prior incarnations, in
+    chronological order, into the restoration state. Fails if a file is
+    unreadable, corrupt beyond its trailing line, or the commit
+    sequence has a gap (a WAL that lost a bundle must not be resumed —
+    re-appending would equivocate). *)

@@ -27,6 +27,8 @@ type t =
     }
   | Crash of { node : int }
   | Restart of { node : int }
+  | Conn_down of { node : int; peer : int; reason : string }
+  | Conn_up of { node : int; peer : int; attempts : int }
   | Unknown_tag of { node : int; src : int; tag : string }
 
 let kind = function
@@ -43,6 +45,8 @@ let kind = function
   | Block_accept _ -> "block"
   | Crash _ -> "crash"
   | Restart _ -> "restart"
+  | Conn_down _ -> "conn_down"
+  | Conn_up _ -> "conn_up"
   | Unknown_tag _ -> "unknown_tag"
 
 let drop_reason_label = function

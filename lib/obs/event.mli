@@ -53,6 +53,13 @@ type t =
     }
   | Crash of { node : int }
   | Restart of { node : int }
+  | Conn_down of { node : int; peer : int; reason : string }
+      (** a live transport lost its established connection to [peer]
+          ([reason] e.g. ["eof"], ["reset"], ["stalled"], ["cut"]);
+          informational — bandwidth accounting happens via [Drop] *)
+  | Conn_up of { node : int; peer : int; attempts : int }
+      (** a live transport (re)established its connection to [peer]
+          after [attempts] connect attempts *)
   | Unknown_tag of { node : int; src : int; tag : string }
       (** [node] received a message whose tag belongs to no subscribed
           protocol (e.g. a peer speaking a newer protocol version);

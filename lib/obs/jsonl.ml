@@ -80,6 +80,14 @@ let line { Trace.at; ev } =
       ints "omitted" omitted;
       int "appendix" appendix
   | Event.Crash { node } | Event.Restart { node } -> int "node" node
+  | Event.Conn_down { node; peer; reason } ->
+      int "node" node;
+      int "peer" peer;
+      str "reason" reason
+  | Event.Conn_up { node; peer; attempts } ->
+      int "node" node;
+      int "peer" peer;
+      int "attempts" attempts
   | Event.Unknown_tag { node; src; tag } ->
       int "node" node;
       int "src" src;
@@ -255,6 +263,12 @@ let parse_line s =
             }
       | "crash" -> Event.Crash { node = int "node" }
       | "restart" -> Event.Restart { node = int "node" }
+      | "conn_down" ->
+          Event.Conn_down
+            { node = int "node"; peer = int "peer"; reason = str "reason" }
+      | "conn_up" ->
+          Event.Conn_up
+            { node = int "node"; peer = int "peer"; attempts = int "attempts" }
       | "unknown_tag" ->
           Event.Unknown_tag
             { node = int "node"; src = int "src"; tag = str "tag" }

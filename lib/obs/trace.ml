@@ -50,6 +50,7 @@ type t = {
   mutable open_count : int;
   mutable span_errors : int;
   mutable phases_rev : (string * float) list;
+  mutable observer : (entry -> unit) option;
 }
 
 let dummy = { at = 0.; ev = Event.Crash { node = -1 } }
@@ -70,7 +71,10 @@ let create ?(capacity = 1_048_576) () =
     open_count = 0;
     span_errors = 0;
     phases_rev = [];
+    observer = None;
   }
+
+let set_observer t obs = t.observer <- obs
 
 let capacity t = t.cap
 let length t = t.len
@@ -156,19 +160,22 @@ let account t (ev : Event.t) =
     end
   | Event.Commit_append _ | Event.Suspect _ | Event.Clear _ | Event.Expose _
   | Event.Violation _ | Event.Block_accept _ | Event.Crash _
-  | Event.Restart _ | Event.Unknown_tag _ ->
+  | Event.Restart _ | Event.Conn_down _ | Event.Conn_up _
+  | Event.Unknown_tag _ ->
       ()
 
 let emit t ~at ev =
   account t ev;
+  let entry = { at; ev } in
   let slot = (t.start + t.len) mod t.cap in
-  t.buf.(slot) <- { at; ev };
+  t.buf.(slot) <- entry;
   if t.len < t.cap then t.len <- t.len + 1
   else begin
     t.start <- (t.start + 1) mod t.cap;
     t.evicted <- t.evicted + 1
   end;
-  if at > t.last_at then t.last_at <- at
+  if at > t.last_at then t.last_at <- at;
+  match t.observer with Some f -> f entry | None -> ()
 
 let events t =
   List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))

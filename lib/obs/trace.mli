@@ -45,6 +45,14 @@ val capacity : t -> int
 
 val emit : t -> at:float -> Event.t -> unit
 
+val set_observer : t -> (entry -> unit) option -> unit
+(** Install (or clear) a callback invoked synchronously from {!emit}
+    with every entry, after it is accounted and stored. This is how the
+    live backend streams a durable write-ahead trace: the ring alone
+    can evict under pressure, while the observer sees every event
+    exactly once in emission order. The observer must not emit into the
+    same trace. *)
+
 val length : t -> int
 (** Entries currently retained. *)
 

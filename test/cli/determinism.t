@@ -16,3 +16,11 @@ read is a determinism leak.
 
   $ grep -rnE '\bUnix\.|\bgettimeofday\b|Sys\.time\b' --include='*.ml' --include='*.mli' ../../lib ../../bin \
   >   | grep -v 'lib/live/' | sort
+
+And within lib/live itself the wall clock stays behind one chokepoint:
+Clock is the only module that may read the host's time (or sleep on
+it). Everything else takes `now` as an argument or calls Clock, so the
+reconnect/backoff and chaos logic stays testable with synthetic clocks.
+
+  $ grep -rnE '\bgettimeofday\b|\bUnix\.time\b|\bUnix\.sleepf?\b|Sys\.time\b' --include='*.ml' ../../lib/live \
+  >   | grep -v 'lib/live/clock\.ml' | sort

@@ -234,8 +234,425 @@ let mux_tests =
         check_int "traced" 2 (occurrences "\"ev\":\"unknown_tag\"" dump));
   ]
 
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+module Reconnect = Lo_live.Reconnect
+module Faulty_link = Lo_live.Faulty_link
+module Resume = Lo_live.Resume
+module Rng = Lo_net.Rng
+
+let reconnect_tests =
+  let p = Reconnect.default_policy in
+  [
+    Alcotest.test_case "delay is bounded and grows to the cap" `Quick
+      (fun () ->
+        let rng = Rng.create 42 in
+        for attempts = 0 to 12 do
+          for _rep = 1 to 50 do
+            let d = Reconnect.delay p ~rng ~attempts in
+            let raw =
+              Float.min p.Reconnect.cap
+                (p.Reconnect.base
+                *. (p.Reconnect.factor ** float_of_int attempts))
+            in
+            check_bool "positive" true (d > 0.);
+            check_bool "within jitter band" true
+              (d >= raw *. (1. -. p.Reconnect.jitter) -. 1e-9
+              && d <= raw *. (1. +. p.Reconnect.jitter) +. 1e-9)
+          done
+        done;
+        (* Deep in the schedule the un-jittered delay must sit at the
+           cap: a long-dead peer costs a bounded probe rate. *)
+        let rng = Rng.create 7 in
+        let d = Reconnect.delay p ~rng ~attempts:40 in
+        check_bool "capped" true (d <= p.Reconnect.cap *. (1. +. p.Reconnect.jitter)));
+    Alcotest.test_case "same rng seed, same schedule" `Quick (fun () ->
+        let run seed =
+          let rng = Rng.create seed in
+          List.init 20 (fun attempts -> Reconnect.delay p ~rng ~attempts)
+        in
+        check_bool "deterministic" true (run 99 = run 99);
+        check_bool "seed-sensitive" true (run 99 <> run 100));
+    Alcotest.test_case "state machine: free first connect, armed retries"
+      `Quick (fun () ->
+        let rng = Rng.create 5 in
+        let r = Reconnect.create ~rng () in
+        check_bool "first connect is free" true (Reconnect.ready r ~now:0.);
+        Reconnect.failed r ~now:0.;
+        check_int "one failure" 1 (Reconnect.attempts r);
+        check_bool "not ready immediately" false (Reconnect.ready r ~now:0.);
+        let at1 = Reconnect.next_at r in
+        check_bool "armed in the future" true (at1 > 0.);
+        check_bool "ready at the deadline" true (Reconnect.ready r ~now:at1);
+        Reconnect.failed r ~now:at1;
+        Reconnect.failed r ~now:(Reconnect.next_at r);
+        check_int "failures accumulate" 3 (Reconnect.attempts r);
+        Reconnect.opened r;
+        check_int "opened resets" 0 (Reconnect.attempts r);
+        check_bool "ready again" true (Reconnect.ready r ~now:at1);
+        Reconnect.lost r ~now:10.;
+        (* A drop of an established connection re-arms at the base
+           delay: probe soon, but never busy-loop. *)
+        check_bool "lost arms a pause" false (Reconnect.ready r ~now:10.);
+        check_bool "lost pause is short" true
+          (Reconnect.next_at r -. 10.
+          <= p.Reconnect.base *. (1. +. p.Reconnect.jitter) +. 1e-9));
+  ]
+
+let faulty_link_tests =
+  [
+    Alcotest.test_case "none passes everything" `Quick (fun () ->
+        let rng = Rng.create 1 in
+        for len = 0 to 100 do
+          check_bool "pass" true
+            (Faulty_link.decide Faulty_link.none rng ~frame_len:len
+            = Faulty_link.Pass)
+        done);
+    Alcotest.test_case "rates act and parameters stay in range" `Quick
+      (fun () ->
+        let spec =
+          {
+            Faulty_link.drop = 0.2;
+            dup = 0.2;
+            delay = 0.2;
+            delay_max = 0.05;
+            truncate = 0.2;
+            garble = 0.2;
+          }
+        in
+        Faulty_link.validate spec;
+        let rng = Rng.create 77 in
+        let counts = Hashtbl.create 8 in
+        let bump k =
+          Hashtbl.replace counts k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+        in
+        for _ = 1 to 5_000 do
+          (match Faulty_link.decide spec rng ~frame_len:64 with
+          | Faulty_link.Pass -> bump "pass"
+          | Faulty_link.Drop -> bump "drop"
+          | Faulty_link.Duplicate -> bump "dup"
+          | Faulty_link.Delay d ->
+              check_bool "delay in (0, delay_max]" true
+                (d > 0. && d <= spec.Faulty_link.delay_max);
+              bump "delay"
+          | Faulty_link.Truncate k ->
+              check_bool "proper prefix" true (k >= 1 && k < 64);
+              bump "trunc"
+          | Faulty_link.Garble -> bump "garble")
+        done;
+        List.iter
+          (fun k ->
+            let c = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+            (* Each branch has rate 0.2 over 5000 draws; 600 is > 8
+               sigma below the mean — only a broken threshold stack
+               fails this. *)
+            check_bool (k ^ " frequency sane") true (c > 600))
+          [ "drop"; "dup"; "delay"; "trunc"; "garble" ]);
+    Alcotest.test_case "tiny frames never truncate" `Quick (fun () ->
+        let spec =
+          {
+            Faulty_link.drop = 0.;
+            dup = 0.;
+            delay = 0.;
+            delay_max = 1.;
+            truncate = 1.0;
+            garble = 0.;
+          }
+        in
+        let rng = Rng.create 3 in
+        check_bool "len 1 passes" true
+          (Faulty_link.decide spec rng ~frame_len:1 = Faulty_link.Pass);
+        check_bool "len 2 truncates" true
+          (match Faulty_link.decide spec rng ~frame_len:2 with
+          | Faulty_link.Truncate 1 -> true
+          | _ -> false));
+    Alcotest.test_case "same seed, same decision stream" `Quick (fun () ->
+        let spec =
+          { Faulty_link.none with drop = 0.1; dup = 0.1; garble = 0.1 }
+        in
+        let run seed =
+          let rng = Rng.create seed in
+          List.init 200 (fun i ->
+              Faulty_link.decide spec rng ~frame_len:(8 + i))
+        in
+        check_bool "deterministic" true (run 11 = run 11);
+        check_bool "seed-sensitive" true (run 11 <> run 12));
+    Alcotest.test_case "validate rejects nonsense specs" `Quick (fun () ->
+        let bad spec =
+          match Faulty_link.validate spec with
+          | exception Invalid_argument _ -> true
+          | () -> false
+        in
+        check_bool "negative rate" true
+          (bad { Faulty_link.none with drop = -0.1 });
+        check_bool "sum above one" true
+          (bad { Faulty_link.none with drop = 0.6; dup = 0.6 });
+        check_bool "delay without bound" true
+          (bad { Faulty_link.none with delay = 0.1; delay_max = 0. });
+        check_bool "default chaos link is valid" true
+          (match
+             Faulty_link.validate Lo_live.Cluster.default_chaos.Lo_live.Cluster.link
+           with
+          | () -> true
+          | exception _ -> false));
+  ]
+
+(* The decoder faces the open network (and the chaos wrapper's
+   truncations), so its contract is: any byte stream either yields
+   frames, stays pending, or raises [Reader.Malformed] — never any
+   other exception — and [reset] restores it to a working state. *)
+let decoder_fuzz_tests =
+  let feed_chunked dec s chunk_sizes =
+    let n = String.length s in
+    let off = ref 0 in
+    let sizes = ref chunk_sizes in
+    let frames = ref 0 in
+    let outcome = ref `Clean in
+    while !off < n && !outcome = `Clean do
+      let k =
+        match !sizes with
+        | [] -> n - !off
+        | s :: rest ->
+            sizes := rest;
+            min (max 1 s) (n - !off)
+      in
+      Frame.Decoder.feed dec (String.sub s !off k);
+      off := !off + k;
+      match
+        let rec drain () =
+          match Frame.Decoder.next dec with
+          | Some _ ->
+              incr frames;
+              drain ()
+          | None -> ()
+        in
+        drain ()
+      with
+      | () -> ()
+      | exception Lo_codec.Reader.Malformed _ -> outcome := `Malformed
+      | exception e -> outcome := `Other e
+    done;
+    (!outcome, !frames)
+  in
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(char_range '\000' '\255') (int_range 0 400))
+        (list_size (int_bound 20) (int_range 1 37)))
+  in
+  [
+    qtest ~count:500 "adversarial bytes never escape Malformed" gen
+      (fun (garbage, chunks) ->
+        let dec = Frame.Decoder.create () in
+        match feed_chunked dec garbage chunks with
+        | `Other e, _ ->
+            QCheck2.Test.fail_reportf "escaped exception: %s"
+              (Printexc.to_string e)
+        | (`Clean | `Malformed), _ -> true);
+    qtest ~count:300 "truncated valid streams stay pending, then reset resyncs"
+      QCheck2.Gen.(pair (int_range 0 11) (int_bound 1000))
+      (fun (msg_idx, cut_salt) ->
+        let msgs = all_messages () in
+        let m = List.nth msgs (msg_idx mod List.length msgs) in
+        let whole =
+          Frame.encode ~src:1 ~tag:(Messages.tag m) (Messages.encode m)
+        in
+        let cut = 1 + (cut_salt mod (String.length whole - 1)) in
+        let dec = Frame.Decoder.create () in
+        Frame.Decoder.feed dec (String.sub whole 0 cut);
+        let pending =
+          match Frame.Decoder.next dec with
+          | None -> true
+          | Some _ -> false
+          | exception Lo_codec.Reader.Malformed _ -> false
+          | exception e ->
+              QCheck2.Test.fail_reportf "escaped exception: %s"
+                (Printexc.to_string e)
+        in
+        (* A prefix of a valid frame is never an error: the decoder
+           must wait for the rest (chaos truncation closes the
+           connection; the stream never resumes mid-frame). *)
+        if not pending then
+          QCheck2.Test.fail_report "prefix rejected instead of pending";
+        (* After abandoning the half-frame, reset must yield a decoder
+           that handles a fresh stream. *)
+        Frame.Decoder.reset dec;
+        Frame.Decoder.feed dec whole;
+        (match Frame.Decoder.next dec with
+        | Some f -> f.Frame.tag = Messages.tag m
+        | None -> false));
+    Alcotest.test_case "reset recovers after a malformed stream" `Quick
+      (fun () ->
+        let dec = Frame.Decoder.create () in
+        let w = Lo_codec.Writer.create ~initial_size:4 () in
+        Lo_codec.Writer.u32 w (Frame.max_body + 1);
+        Frame.Decoder.feed dec (Lo_codec.Writer.contents w);
+        check_bool "malformed" true
+          (match Frame.Decoder.next dec with
+          | exception Lo_codec.Reader.Malformed _ -> true
+          | _ -> false);
+        Frame.Decoder.reset dec;
+        check_int "buffer cleared" 0 (Frame.Decoder.buffered dec);
+        let whole = Frame.encode ~src:2 ~tag:"lo:txs" "after-reset" in
+        Frame.Decoder.feed dec whole;
+        match Frame.Decoder.next dec with
+        | Some f -> check_string "decodes again" "lo:txs" f.Frame.tag
+        | None -> Alcotest.fail "decoder did not recover");
+  ]
+
+let write_lines path lines =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let resume_tests =
+  let line at ev = Lo_obs.Jsonl.line { Lo_obs.Trace.at; ev } in
+  [
+    Alcotest.test_case "a kill-torn trailing line is tolerated, corruption is not"
+      `Quick (fun () ->
+        let dir = Filename.temp_file "lo-resume" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let good = line 1.0 (Lo_obs.Event.Crash { node = 0 }) in
+        let p1 = Filename.concat dir "torn.jsonl" in
+        Out_channel.with_open_text p1 (fun oc ->
+            output_string oc (good ^ "\n");
+            (* SIGKILL mid-append: an unterminated prefix of a line. *)
+            output_string oc (String.sub good 0 (String.length good / 2)));
+        (match Resume.parse_lenient ~path:p1 with
+        | Ok (es, cut) ->
+            check_int "events kept" 1 (List.length es);
+            check_int "one torn line" 1 cut
+        | Error m -> Alcotest.fail m);
+        let p2 = Filename.concat dir "corrupt.jsonl" in
+        write_lines p2 [ good; "{ not json"; good ];
+        check_bool "mid-file corruption is an error" true
+          (match Resume.parse_lenient ~path:p2 with
+          | Error _ -> true
+          | Ok _ -> false));
+    Alcotest.test_case "scan rebuilds bundles, open spans and suspects"
+      `Quick (fun () ->
+        let dir = Filename.temp_file "lo-resume" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let p = Filename.concat dir "node-2.0.jsonl" in
+        write_lines p
+          [
+            line 0.1
+              (Lo_obs.Event.Commit_append
+                 { node = 2; seq = 1; count = 2; ids = [ 4; 9 ] });
+            line 0.2 (Lo_obs.Event.Span_begin { node = 2; key = "recon:5" });
+            line 0.3 (Lo_obs.Event.Span_begin { node = 2; key = "recon:1" });
+            line 0.35
+              (Lo_obs.Event.Span_end { node = 2; key = "recon:1"; ok = true });
+            line 0.4 (Lo_obs.Event.Suspect { node = 2; peer = 5 });
+            line 0.45 (Lo_obs.Event.Suspect { node = 2; peer = 6 });
+            line 0.5 (Lo_obs.Event.Clear { node = 2; peer = 6 });
+            line 0.6
+              (Lo_obs.Event.Commit_append
+                 { node = 2; seq = 2; count = 3; ids = [ 13 ] });
+            (* Another node's events must not leak into node 2's state. *)
+            line 0.7 (Lo_obs.Event.Suspect { node = 3; peer = 2 });
+          ];
+        (match Resume.scan ~node:2 [ p ] with
+        | Ok r ->
+            check_bool "bundles" true
+              (r.Resume.bundles = [ [ 4; 9 ]; [ 13 ] ]);
+            check_int "last seq" 2 r.Resume.last_seq;
+            check_bool "open spans" true (r.Resume.open_spans = [ "recon:5" ]);
+            check_bool "suspects" true (r.Resume.suspects = [ 5 ])
+        | Error m -> Alcotest.fail m);
+        (* A gapped WAL must refuse to resume: re-appending over a lost
+           bundle would re-sign history, i.e. equivocate. *)
+        let pg = Filename.concat dir "gap.jsonl" in
+        write_lines pg
+          [
+            line 0.1
+              (Lo_obs.Event.Commit_append
+                 { node = 2; seq = 1; count = 1; ids = [ 4 ] });
+            line 0.2
+              (Lo_obs.Event.Commit_append
+                 { node = 2; seq = 3; count = 2; ids = [ 5 ] });
+          ];
+        check_bool "commit gap refused" true
+          (match Resume.scan ~node:2 [ pg ] with
+          | Error _ -> true
+          | Ok _ -> false));
+  ]
+
+(* End-to-end chaos: real forks, real SIGKILLs, real sockets. Small
+   clusters and short runs keep the suite fast; the audit over the
+   merged per-incarnation stream is the actual assertion. *)
+let cluster_tests =
+  let tmp_dir tag =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lo-test-%s-%d" tag (Unix.getpid ()))
+    in
+    if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+    d
+  in
+  [
+    Alcotest.test_case "duplicated frames are absorbed by protocol idempotency"
+      `Slow (fun () ->
+        let chaos =
+          {
+            Lo_live.Cluster.default_chaos with
+            kills = 0;
+            link = { Lo_live.Faulty_link.none with dup = 0.4 };
+          }
+        in
+        let r =
+          Lo_live.Cluster.run ~out_dir:(tmp_dir "dup") ~base_port:7801
+            ~chaos ~n:3 ~tps:30. ~duration:2.5 ~seed:5 ()
+        in
+        if not (Lo_live.Cluster.ok r) then
+          Alcotest.fail (Lo_live.Cluster.summary r);
+        check_int "no kills" 0 (List.length r.Lo_live.Cluster.induced_kills);
+        check_int "no restarts" 0 r.Lo_live.Cluster.restarts;
+        check_bool "traffic flowed" true (r.Lo_live.Cluster.frames > 0));
+    Alcotest.test_case
+      "kill and respawn leaves an audit-clean merged trace (two seeds)"
+      `Slow (fun () ->
+        List.iteri
+          (fun i seed ->
+            let chaos =
+              {
+                Lo_live.Cluster.default_chaos with
+                kills = 1;
+                mean_down = 0.8;
+                link = Lo_live.Faulty_link.none;
+              }
+            in
+            let r =
+              Lo_live.Cluster.run
+                ~out_dir:(tmp_dir (Printf.sprintf "kill-%d" seed))
+                ~base_port:(7841 + (40 * i))
+                ~chaos ~n:4 ~tps:24. ~duration:3.0 ~seed ()
+            in
+            if not (Lo_live.Cluster.ok r) then
+              Alcotest.fail (Lo_live.Cluster.summary r);
+            check_int "one induced kill" 1
+              (List.length r.Lo_live.Cluster.induced_kills);
+            check_bool "victim restarted" true
+              (r.Lo_live.Cluster.restarts >= 1);
+            check_bool "peers reconnected" true
+              (r.Lo_live.Cluster.reconnects > 0);
+            check_int "no honest exposure" 0 r.Lo_live.Cluster.exposures)
+          [ 3; 11 ]);
+  ]
+
 let () =
   Alcotest.run "lo_live"
     [
-      ("frame", frame_tests); ("timer_wheel", timer_tests); ("mux", mux_tests);
+      ("frame", frame_tests);
+      ("timer_wheel", timer_tests);
+      ("mux", mux_tests);
+      ("reconnect", reconnect_tests);
+      ("faulty_link", faulty_link_tests);
+      ("decoder_fuzz", decoder_fuzz_tests);
+      ("resume", resume_tests);
+      ("cluster_chaos", cluster_tests);
     ]

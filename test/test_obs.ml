@@ -131,6 +131,8 @@ let all_constructors =
          });
     e 4.5 (Event.Crash { node = 6 });
     e 4.75 (Event.Restart { node = 6 });
+    e 4.8 (Event.Conn_down { node = 2; peer = 6; reason = "reset" });
+    e 4.9 (Event.Conn_up { node = 2; peer = 6; attempts = 3 });
   ]
 
 let jsonl_tests =

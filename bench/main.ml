@@ -434,6 +434,65 @@ let run_experiments () =
   List.rev !timings
 
 (* ----------------------------------------------------------------- *)
+(* Paper-scale rows (Scale.sweep)                                      *)
+(* ----------------------------------------------------------------- *)
+
+(* The 2,000-node sweep runs in every mode — including bench-smoke — as
+   the regression gate for the scale work: hard ceilings on wall clock
+   and peak RSS, generous enough (~3x the 1-core reference machine) to
+   stay quiet across hardware but tight enough to catch the failure
+   modes they defend against (calendar queue degenerating to a scan,
+   interner/dedup-set leaks, trace-ring mis-sizing). The 10,000-node
+   pair is measurement-only and runs with the full benchmarks.
+
+   These rows run FIRST in the process: peak RSS comes from VmHWM, a
+   process-wide high-water mark that cannot be reset (clear_refs is a
+   no-op in some containers), so running the sweeps before the
+   experiment layer is what keeps the reading — and the ceiling check —
+   about the sweeps rather than about whatever allocated most before
+   them. *)
+let scale_2k_wall_budget_ms = 120_000.
+let scale_2k_rss_budget_mb = 2048.
+
+let run_scale () =
+  let row ~n =
+    let r = Lo_sim.Scale.sweep ~n ~seed:1 () in
+    let wall_ms = r.Lo_sim.Scale.wall_s *. 1000. in
+    let rss_mb = Option.value r.Lo_sim.Scale.peak_rss_mb ~default:0. in
+    Printf.printf
+      "scale n=%d: %d events, %d detections, wall %.0f ms, peak rss %.0f MB\n%!"
+      n r.Lo_sim.Scale.events r.Lo_sim.Scale.detections wall_ms rss_mb;
+    if not (Lo_sim.Scale.ok r) then begin
+      List.iter
+        (fun f -> Printf.eprintf "scale n=%d FAILURE: %s\n" n f)
+        r.Lo_sim.Scale.failures;
+      Printf.eprintf "scale n=%d: audit failed (%d honest exposures)\n" n
+        r.Lo_sim.Scale.honest_exposures;
+      exit 1
+    end;
+    (wall_ms, rss_mb)
+  in
+  Printf.printf "\n== scale sweeps ==\n%!";
+  let wall_2k, rss_2k = row ~n:2000 in
+  if wall_2k > scale_2k_wall_budget_ms then begin
+    Printf.eprintf "scale n=2000: wall %.0f ms exceeds budget %.0f ms\n" wall_2k
+      scale_2k_wall_budget_ms;
+    exit 1
+  end;
+  if rss_2k > scale_2k_rss_budget_mb then begin
+    Printf.eprintf "scale n=2000: peak rss %.0f MB exceeds budget %.0f MB\n"
+      rss_2k scale_2k_rss_budget_mb;
+    exit 1
+  end;
+  [ ("fig6-2k-wall-ms", wall_2k); ("fig6-2k-peak-rss-mb", rss_2k) ]
+  @
+  if smoke then []
+  else begin
+    let wall_10k, rss_10k = row ~n:10_000 in
+    [ ("fig6-10k-wall-ms", wall_10k); ("fig6-10k-peak-rss-mb", rss_10k) ]
+  end
+
+(* ----------------------------------------------------------------- *)
 (* BENCH_results.json                                                  *)
 (* ----------------------------------------------------------------- *)
 
@@ -678,8 +737,13 @@ let () =
   let out =
     Option.value (Sys.getenv_opt "LO_BENCH_OUT") ~default:"BENCH_results.json"
   in
+  (* Scale rows run in every mode — and first, see run_scale —
+     bench-smoke is the gate that fails on a wall/RSS regression at 2k
+     nodes. *)
+  let scale_rows = run_scale () in
   let micro = if not sim_only then run_micro () else [] in
   let sim = if not micro_only then run_experiments () else [] in
+  let sim = sim @ scale_rows in
   let speedups = compute_speedups micro in
   let oc = open_out out in
   output_string oc (results_to_json ~micro ~sim ~speedups);

@@ -327,6 +327,105 @@ let run_cluster n tps duration seed base_port out_dir chaos =
   print_endline (Lo_live.Cluster.summary report);
   if not (Lo_live.Cluster.ok report) then exit 1
 
+(* --- paper-scale sharded sweep (Lo_sim.Scale) --- *)
+
+let run_scale scale shards fraction drain digest_history out jobs =
+  let oc = Option.map open_out out in
+  let report =
+    Lo_sim.Scale.sweep ?shards ~malicious_fraction:fraction
+      ~rate:scale.Lo_sim.Experiments.rate ~duration:scale.Lo_sim.Experiments.duration
+      ~drain ~digest_history ?out:oc ?jobs ~n:scale.Lo_sim.Experiments.nodes
+      ~seed:scale.Lo_sim.Experiments.seed ()
+  in
+  (match (oc, out) with
+  | Some oc, Some path ->
+      close_out oc;
+      Printf.printf "wrote %d events to %s\n" report.Lo_sim.Scale.events path
+  | _ -> ());
+  Printf.printf "shard  nodes  adv  events    txs  delivered  detections\n";
+  List.iter
+    (fun (s : Lo_sim.Scale.shard_report) ->
+      Printf.printf "%5d  %5d  %3d  %7d  %5d  %9d  %10d\n" s.shard s.nodes
+        s.adversaries s.events s.txs s.delivered s.detections)
+    report.Lo_sim.Scale.shards;
+  Printf.printf
+    "total: %d nodes, %d shards, %d events, %d txs (%d delivered), %d \
+     adversary detections\n"
+    report.Lo_sim.Scale.n
+    (List.length report.Lo_sim.Scale.shards)
+    report.Lo_sim.Scale.events report.Lo_sim.Scale.txs
+    report.Lo_sim.Scale.delivered report.Lo_sim.Scale.detections;
+  Printf.printf "wall: %.1f s%s\n" report.Lo_sim.Scale.wall_s
+    (match report.Lo_sim.Scale.peak_rss_mb with
+    | Some mb -> Printf.sprintf ", peak rss: %.0f MB" mb
+    | None -> "");
+  List.iter
+    (fun f -> Printf.printf "  FAILURE: %s\n" f)
+    report.Lo_sim.Scale.failures;
+  if report.Lo_sim.Scale.honest_exposures > 0 then
+    Printf.printf "  FAILURE: %d honest exposure(s)\n"
+      report.Lo_sim.Scale.honest_exposures;
+  if Lo_sim.Scale.ok report then print_endline "scale: audit PASS"
+  else begin
+    print_endline "scale: FAILED";
+    exit 1
+  end
+
+let scale_cmd =
+  let shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Independent shard worlds (default: sized to ~1250 nodes \
+             each). The merged result is byte-identical for any LO_JOBS.")
+  in
+  let fraction_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "fraction" ] ~docv:"F"
+          ~doc:"Fraction of silent-censor adversaries per shard.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "drain" ] ~docv:"SECONDS"
+          ~doc:"Post-workload drain (suspicions must age past the audit \
+                grace window).")
+  in
+  let history_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "digest-history" ] ~docv:"K"
+          ~doc:"Own-digest full-sketch retention window (memory lean).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged shard traces as JSONL to $(docv) (shard \
+             order; expect hundreds of MB at 10k nodes).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Domain pool size (overrides LO_JOBS).")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Paper-scale fig6-style sweep: shard n nodes into independent \
+          worlds across domains, audit every shard, fail on any honest \
+          blame")
+    Term.(
+      const run_scale $ scale_term $ shards_arg $ fraction_arg $ drain_arg
+      $ history_arg $ out_arg $ jobs_arg)
+
 let cmd name doc run =
   Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
 
@@ -346,6 +445,7 @@ let () =
       cmd "fig9" "Bandwidth overhead: LO vs Flood vs PeerReview vs Narwhal" run_fig9;
       cmd "fig10" "Sketch reconciliations per minute vs workload" run_fig10;
       cmd "memcpu" "Sec. 6.5 memory and CPU overhead" run_memcpu;
+      scale_cmd;
       cmd "ablate" "Ablations: light vs full digests; digest-share period" run_ablation;
       (let audit_flag =
          Arg.(value & flag

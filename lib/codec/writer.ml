@@ -45,3 +45,4 @@ let list t encode items =
   List.iter encode items
 
 let contents = Buffer.contents
+let reset = Buffer.clear

@@ -38,3 +38,7 @@ val list : t -> ('a -> unit) -> 'a list -> unit
 (** Varint count followed by each element encoded by the callback. *)
 
 val contents : t -> string
+
+val reset : t -> unit
+(** Drop the contents, keep the allocated storage — the pooled-buffer
+    encode path reuses one writer across messages. *)

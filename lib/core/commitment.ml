@@ -130,13 +130,20 @@ module Log = struct
     signer : Signer.t;
     sketch_capacity : int;
     clock_cells : int;
+    digest_history : int;
+        (* digests older than [seq - digest_history] keep only their
+           light form — the capacity-sized sketch copy (the dominant
+           per-snapshot cost) is dropped once nothing can still ask for
+           it. [max_int] = retain every sketch (the default; historical
+           full digests are served on the wire, so bounding them is an
+           explicit opt-in of scale harnesses). *)
     mutable bundles_rev : bundle list;
-    mutable digests_rev : digest list; (* snapshot after each bundle *)
+    mutable current : digest; (* snapshot after the latest bundle *)
     mutable counter : int;
     mutable seq : int;
     clock : Bloom_clock.t;
     sketch : Sketch.t;
-    known : (int, unit) Hashtbl.t;
+    known : Dedup_set.t;
     cells : int list array; (* ids per Bloom-clock cell, reverse order *)
     sketch_buf : Bytes.t;
         (* the sketch's wire encoding, refreshed in place on every
@@ -146,7 +153,7 @@ module Log = struct
   }
 
   let owner t = Signer.id t.signer
-  let contains t id = Hashtbl.mem t.known id
+  let contains t id = Dedup_set.mem t.known id
   let counter t = t.counter
   let seq t = t.seq
 
@@ -169,24 +176,47 @@ module Log = struct
     { unsigned with signature }
 
   let record_digest t d =
-    t.digests_rev <- d :: t.digests_rev;
-    Hashtbl.replace t.digest_index d.seq d
+    t.current <- d;
+    Hashtbl.replace t.digest_index d.seq d;
+    (* One strip per append keeps the full-sketch window complete. *)
+    if t.digest_history < max_int then begin
+      let old_seq = d.seq - t.digest_history in
+      if old_seq >= 0 then
+        match Hashtbl.find_opt t.digest_index old_seq with
+        | Some od when is_full od ->
+            Hashtbl.replace t.digest_index old_seq (strip_sketch od)
+        | _ -> ()
+    end
 
   let create ?(sketch_capacity = default_sketch_capacity)
-      ?(clock_cells = default_clock_cells) ~signer () =
+      ?(clock_cells = default_clock_cells) ?(digest_history = max_int) ~signer
+      () =
+    if digest_history < 1 then
+      invalid_arg "Commitment.Log.create: digest_history must be >= 1";
     let sketch = Sketch.create ~capacity:sketch_capacity () in
     let t =
       {
         signer;
         sketch_capacity;
         clock_cells;
+        digest_history;
         bundles_rev = [];
-        digests_rev = [];
+        current =
+          (* placeholder, replaced by the seq-0 snapshot below *)
+          {
+            owner = Signer.id signer;
+            seq = 0;
+            counter = 0;
+            clock = Bloom_clock.create ~cells:clock_cells ();
+            sketch_hash = "";
+            sketch = None;
+            signature = "";
+          };
         counter = 0;
         seq = 0;
         clock = Bloom_clock.create ~cells:clock_cells ();
         sketch;
-        known = Hashtbl.create 256;
+        known = Dedup_set.create ~initial_capacity:256 ();
         cells = Array.make clock_cells [];
         sketch_buf = Bytes.create (Sketch.serialized_size sketch);
         digest_index = Hashtbl.create 256;
@@ -197,21 +227,15 @@ module Log = struct
     record_digest t (sign_snapshot t);
     t
 
-  let current_digest t =
-    match t.digests_rev with latest :: _ -> latest | [] -> assert false
-
+  let current_digest t = t.current
   let current_digest_light t = strip_sketch (current_digest t)
 
   let append t ~source ~ids =
     let fresh =
       List.filter
         (fun id ->
-          if id <= 0 || id > Short_id.max_value || Hashtbl.mem t.known id then
-            false
-          else begin
-            Hashtbl.add t.known id ();
-            true
-          end)
+          if id <= 0 || id > Short_id.max_value then false
+          else Dedup_set.add t.known id)
         ids
     in
     match fresh with

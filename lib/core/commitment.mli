@@ -93,9 +93,17 @@ module Log : sig
   val create :
     ?sketch_capacity:int ->
     ?clock_cells:int ->
+    ?digest_history:int ->
     signer:Lo_crypto.Signer.t ->
     unit ->
     t
+  (** [digest_history] bounds how many of the newest snapshots keep
+      their full sketch (a capacity-sized copy each — the dominant
+      per-snapshot memory at 10k nodes); older ones are demoted to the
+      light form, which still signature-verifies identically. Defaults
+      to [max_int] (every sketch retained — full historical digests are
+      served on the wire, so bounding is an explicit opt-in of scale
+      harnesses). Must be [>= 1]. *)
 
   val owner : t -> string
   val contains : t -> int -> bool
@@ -113,7 +121,8 @@ module Log : sig
   val current_digest_light : t -> digest
 
   val digest_at : t -> seq:int -> digest option
-  (** Historical snapshot (all digests are retained, Sec. 5.2). *)
+  (** Historical snapshot (all digests are retained, Sec. 5.2; beyond
+      [digest_history] only in light form). *)
 
   val ids_in_cells : t -> int list -> int list
   (** Committed ids that map to the given Bloom-clock cells, in

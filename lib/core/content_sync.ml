@@ -2,10 +2,15 @@ type t = {
   mempool : Mempool.t;
   missing : (int, float) Hashtbl.t; (* committed ids lacking content *)
   adversary : Adversary.t;
+  canonical : Tx.t -> Tx.t;
+      (* per-world tx interning: every path into the mempool funnels
+         through [store_content], so substituting the canonical
+         (field-for-field equal) instance here collapses the per-node
+         decoded copies a broadcast fans out. Default: identity. *)
 }
 
-let create ~mempool ~adversary =
-  { mempool; missing = Hashtbl.create 64; adversary }
+let create ?(canonical = fun tx -> tx) ~mempool ~adversary () =
+  { mempool; missing = Hashtbl.create 64; adversary; canonical }
 
 let missing_count t = Hashtbl.length t.missing
 
@@ -44,6 +49,7 @@ let serve t ids =
     ids
 
 let store_content t (env : Node_env.t) tx ~from_peer =
+  let tx = t.canonical tx in
   let short = Tx.short_id tx in
   if not (Mempool.mem_short t.mempool short) then begin
     match Mempool.add t.mempool ~tx ~received_at:(env.now ()) ~from_peer with

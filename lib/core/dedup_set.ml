@@ -1,0 +1,75 @@
+(* Open-addressing hash set of positive ints on a Bigarray: one
+   unboxed word per slot, zero GC-scanned pointers, ~16 bytes per
+   member at the 50% worst-case load — versus the 4–5 scanned words a
+   [(int, unit) Hashtbl.t] binding costs. 0 is the empty-slot sentinel
+   (short ids are always >= 1). *)
+
+type table =
+  (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  mutable slots : table;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable count : int;
+}
+
+let make_table cap : table =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cap in
+  Bigarray.Array1.fill a 0;
+  a
+
+let create ?(initial_capacity = 256) () =
+  let cap = ref 16 in
+  while !cap < initial_capacity do
+    cap := !cap * 2
+  done;
+  { slots = make_table !cap; mask = !cap - 1; count = 0 }
+
+(* Knuth multiplicative hashing spreads consecutive short ids. *)
+let slot_of t key = (key * 2654435761) land max_int land t.mask
+
+let rec probe slots mask key i =
+  let v = Bigarray.Array1.unsafe_get slots i in
+  if v = key then `Found
+  else if v = 0 then `Empty i
+  else probe slots mask key ((i + 1) land mask)
+
+let mem t key =
+  match probe t.slots t.mask key (slot_of t key) with
+  | `Found -> true
+  | `Empty _ -> false
+
+let grow t =
+  let old = t.slots in
+  let old_cap = t.mask + 1 in
+  let cap = old_cap * 2 in
+  t.slots <- make_table cap;
+  t.mask <- cap - 1;
+  for i = 0 to old_cap - 1 do
+    let v = Bigarray.Array1.unsafe_get old i in
+    if v <> 0 then begin
+      match probe t.slots t.mask v (slot_of t v) with
+      | `Empty j -> Bigarray.Array1.unsafe_set t.slots j v
+      | `Found -> ()
+    end
+  done
+
+let add t key =
+  if key <= 0 then invalid_arg "Dedup_set.add: key must be positive";
+  match probe t.slots t.mask key (slot_of t key) with
+  | `Found -> false
+  | `Empty i ->
+      Bigarray.Array1.unsafe_set t.slots i key;
+      t.count <- t.count + 1;
+      (* Grow at 50% load: probes stay short, slots stay cheap. *)
+      if 2 * t.count > t.mask then grow t;
+      true
+
+let cardinal t = t.count
+let capacity t = t.mask + 1
+
+let iter t f =
+  for i = 0 to t.mask do
+    let v = Bigarray.Array1.unsafe_get t.slots i in
+    if v <> 0 then f v
+  done

@@ -1,0 +1,28 @@
+(** Flat dedup/seen set of positive ints, Bigarray-backed.
+
+    The commitment log keeps one "already committed?" entry per short
+    id per node; at 10,000 nodes that set dominates per-node heap. This
+    is an open-addressing table on a [Bigarray.int] array — one unboxed
+    word per slot, outside the OCaml heap, so the GC never scans it —
+    replacing the [(int, unit) Hashtbl.t] it shadows. Membership is the
+    only observable (no iteration order leaks into the protocol), so
+    the swap cannot move a trace byte; [test/test_scale.ml] pins the
+    Hashtbl equivalence under random workloads anyway. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+(** Rounded up to a power of two; default 256 slots. *)
+
+val add : t -> int -> bool
+(** [add t k] inserts [k] (which must be [>= 1]; raises
+    [Invalid_argument] otherwise) and returns whether it was new. *)
+
+val mem : t -> int -> bool
+val cardinal : t -> int
+
+val capacity : t -> int
+(** Current slot count (load stays under 50%). *)
+
+val iter : t -> (int -> unit) -> unit
+(** Members in table order — unspecified; for accounting only. *)

@@ -1,10 +1,21 @@
-type t = { ids : string array; index : (string, int) Hashtbl.t }
+(* The directory IS the per-world id interner: dense node index <->
+   canonical 33-byte identity, first-seen order. Handing decoded owner
+   strings through [canonical] collapses them onto the single retained
+   copy. *)
+type t = Interner.t
 
 let create ~ids =
-  let index = Hashtbl.create (Array.length ids) in
-  Array.iteri (fun i id -> Hashtbl.replace index id i) ids;
-  { ids; index }
+  let t = Interner.create ~initial:(Array.length ids) () in
+  Array.iter (fun id -> ignore (Interner.intern t id)) ids;
+  t
 
-let id_of t i = t.ids.(i)
-let index_of t id = Hashtbl.find_opt t.index id
-let size t = Array.length t.ids
+let id_of = Interner.to_string
+let index_of = Interner.find
+let size = Interner.size
+
+(* Unknown ids pass through untouched: interning them would let a
+   malformed or hostile owner field grow the table without bound. *)
+let canonical t s =
+  match Interner.find t s with
+  | Some id -> Interner.to_string t id
+  | None -> s

@@ -8,3 +8,10 @@ val create : ids:string array -> t
 val id_of : t -> int -> string
 val index_of : t -> string -> int option
 val size : t -> int
+
+val canonical : t -> string -> string
+(** The single retained copy equal to [id] — decoded digest owners are
+    routed through this so every node of a world shares one instance of
+    each identity string (and [String.equal] on them hits the
+    pointer-equality fast path). Unknown ids pass through unchanged
+    (interning them would let hostile bytes grow the table). *)

@@ -1,0 +1,71 @@
+type t = {
+  index : (string, int) Hashtbl.t;
+  mutable table : string array;
+  mutable count : int;
+}
+
+let create ?(initial = 64) () =
+  {
+    index = Hashtbl.create initial;
+    table = Array.make (max 1 initial) "";
+    count = 0;
+  }
+
+let size t = t.count
+
+let find t s = Hashtbl.find_opt t.index s
+
+let intern t s =
+  match Hashtbl.find_opt t.index s with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id = Array.length t.table then begin
+        let bigger = Array.make (2 * Array.length t.table) "" in
+        Array.blit t.table 0 bigger 0 id;
+        t.table <- bigger
+      end;
+      t.table.(id) <- s;
+      t.count <- id + 1;
+      Hashtbl.add t.index s id;
+      id
+
+let to_string t id =
+  if id < 0 || id >= t.count then invalid_arg "Interner.to_string";
+  t.table.(id)
+
+let canonical t s =
+  match Hashtbl.find_opt t.index s with
+  | Some id -> t.table.(id)
+  | None -> t.table.(intern t s)
+
+let iter t f =
+  for id = 0 to t.count - 1 do
+    f id t.table.(id)
+  done
+
+module Tx_pool = struct
+  type nonrec t = {
+    by_id : (string, Tx.t) Hashtbl.t;
+    mutable hits : int;
+  }
+
+  let create ?(initial = 1024) () = { by_id = Hashtbl.create initial; hits = 0 }
+
+  (* First decoded instance wins; every later decode of the same tx
+     collapses onto it. The id is the SHA-256 of the full encoding and
+     [Tx.decode] recomputes it from the bytes, so two instances with
+     equal ids are field-for-field equal — substituting one for the
+     other is unobservable. *)
+  let canonical t (tx : Tx.t) =
+    match Hashtbl.find_opt t.by_id tx.Tx.id with
+    | Some c ->
+        t.hits <- t.hits + 1;
+        c
+    | None ->
+        Hashtbl.add t.by_id tx.Tx.id tx;
+        tx
+
+  let unique t = Hashtbl.length t.by_id
+  let hits t = t.hits
+end

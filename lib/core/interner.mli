@@ -1,0 +1,48 @@
+(** Per-world interning: one canonical instance per id, shared by every
+    node of a deployment.
+
+    At 10,000 nodes the same 32-byte tx ids and 33-byte signer ids are
+    decoded from the wire over and over, each decode a fresh string —
+    the dominant share of minor-heap churn in a sweep. An {!t} maps
+    strings to dense insertion-ordered ints and back, handing out the
+    single retained copy; {!Tx_pool} does the same for whole decoded
+    transactions, keyed by their content-addressed id.
+
+    Interning only substitutes an equal value for an equal value, so it
+    cannot change a trace byte; [test/test_scale.ml] pins the
+    equivalence (insert/lookup/iteration order against a naive
+    reference) under random workloads. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+val intern : t -> string -> int
+(** Dense id of [s], assigned in first-seen order starting at 0. *)
+
+val find : t -> string -> int option
+val to_string : t -> int -> string
+(** @raise Invalid_argument on an id never handed out. *)
+
+val canonical : t -> string -> string
+(** The retained copy equal to [s] (interning it first if new) —
+    subsequent [String.equal] against other canonical copies hits the
+    pointer-equality fast path. *)
+
+val size : t -> int
+val iter : t -> (int -> string -> unit) -> unit
+(** In insertion order. *)
+
+(** Canonical decoded transactions, keyed by content-addressed id. *)
+module Tx_pool : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+
+  val canonical : t -> Tx.t -> Tx.t
+  (** The first instance seen with this id (registering [tx] if new).
+      Ids are SHA-256 of the full encoding and recomputed on decode, so
+      equal id implies equal fields. *)
+
+  val unique : t -> int
+  val hits : t -> int
+end

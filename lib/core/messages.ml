@@ -47,8 +47,8 @@ let tag = function
   | Exposure_note _ -> "lo:exposure"
   | Block_announce _ -> "lo:block"
 
-let encode msg =
-  let w = Writer.create ~initial_size:128 () in
+let encode_into w msg =
+  Writer.reset w;
   (match msg with
   | Submit tx ->
       Writer.u8 w 0;
@@ -103,6 +103,8 @@ let encode msg =
       Writer.u8 w 9;
       Block.encode w block);
   Writer.contents w
+
+let encode msg = encode_into (Writer.create ~initial_size:128 ()) msg
 
 let decode s =
   let r = Reader.of_string s in

@@ -51,6 +51,13 @@ val tag : t -> string
 (** e.g. ["lo:commit-req"]; all tags share the ["lo"] proto prefix. *)
 
 val encode : t -> string
+
+val encode_into : Lo_codec.Writer.t -> t -> string
+(** [encode] through a caller-owned (pooled) writer: resets it, writes
+    the same bytes [encode] would produce, returns them. Reusing one
+    writer across sends keeps the encoder's scratch storage out of the
+    per-message allocation bill. *)
+
 val decode : string -> t
 (** @raise Lo_codec.Reader.Malformed on invalid input. *)
 

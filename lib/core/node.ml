@@ -39,6 +39,7 @@ type config = Node_env.config = {
   always_full_digests : bool;
   reject_exposed_blocks : bool;
   max_digests_per_peer : int;
+  digest_history : int;
 }
 
 let default_config = Node_env.default_config
@@ -78,6 +79,8 @@ type t = {
   deviations : (string * int option, float) Hashtbl.t;
       (* ground truth for the conformance oracles: (kind, block height)
          -> first simulated time this node deviated that way *)
+  encode_buf : Lo_codec.Writer.t;
+      (* pooled wire encoder, reused across every send/broadcast *)
   mutable env : Node_env.t option; (* set once in [create] *)
 }
 
@@ -106,14 +109,14 @@ let deviations t =
 
 let send_msg t ~dst msg =
   t.transport.Transport.send ~dst ~tag:(Messages.tag msg)
-    (Messages.encode msg)
+    (Messages.encode_into t.encode_buf msg)
 
 (* One wire encoding per broadcast, shared across every neighbor —
    [Messages.encode] on a digest-bearing message is the expensive part
    of the fan-out. *)
 let broadcast t msg =
   t.transport.Transport.send_many ~dsts:t.neighbors ~tag:(Messages.tag msg)
-    (Messages.encode msg)
+    (Messages.encode_into t.encode_buf msg)
 
 let log_for t ~peer_index =
   match t.alt_log with
@@ -219,14 +222,21 @@ let make_env t =
     record_deviation = (fun ~kind ~height -> record_deviation t ~kind ~height);
   }
 
-let create config ~transport ~rng ~directory ~signer ~neighbors ~behavior =
+let create ?tx_pool config ~transport ~rng ~directory ~signer ~neighbors
+    ~behavior =
   let my_id = Signer.id signer in
   let mk_log () =
     Commitment.Log.create ~sketch_capacity:config.sketch_capacity
-      ~clock_cells:config.clock_cells ~signer ()
+      ~clock_cells:config.clock_cells ~digest_history:config.digest_history
+      ~signer ()
   in
   let mempool = Mempool.create () in
-  let content = Content_sync.create ~mempool ~adversary:behavior in
+  let canonical =
+    match tx_pool with
+    | None -> None
+    | Some pool -> Some (Interner.Tx_pool.canonical pool)
+  in
+  let content = Content_sync.create ?canonical ~mempool ~adversary:behavior () in
   let tracker = Peer_tracker.create () in
   let t =
     {
@@ -251,6 +261,7 @@ let create config ~transport ~rng ~directory ~signer ~neighbors ~behavior =
         Block_pipeline.create ~adversary:behavior ~tracker ~content ~mempool;
       seen_exposures = Hashtbl.create 16;
       deviations = Hashtbl.create 4;
+      encode_buf = Lo_codec.Writer.create ~initial_size:256 ();
       env = None;
     }
   in
@@ -309,6 +320,14 @@ let handle_exposure t evidence =
 
 (* --- message dispatch --- *)
 
+(* Decoded digests arrive with a fresh copy of their owner id; collapse
+   it onto the directory's canonical instance so stored snapshots share
+   one string per identity (and owner comparisons hit the
+   pointer-equality fast path). Same bytes, so nothing observable. *)
+let canon_digest t (d : Commitment.digest) =
+  let owner = Directory.canonical t.directory d.Commitment.owner in
+  if owner == d.Commitment.owner then d else { d with Commitment.owner = owner }
+
 let handle_message t ~from ~tag payload =
   if Adversary.drops_all_messages t.behavior then
     (* Drops everything: the Fig. 6 faulty miner. Ground truth only
@@ -329,17 +348,21 @@ let handle_message t ~from ~tag payload =
           (Messages.Submit_ack { txid = tx.Tx.id; ack_signature = ack })
     | Messages.Submit_ack _ -> () (* miners ignore stray acks *)
     | Messages.Commit_request { digest; delta; want; appended } ->
-        Reconciler.handle_commit_request t.reconciler (env t) ~from ~digest
-          ~delta ~want ~appended
+        Reconciler.handle_commit_request t.reconciler (env t) ~from
+          ~digest:(canon_digest t digest) ~delta ~want ~appended
     | Messages.Commit_response { digest; want; delta; appended } ->
-        Reconciler.handle_commit_response t.reconciler (env t) ~from ~digest
-          ~want ~delta ~appended
+        Reconciler.handle_commit_response t.reconciler (env t) ~from
+          ~digest:(canon_digest t digest) ~want ~delta ~appended
     | Messages.Tx_batch txs -> Content_sync.ingest_batch t.content (env t) ~from txs
-    | Messages.Digest_share digest -> Peer_tracker.note_digest t.tracker (env t) digest
+    | Messages.Digest_share digest ->
+        Peer_tracker.note_digest t.tracker (env t) (canon_digest t digest)
     | Messages.Digest_request { owner; seq } ->
-        Peer_tracker.handle_digest_request t.tracker (env t) ~from ~owner ~seq
+        Peer_tracker.handle_digest_request t.tracker (env t) ~from
+          ~owner:(Directory.canonical t.directory owner) ~seq
     | Messages.Digest_reply digests ->
-        List.iter (Peer_tracker.note_digest t.tracker (env t)) digests
+        List.iter
+          (fun d -> Peer_tracker.note_digest t.tracker (env t) (canon_digest t d))
+          digests
     | Messages.Suspicion_note note ->
         Reconciler.handle_suspicion t.reconciler (env t) ~from note
     | Messages.Suspicion_withdraw { suspect; reporter } ->

@@ -62,6 +62,13 @@ type config = Node_env.config = {
           paper retains everything, which is fine for its runs but not
           for unbounded deployments. Oldest snapshots (except seq 0) are
           evicted beyond the cap (default 1024 ≈ 0.25–1.2 MB/peer). *)
+  digest_history : int;
+      (** how many of our own newest commitment snapshots keep their
+          full sketch (the capacity-sized copy each costs); older ones
+          are demoted to the light form. Default [max_int] — retain
+          everything, the paper's behaviour — because historical full
+          digests are served on the wire; scale harnesses opt into a
+          small window. *)
 }
 
 val default_config : Lo_crypto.Signer.scheme -> config
@@ -89,6 +96,7 @@ type hooks = Node_env.hooks = {
 type t
 
 val create :
+  ?tx_pool:Interner.Tx_pool.t ->
   config ->
   transport:Lo_transport.t ->
   rng:Lo_net.Rng.t ->
@@ -100,7 +108,11 @@ val create :
 (** The node's index is [transport.self]. [rng] is the node's single
     deterministic stream; under the DES backend pass a
     [Rng.split] of the engine's root generator so seeded runs stay
-    reproducible, under the live backend any per-node seed works. *)
+    reproducible, under the live backend any per-node seed works.
+    [tx_pool] — a per-world canonical-transaction pool shared by all
+    nodes of a deployment, so ten thousand mempools retain one decoded
+    instance per tx instead of one each; omit it (live nodes do) to
+    keep instances private. *)
 
 val start : t -> unit
 (** Register handlers (including the network restart handler driving

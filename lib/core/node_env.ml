@@ -16,6 +16,7 @@ type config = {
   always_full_digests : bool;
   reject_exposed_blocks : bool;
   max_digests_per_peer : int;
+  digest_history : int;
 }
 
 let default_config scheme =
@@ -37,6 +38,7 @@ let default_config scheme =
     always_full_digests = false;
     reject_exposed_blocks = false;
     max_digests_per_peer = 1024;
+    digest_history = max_int;
   }
 
 type hooks = {

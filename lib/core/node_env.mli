@@ -40,6 +40,13 @@ type config = {
           paper retains everything, which is fine for its runs but not
           for unbounded deployments. Oldest snapshots (except seq 0) are
           evicted beyond the cap (default 1024 ≈ 0.25–1.2 MB/peer). *)
+  digest_history : int;
+      (** how many of our own newest commitment snapshots keep their
+          full sketch (the capacity-sized copy each costs); older ones
+          are demoted to the light form. Default [max_int] — retain
+          everything, the paper's behaviour — because historical full
+          digests are served on the wire; scale harnesses opt into a
+          small window. *)
 }
 
 val default_config : Lo_crypto.Signer.scheme -> config

@@ -1,6 +1,8 @@
 module Stats = struct
   type t = {
-    mutable values_rev : float list;
+    (* samples in insertion order, in an unboxed float array — a cons
+       cell per sample was the sweep hot loop's dominant allocation *)
+    mutable buf : float array;
     mutable count : int;
     mutable mean_v : float;
     mutable m2 : float;  (* sum of squared deviations from the running mean *)
@@ -11,7 +13,7 @@ module Stats = struct
 
   let create () =
     {
-      values_rev = [];
+      buf = [||];
       count = 0;
       mean_v = 0.;
       m2 = 0.;
@@ -23,7 +25,12 @@ module Stats = struct
   (* Welford's online update: the naive sum_sq/n - mean^2 form loses all
      precision when stddev << mean (catastrophic cancellation). *)
   let add t v =
-    t.values_rev <- v :: t.values_rev;
+    if t.count = Array.length t.buf then begin
+      let bigger = Array.make (Stdlib.max 16 (2 * t.count)) 0. in
+      Array.blit t.buf 0 bigger 0 t.count;
+      t.buf <- bigger
+    end;
+    t.buf.(t.count) <- v;
     t.count <- t.count + 1;
     let delta = v -. t.mean_v in
     t.mean_v <- t.mean_v +. (delta /. float_of_int t.count);
@@ -46,7 +53,7 @@ module Stats = struct
     match t.sorted with
     | Some a -> a
     | None ->
-        let a = Array.of_list t.values_rev in
+        let a = Array.sub t.buf 0 t.count in
         Array.sort Float.compare a;
         t.sorted <- Some a;
         a
@@ -60,16 +67,23 @@ module Stats = struct
       a.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
     end
 
-  let values t = List.rev t.values_rev
+  let values t = Array.to_list (Array.sub t.buf 0 t.count)
 
   (* Replays [src]'s samples through [add] in their insertion order, so
      folding per-rep collectors into one (the parallel experiment join)
      performs bit-for-bit the same float operations as feeding one
-     shared collector sequentially. *)
-  let absorb t src = List.iter (add t) (values src)
+     shared collector sequentially — and allocates nothing beyond the
+     destination's own growth (no intermediate list). *)
+  let absorb t src =
+    for i = 0 to src.count - 1 do
+      add t src.buf.(i)
+    done
 end
 
 module Histogram = struct
+  (* Fixed bin array, preallocated at creation — [add] and [absorb]
+     allocate nothing (the expression below must keep its exact
+     operation order: bin edges are float-rounding-sensitive). *)
   type t = { lo : float; hi : float; counts : int array; mutable total : int }
 
   let create ~lo ~hi ~bins =

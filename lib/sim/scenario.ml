@@ -35,10 +35,13 @@ let build_lo ?(config = Fun.id) ?(behaviors = fun _ -> Node.Honest) ?malicious
           ~max_in:125
   in
   let node_config = config (Node.default_config scheme) in
+  (* One canonical decoded instance per tx for the whole world: every
+     node's mempool shares it instead of retaining its own copy. *)
+  let tx_pool = Interner.Tx_pool.create () in
   let nodes =
     Array.init n (fun i ->
         let transport = Lo_net.Sim_transport.make ~net ~mux ~node:i in
-        Node.create node_config ~transport
+        Node.create ~tx_pool node_config ~transport
           ~rng:(Rng.split (Network.rng net))
           ~directory ~signer:signers.(i)
           ~neighbors:(Topology.neighbors topology i)

@@ -38,7 +38,7 @@ let make_harness () =
       ~clock_cells:config.Node_env.clock_cells ~signer ()
   in
   let mempool = Mempool.create () in
-  let content = Content_sync.create ~mempool ~adversary:Adversary.Honest in
+  let content = Content_sync.create ~mempool ~adversary:Adversary.Honest () in
   let tracker = Peer_tracker.create () in
   let broadcasts = ref [] in
   let timers = Queue.create () in

@@ -165,6 +165,63 @@ let event_queue_tests =
           | _ -> true
         in
         List.length out = List.length time_codes && ok out);
+    (* The calendar backend must realize the exact same total order as
+       the binary heap — the scale sweeps lean on that for trace-byte
+       identity. Interleave adds and pops over a clumpy time
+       distribution (many exact collisions) and compare transcripts. *)
+    qtest "calendar backend matches heap" ~count:200
+      QCheck2.Gen.(
+        list_size (int_bound 300)
+          (pair (int_bound 4) (int_bound 9 >|= float_of_int)))
+      (fun ops ->
+        let heap = Event_queue.create ~calendar_threshold:max_int () in
+        let cal = Event_queue.create ~calendar_threshold:0 () in
+        let transcript q =
+          List.concat_map
+            (fun (op, time) ->
+              if op = 0 then (
+                match Event_queue.pop q with
+                | Some (t, i) -> [ (t, i) ]
+                | None -> [])
+              else begin
+                Event_queue.add q ~time (Event_queue.size q);
+                []
+              end)
+            ops
+          @
+          let rec drain acc =
+            match Event_queue.pop q with
+            | Some (t, i) -> drain ((t, i) :: acc)
+            | None -> List.rev acc
+          in
+          drain []
+        in
+        Event_queue.backend heap = `Heap
+        && Event_queue.backend cal = `Calendar
+        && transcript heap = transcript cal);
+    Alcotest.test_case "auto-promotes above threshold" `Quick (fun () ->
+        let q = Event_queue.create ~calendar_threshold:8 () in
+        for i = 0 to 7 do
+          Event_queue.add q ~time:(float_of_int (i mod 3)) i
+        done;
+        (* An add promotes only once it finds the heap at threshold. *)
+        check_bool "still heap" true (Event_queue.backend q = `Heap);
+        Event_queue.add q ~time:0.5 8;
+        check_bool "promoted" true (Event_queue.backend q = `Calendar);
+        (* Promotion preserves the (time, insertion seq) order. *)
+        let rec drain acc =
+          match Event_queue.pop q with
+          | Some (t, i) -> drain ((t, i) :: acc)
+          | None -> List.rev acc
+        in
+        let expect =
+          List.sort compare
+            (List.init 9 (fun i ->
+                 ((if i = 8 then 0.5 else float_of_int (i mod 3)), i)))
+        in
+        check_bool "order" true (drain [] = expect);
+        Event_queue.clear q;
+        check_bool "clear resets backend" true (Event_queue.backend q = `Heap));
   ]
 
 (* ---------------- Latency ---------------- *)

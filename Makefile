@@ -1,4 +1,4 @@
-.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fuzz-smoke live-smoke live-chaos-smoke scale-smoke fmt bench clean
+.PHONY: all build test check chaos-smoke audit-smoke bench-smoke fuzz-smoke live-smoke live-chaos-smoke ingest-smoke scale-smoke fmt bench clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # The one-stop gate: everything compiles, the full test suite passes,
 # and a tiny seeded chaos scenario exercises the fault-injection paths.
 check:
-	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) scale-smoke && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) live-smoke && $(MAKE) live-chaos-smoke
+	dune build && dune runtest && $(MAKE) chaos-smoke && $(MAKE) audit-smoke && $(MAKE) scale-smoke && $(MAKE) bench-smoke && $(MAKE) fuzz-smoke && $(MAKE) live-smoke && $(MAKE) live-chaos-smoke && $(MAKE) ingest-smoke
 
 # Small deterministic fault-injection run (churn + partitions + loss
 # bursts + latency spikes + link degradation); exits non-zero if any
@@ -50,6 +50,16 @@ live-smoke:
 # invariants with zero honest exposures.
 live-chaos-smoke:
 	dune exec bin/lo.exe -- cluster -n 8 --tps 40 --duration 6 --seed 1 --base-port 7731 --chaos kills=2,down=1.2
+
+# A short live ingest burst through the batched admission path: a
+# small cluster driven at an elevated offered load, so content-sync
+# Tx_batch frames carry real multi-transaction bundles through
+# Mempool.ingest_batch (one batched signature verification and one
+# signed commitment digest per bundle). Same audit discipline as
+# live-smoke — the merged trace must pass every replay invariant and
+# no node may crash or end up exposed.
+ingest-smoke:
+	dune exec bin/lo.exe -- cluster -n 4 --tps 250 --duration 4 --seed 2 --base-port 7851
 
 # A 2,000-node fig6-style sharded sweep (4 worlds of 500 nodes, 10%
 # silent censors, neighbour rotation, block production), audited shard

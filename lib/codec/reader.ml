@@ -1,13 +1,36 @@
 exception Malformed of string
 
-type t = { data : string; mutable pos : int }
+(* [pos] and [limit] are absolute offsets into [data]; a reader over a
+   whole string has [limit = String.length data], a sub-view narrows
+   both without copying. *)
+type t = { data : string; mutable pos : int; limit : int }
 
-let of_string data = { data; pos = 0 }
-let remaining t = String.length t.data - t.pos
+let of_string data = { data; pos = 0; limit = String.length data }
+
+let of_substring data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    invalid_arg "Reader.of_substring";
+  { data; pos; limit = pos + len }
+
+let remaining t = t.limit - t.pos
 let at_end t = remaining t = 0
+let pos t = t.pos
 
 let need t n what =
   if remaining t < n then raise (Malformed ("truncated " ^ what))
+
+let slice t ~from ~until =
+  if from < 0 || until < from || until > t.limit then
+    invalid_arg "Reader.slice";
+  String.sub t.data from (until - from)
+
+let sub_view t n =
+  need t n "sub-view";
+  let v = { data = t.data; pos = t.pos; limit = t.pos + n } in
+  t.pos <- t.pos + n;
+  v
+
+let clone t = { data = t.data; pos = t.pos; limit = t.limit }
 
 let u8 t =
   need t 1 "u8";

@@ -244,10 +244,12 @@ module Log = struct
         List.iter
           (fun id ->
             Bloom_clock.add_int t.clock id;
-            Sketch.add t.sketch id;
             let cell = Bloom_clock.cell_of_int ~cells:t.clock_cells id in
             t.cells.(cell) <- id :: t.cells.(cell))
           fresh;
+        (* Syndrome accumulation is xor-commutative, so the whole
+           bundle goes through the paired sketch kernel at once. *)
+        Sketch.add_all t.sketch fresh;
         t.counter <- t.counter + List.length fresh;
         t.seq <- t.seq + 1;
         t.bundles_rev <- { seq = t.seq; source; ids = fresh } :: t.bundles_rev;

@@ -59,6 +59,34 @@ let store_content t (env : Node_env.t) tx ~from_peer =
         env.hooks.on_tx_content tx
   end
 
+(* Batched Stage II admission: one shared signature-verification pass
+   and ONE commitment bundle (one signed digest) per batch, instead of
+   one per transaction. Which transactions land in the mempool and
+   which ids reach the commitment log match [ingest_batch] exactly;
+   only the bundle granularity — and hence the digest's seq — differs,
+   which is why the DES keeps the per-tx path (its golden traces pin
+   per-tx bundles) while the live backend ingests through this one. *)
+let ingest_batch_bulk t (env : Node_env.t) ~from txs =
+  let from_id = env.id_of from in
+  let keep tx =
+    if Adversary.censors_tx t.adversary tx then begin
+      env.record_deviation ~kind:"censor-content" ~height:None;
+      false
+    end
+    else true
+  in
+  let result =
+    Mempool.ingest_batch ~canonical:t.canonical ~keep ~scheme:env.config.scheme
+      ~known:(fun short -> Commitment.Log.contains env.primary_log short)
+      ~commit:(fun ids -> env.commit ~source:(Some from_id) ~ids)
+      ~received_at:(env.now ()) ~from_peer:(Some from_id) t.mempool txs
+  in
+  List.iter
+    (fun e ->
+      Hashtbl.remove t.missing e.Mempool.short_id;
+      env.hooks.on_tx_content e.Mempool.tx)
+    result.Mempool.accepted
+
 let ingest_batch t (env : Node_env.t) ~from txs =
   let from_id = env.id_of from in
   List.iter

@@ -53,4 +53,13 @@ val store_content : t -> Node_env.t -> Tx.t -> from_peer:string option -> unit
 
 val ingest_batch : t -> Node_env.t -> from:int -> Tx.t list -> unit
 (** Handle a {!Messages.Tx_batch}: prevalidate, apply Stage-II
-    censorship, commit previously unseen ids and store content. *)
+    censorship, commit previously unseen ids and store content — one
+    commitment bundle per transaction (the DES path; golden traces pin
+    this granularity). *)
+
+val ingest_batch_bulk : t -> Node_env.t -> from:int -> Tx.t list -> unit
+(** The batched admission path ({!Mempool.ingest_batch}): signatures
+    verified in one batch, fresh ids committed as ONE bundle with a
+    single digest update. Mempool contents and the committed id set
+    match {!ingest_batch}; only the bundle granularity (digest seq)
+    differs. Used by the live backend. *)

@@ -14,7 +14,12 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?initial_capacity:int -> unit -> t
+(** [initial_capacity] pre-sizes the internal tables (default 512).
+    Pass the expected transaction count when it is known up front —
+    sustained ingest at six-figure tx/s otherwise spends a measurable
+    slice of its budget rehashing through the doubling ladder. *)
+
 val size : t -> int
 
 val add :
@@ -22,6 +27,40 @@ val add :
   [ `Added of entry | `Duplicate ]
 (** [`Duplicate] covers both a repeated transaction and the (negligible
     but handled) short-id collision with a different transaction. *)
+
+type batch_result = {
+  accepted : entry list;  (** newly stored, in batch order *)
+  invalid : (int * string) list;  (** input index and reason, ascending *)
+  duplicates : int;  (** valid but already stored *)
+  committed : int list;
+      (** the fresh short ids handed to [commit], in batch order *)
+}
+
+val ingest_batch :
+  ?canonical:(Tx.t -> Tx.t) ->
+  ?keep:(Tx.t -> bool) ->
+  scheme:Lo_crypto.Signer.scheme ->
+  known:(int -> bool) ->
+  commit:(int list -> unit) ->
+  received_at:float ->
+  from_peer:string option ->
+  t ->
+  Tx.t list ->
+  batch_result
+(** Batched admission (the throughput tier): bounds-check every
+    transaction, verify all surviving signatures in one
+    {!Lo_crypto.Signer.verify_many} call, store the valid ones, and
+    call [commit] ONCE with every short id that is neither [known]
+    (already committed) nor repeated in the batch — one commitment
+    bundle, one digest update, per batch.
+
+    [canonical] collapses each decoded transaction onto its pooled
+    instance (pass {!Interner.Tx_pool.canonical}); [keep] is the
+    censorship filter applied after validation (default: keep all).
+    Per-transaction outcomes — which transactions are stored, rejected
+    or duplicate, and which ids reach the commitment log — match the
+    iterated single-transaction path exactly; qcheck pins the
+    equivalence including the final mempool state and digest. *)
 
 val mem_short : t -> int -> bool
 val find_short : t -> int -> entry option

@@ -106,8 +106,7 @@ let encode_into w msg =
 
 let encode msg = encode_into (Writer.create ~initial_size:128 ()) msg
 
-let decode s =
-  let r = Reader.of_string s in
+let decode_reader r =
   let msg =
     match Reader.u8 r with
     | 0 -> Submit (Tx.decode r)
@@ -155,5 +154,7 @@ let decode s =
   in
   Reader.expect_end r;
   msg
+
+let decode s = decode_reader (Reader.of_string s)
 
 let size msg = String.length (encode msg)

@@ -61,4 +61,10 @@ val encode_into : Lo_codec.Writer.t -> t -> string
 val decode : string -> t
 (** @raise Lo_codec.Reader.Malformed on invalid input. *)
 
+val decode_reader : Lo_codec.Reader.t -> t
+(** [decode] straight out of a reader view — the zero-copy wire path
+    hands in a {!Lo_codec.Reader.sub_view} over the receive buffer, so
+    the payload is never copied into an intermediate string. Consumes
+    the view to its end ([Malformed] on trailing bytes). *)
+
 val size : t -> int

@@ -328,16 +328,16 @@ let canon_digest t (d : Commitment.digest) =
   let owner = Directory.canonical t.directory d.Commitment.owner in
   if owner == d.Commitment.owner then d else { d with Commitment.owner = owner }
 
-let handle_message t ~from ~tag payload =
-  if Adversary.drops_all_messages t.behavior then
-    (* Drops everything: the Fig. 6 faulty miner. Ground truth only
-       counts ignored commit requests — those are the drops the
-       requester's retry escalation is guaranteed to notice. *)
-    (if String.equal tag "lo:commit-req" then
-       record_deviation t ~kind:"silent-drop" ~height:None)
-  else begin
-    match Messages.decode payload with
-    | exception Lo_codec.Reader.Malformed _ -> ()
+(* Drops everything: the Fig. 6 faulty miner. Ground truth only counts
+   ignored commit requests — those are the drops the requester's retry
+   escalation is guaranteed to notice. *)
+let note_dropped_message t ~tag =
+  if String.equal tag "lo:commit-req" then
+    record_deviation t ~kind:"silent-drop" ~height:None
+
+let dispatch_message t ~from msg =
+  begin
+    match msg with
     | Messages.Submit tx ->
         submit_tx t tx;
         (* Acknowledge the client (Stage I step 3). A censoring miner
@@ -371,6 +371,26 @@ let handle_message t ~from ~tag payload =
     | Messages.Block_announce block ->
         Block_pipeline.accept_block t.pipeline (env t) block ~from
   end
+
+let handle_message t ~from ~tag payload =
+  if Adversary.drops_all_messages t.behavior then note_dropped_message t ~tag
+  else
+    match Messages.decode payload with
+    | exception Lo_codec.Reader.Malformed _ -> ()
+    | msg -> dispatch_message t ~from msg
+
+(* The zero-copy wire path: decode straight out of a frame view over
+   the receive buffer. Same containment as [handle_message], but
+   [Tx_batch] takes the batched admission pipeline — one signature
+   batch, one commitment bundle — instead of the per-tx DES path. *)
+let handle_message_view t ~from ~tag r =
+  if Adversary.drops_all_messages t.behavior then note_dropped_message t ~tag
+  else
+    match Messages.decode_reader r with
+    | exception Lo_codec.Reader.Malformed _ -> ()
+    | Messages.Tx_batch txs ->
+        Content_sync.ingest_batch_bulk t.content (env t) ~from txs
+    | msg -> dispatch_message t ~from msg
 
 (* --- periodic timers --- *)
 

@@ -119,6 +119,16 @@ val start : t -> unit
     the crash-recovery path) and schedule the periodic reconciliation
     and digest-share timers (staggered by a random offset). *)
 
+val handle_message_view : t -> from:int -> tag:string -> Lo_codec.Reader.t -> unit
+(** Handle one wire message decoded straight out of a reader view over
+    the transport's receive buffer (no intermediate payload string).
+    Behaviour matches the subscription handler {!start} registers,
+    except [Tx_batch] is admitted through the batched pipeline
+    ({!Content_sync.ingest_batch_bulk}): one signature batch, one
+    commitment bundle per frame. Used by the live TCP backend; the view
+    must not be retained past the call. Malformed input is contained
+    (the message is dropped). *)
+
 val handle_restart : t -> unit
 (** The recovery path, run via the transport's restart handler (the DES
     backend wires it to {!Lo_net.Network.restart}):

@@ -33,7 +33,10 @@ let build_fifo input =
     | rest -> (start, rest)
   in
   let start_seq, bundles = split_prefix 0 bundles in
-  let txids = ref [] and sizes_rev = ref [] and omissions = ref [] in
+  (* All three output lists are accumulated in reverse and flipped once
+     at the end: appending with [@] per bundle made the build quadratic
+     in the bundle count (the fig8 build-fifo outlier). *)
+  let txids_rev = ref [] and sizes_rev = ref [] and omissions_rev = ref [] in
   let total = ref 0 and covered = ref start_seq in
   (* Bundles are taken whole, in order, until blockspace runs out: a
      partially included bundle would be indistinguishable from
@@ -59,26 +62,28 @@ let build_fifo input =
            Order.sort_bundle ~seed:input.seed ~bundle_seq:seq
              (List.map Short_id.of_txid !included)
          in
-         if !total + List.length ordered > input.max_txs then raise Exit;
+         let len = List.length ordered in
+         if !total + len > input.max_txs then raise Exit;
          (* Map the ordered short ids back to full txids. *)
          let by_short = Hashtbl.create 16 in
          List.iter
            (fun txid -> Hashtbl.replace by_short (Short_id.of_txid txid) txid)
            !included;
-         let ordered_txids =
-           List.map (fun id -> Hashtbl.find by_short id) ordered
-         in
-         txids := !txids @ ordered_txids;
-         sizes_rev := List.length ordered_txids :: !sizes_rev;
-         omissions := !omissions @ List.rev !bundle_omissions;
-         total := !total + List.length ordered_txids;
+         List.iter
+           (fun id -> txids_rev := Hashtbl.find by_short id :: !txids_rev)
+           ordered;
+         sizes_rev := len :: !sizes_rev;
+         (* [bundle_omissions] is already reversed, so prepending it
+            keeps the accumulator in overall reverse order. *)
+         omissions_rev := !bundle_omissions @ !omissions_rev;
+         total := !total + len;
          covered := seq)
        bundles
    with Exit -> ());
   {
-    txids = !txids;
+    txids = List.rev !txids_rev;
     bundle_sizes = List.rev !sizes_rev;
-    omissions = !omissions;
+    omissions = List.rev !omissions_rev;
     start_seq;
     covered_seq = !covered;
   }

@@ -32,6 +32,10 @@ let signing_bytes ~origin ~fee ~created_at ~payload =
   encode_unsigned w ~origin ~fee ~created_at ~payload;
   Writer.contents w
 
+let varint_size v =
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1
+
 let create ~signer ~fee ~created_at ~payload =
   if fee < 0 then invalid_arg "Tx.create: negative fee";
   if String.length payload > max_payload_size then
@@ -45,14 +49,32 @@ let create ~signer ~fee ~created_at ~payload =
 let short_id t = Short_id.of_txid t.id
 
 let decode r =
+  let start = Reader.pos r in
   let origin = Reader.fixed r Signer.id_size in
   let fee = Reader.varint r in
-  let created_at = time_of_micros (Reader.u64 r) in
+  let fee_end = Reader.pos r in
+  let us = Reader.u64 r in
+  let created_at = time_of_micros us in
   let payload = Reader.bytes r in
   if String.length payload > max_payload_size then
     raise (Reader.Malformed "tx payload too large");
+  let unsigned_end = Reader.pos r in
   let signature = Reader.fixed r Signer.signature_size in
-  let unsigned = signing_bytes ~origin ~fee ~created_at ~payload in
+  (* The id covers the canonical unsigned encoding. On canonical input
+     — minimal varints, round-trippable timestamp — that encoding IS
+     the wire span just decoded, so it can be sliced out instead of
+     re-encoded through a fresh Writer. Non-minimal (but parseable)
+     input falls back to re-encoding, preserving the semantics that the
+     id is always computed over the canonical form. *)
+  let unsigned =
+    if
+      fee_end - start - Signer.id_size = varint_size fee
+      && unsigned_end - fee_end - 8 - String.length payload
+         = varint_size (String.length payload)
+      && micros_of_time created_at = us
+    then Reader.slice r ~from:start ~until:unsigned_end
+    else signing_bytes ~origin ~fee ~created_at ~payload
+  in
   let id = Lo_crypto.Sha256.digest_list [ unsigned; signature ] in
   { id; origin; fee; created_at; payload; signature }
 
@@ -67,20 +89,25 @@ let of_string s =
   Reader.expect_end r;
   t
 
-let encoded_size t = String.length (to_string t)
+(* Wire-layout arithmetic, not a re-encode: fixed origin, fee varint,
+   8-byte timestamp, length-prefixed payload, fixed signature. *)
+let encoded_size t =
+  String.length t.origin + varint_size t.fee + 8
+  + varint_size (String.length t.payload)
+  + String.length t.payload + String.length t.signature
+
+let unsigned_bytes t =
+  signing_bytes ~origin:t.origin ~fee:t.fee ~created_at:t.created_at
+    ~payload:t.payload
 
 let prevalidate scheme t =
   if t.fee < 0 then Error "negative fee"
   else if String.length t.payload > max_payload_size then Error "oversized payload"
-  else begin
-    let unsigned =
-      signing_bytes ~origin:t.origin ~fee:t.fee ~created_at:t.created_at
-        ~payload:t.payload
-    in
-    if Signer.verify scheme ~id:t.origin ~msg:unsigned ~signature:t.signature
-    then Ok ()
-    else Error "invalid signature"
-  end
+  else if
+    Signer.verify scheme ~id:t.origin ~msg:(unsigned_bytes t)
+      ~signature:t.signature
+  then Ok ()
+  else Error "invalid signature"
 
 let equal a b = String.equal a.id b.id
 

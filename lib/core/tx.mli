@@ -34,6 +34,11 @@ val encoded_size : t -> int
 val max_payload_size : int
 (** Prevalidation bound (16 KiB). *)
 
+val unsigned_bytes : t -> string
+(** The canonical unsigned encoding — the bytes the origin signed (and
+    the prefix of the full encoding the id digests). The batched
+    admission path feeds these to {!Lo_crypto.Signer.verify_many}. *)
+
 val prevalidate : Lo_crypto.Signer.scheme -> t -> (unit, string) result
 (** Signature, fee >= 0, payload size; the checks of paper Stage I
     step 2. *)

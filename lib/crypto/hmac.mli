@@ -5,3 +5,15 @@ val sha256 : key:string -> string -> string
 
 val sha256_list : key:string -> string list -> string
 (** Tag of the concatenation of the given message parts. *)
+
+(** Midstate-cached HMAC for a fixed key: the two pad-block compressions
+    are precomputed at {!Keyed.create}, halving the per-message cost for
+    short messages. [Keyed.sha256 (Keyed.create ~key) msg] is
+    byte-identical to [sha256 ~key msg] (qcheck-pinned). *)
+module Keyed : sig
+  type t
+
+  val create : key:string -> t
+  val sha256 : t -> string -> string
+  val sha256_list : t -> string list -> string
+end

@@ -23,3 +23,29 @@ val sign : secret_key -> string -> string
 (** [sign sk msg] is a 64-byte signature over [msg]. *)
 
 val verify : public_key -> msg:string -> signature:string -> bool
+(** The reference verifier (generic double-and-add, one signature at a
+    time). {!batch_verify} is qcheck-pinned against it. *)
+
+val batch_verify :
+  ?run_chunks:((unit -> bool) list -> bool list) ->
+  (public_key * string * string) array ->
+  [ `All_valid | `Invalid of int list ]
+(** [batch_verify sigs] checks an array of [(pk, msg, signature)]
+    triples and either declares them all valid or names the invalid
+    indices (sorted). Outcome-equivalent to calling {!verify} on each
+    triple, but amortised: a per-domain fixed-base table for [s*G], one
+    wNAF precomputation per distinct public key, and one Montgomery
+    inversion per chunk of {!batch_chunk} signatures.
+
+    Accountability survives batching through bisection: the fast kernel
+    only narrows dirty chunks, and an index is blamed only after the
+    reference {!verify} confirms it, so a fast-path bug can never frame
+    an honest signer.
+
+    [run_chunks] runs the independent per-chunk checks — pass
+    [Lo_sim.Parallel.map]-backed fan-out to spread chunks across
+    domains (each chunk builds its own scratch); the default runs them
+    sequentially. It must preserve list order and length. *)
+
+val batch_chunk : int
+(** Signatures per kernel chunk (the bisection granularity). *)

@@ -94,10 +94,38 @@ let of_affine ~x ~y =
 
 let to_affine pt =
   if is_infinity pt then None
+  else if Uint256.equal pt.z Uint256.one then Some (pt.x, pt.y)
   else
     let zi = field_inv pt.z in
     let zi2 = field_sq zi in
     Some (field_mul pt.x zi2, field_mul pt.y (field_mul zi2 zi))
+
+(* Montgomery's trick: normalise a whole array of points with a single
+   field inversion. [prefix.(i)] holds the product of the non-infinity
+   z's strictly before [i]; walking backwards with the inverse of the
+   full product peels off one z^-1 per step at the cost of two
+   multiplications. *)
+let to_affine_batch pts =
+  let len = Array.length pts in
+  let prefix = Array.make len Uint256.one in
+  let acc = ref Uint256.one in
+  Array.iteri
+    (fun i pt ->
+      prefix.(i) <- !acc;
+      if not (is_infinity pt) then acc := field_mul !acc pt.z)
+    pts;
+  let inv = ref (if Uint256.equal !acc Uint256.one then Uint256.one else field_inv !acc) in
+  let out = Array.make len None in
+  for i = len - 1 downto 0 do
+    let pt = pts.(i) in
+    if not (is_infinity pt) then begin
+      let zi = field_mul !inv prefix.(i) in
+      inv := field_mul !inv pt.z;
+      let zi2 = field_sq zi in
+      out.(i) <- Some (field_mul pt.x zi2, field_mul pt.y (field_mul zi2 zi))
+    end
+  done;
+  out
 
 let neg pt = if is_infinity pt then pt else { pt with y = field_sub Uint256.zero pt.y }
 
@@ -148,6 +176,184 @@ let mul scalar pt =
   !acc
 
 let g = of_affine ~x:gx ~y:gy
+
+(* Mixed addition: the second operand is affine (z = 1), which saves a
+   square and three multiplications over the general Jacobian add. Table
+   entries are stored affine precisely so the hot loops land here. *)
+let add_affine pt (x2, y2) =
+  if is_infinity pt then { x = x2; y = y2; z = Uint256.one }
+  else begin
+    let z1z1 = field_sq pt.z in
+    let u2 = field_mul x2 z1z1 in
+    let s2 = field_mul y2 (field_mul z1z1 pt.z) in
+    if Uint256.equal pt.x u2 then
+      if Uint256.equal pt.y s2 then double pt else infinity
+    else begin
+      let h = field_sub u2 pt.x in
+      let r = field_sub s2 pt.y in
+      let h2 = field_sq h in
+      let h3 = field_mul h2 h in
+      let u1h2 = field_mul pt.x h2 in
+      let x3 = field_sub (field_sub (field_sq r) h3) (field_add u1h2 u1h2) in
+      let y3 = field_sub (field_mul r (field_sub u1h2 x3)) (field_mul pt.y h3) in
+      let z3 = field_mul h pt.z in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
+
+(* --- Fixed-base multiplication by G.
+
+   The scalar is cut into [window_w]-bit digits; digit [d] of window [w]
+   contributes d * 2^(window_w * w) * G, read from a table of affine
+   points. A full mul_g is then ~43 mixed additions and no doublings,
+   against 256 doublings + ~128 additions for the generic ladder. The
+   table (43 windows x 63 non-zero digits, ~2700 points) is built once
+   per domain on first use, normalised to affine with a single batched
+   inversion, and lives in domain-local storage so concurrent domains
+   never share mutable state. --- *)
+
+let window_w = 6
+let g_windows = (256 + window_w - 1) / window_w
+let g_digits = (1 lsl window_w) - 1
+
+let build_g_table () =
+  let jac = Array.make (g_windows * g_digits) infinity in
+  let base = ref g in
+  for win = 0 to g_windows - 1 do
+    let row = win * g_digits in
+    jac.(row) <- !base;
+    for j = 1 to g_digits - 1 do
+      jac.(row + j) <- add jac.(row + j - 1) !base
+    done;
+    for _ = 1 to window_w do
+      base := double !base
+    done
+  done;
+  (* No j * 2^(6w) with 1 <= j <= 63 is a multiple of the (odd, ~2^256)
+     group order, so no table entry is the point at infinity. *)
+  Array.map
+    (function Some xy -> xy | None -> assert false)
+    (to_affine_batch jac)
+
+let g_table_key = Domain.DLS.new_key build_g_table
+
+let window_digit scalar win =
+  let base = win * window_w in
+  let d = ref 0 in
+  for b = window_w - 1 downto 0 do
+    let i = base + b in
+    d := (!d lsl 1) lor (if i < 256 && Uint256.bit scalar i then 1 else 0)
+  done;
+  !d
+
+let mul_g scalar =
+  let tbl = Domain.DLS.get g_table_key in
+  let acc = ref infinity in
+  for win = 0 to g_windows - 1 do
+    let d = window_digit scalar win in
+    if d <> 0 then acc := add_affine !acc tbl.((win * g_digits) + d - 1)
+  done;
+  !acc
+
+(* --- Width-5 wNAF for arbitrary points: signed digits in
+   {0, ±1, ±3, ..., ±15}, at most one non-zero per 5 consecutive
+   positions, so a 256-bit multiplication costs 256 doublings plus ~43
+   mixed additions against a table of 8 precomputed odd multiples. --- *)
+
+let wnaf_w = 5
+
+let wnaf_digits scalar =
+  (* Mutable little-endian 16-bit limbs; one extra limb absorbs the
+     temporary overflow when a negative digit is added back. *)
+  let limbs = Array.append (Uint256.to_limbs scalar) [| 0 |] in
+  let nlimbs = Array.length limbs in
+  let is_zero () =
+    let z = ref true in
+    for i = 0 to nlimbs - 1 do
+      if limbs.(i) <> 0 then z := false
+    done;
+    !z
+  in
+  let shr1 () =
+    for i = 0 to nlimbs - 1 do
+      let next = if i + 1 < nlimbs then limbs.(i + 1) else 0 in
+      limbs.(i) <- (limbs.(i) lsr 1) lor ((next land 1) lsl 15)
+    done
+  in
+  let sub_small d =
+    let borrow = ref d and i = ref 0 in
+    while !borrow <> 0 do
+      let v = limbs.(!i) - !borrow in
+      if v >= 0 then begin
+        limbs.(!i) <- v;
+        borrow := 0
+      end
+      else begin
+        limbs.(!i) <- v + 0x10000;
+        borrow := 1
+      end;
+      incr i
+    done
+  in
+  let add_small d =
+    let carry = ref d and i = ref 0 in
+    while !carry <> 0 do
+      let v = limbs.(!i) + !carry in
+      limbs.(!i) <- v land 0xFFFF;
+      carry := v lsr 16;
+      incr i
+    done
+  in
+  let half = 1 lsl (wnaf_w - 1) and full = 1 lsl wnaf_w in
+  let digits = Array.make 258 0 in
+  let len = ref 0 in
+  while not (is_zero ()) do
+    if limbs.(0) land 1 = 1 then begin
+      let d = limbs.(0) land (full - 1) in
+      let d = if d >= half then d - full else d in
+      digits.(!len) <- d;
+      if d > 0 then sub_small d else add_small (-d)
+    end;
+    shr1 ();
+    incr len
+  done;
+  (digits, !len)
+
+type precomp = (Uint256.t * Uint256.t) array
+
+let precompute pt =
+  if is_infinity pt then invalid_arg "Secp256k1.precompute: infinity";
+  let jac = Array.make 8 pt in
+  let twop = double pt in
+  for i = 1 to 7 do
+    jac.(i) <- add jac.(i - 1) twop
+  done;
+  (* Odd multiples of a point of prime order ~2^256 are never infinity. *)
+  Array.map
+    (function Some xy -> xy | None -> assert false)
+    (to_affine_batch jac)
+
+let mul_precomp scalar tbl =
+  let digits, len = wnaf_digits scalar in
+  let acc = ref infinity in
+  for i = len - 1 downto 0 do
+    acc := double !acc;
+    let d = digits.(i) in
+    if d > 0 then acc := add_affine !acc tbl.((d - 1) / 2)
+    else if d < 0 then begin
+      let x, y = tbl.(((-d) - 1) / 2) in
+      acc := add_affine !acc (x, field_sub Uint256.zero y)
+    end
+  done;
+  !acc
+
+let mul_add_precomp ~g_scalar scalar tbl =
+  if Uint256.is_zero scalar then mul_g g_scalar
+  else add (mul_g g_scalar) (mul_precomp scalar tbl)
+
+let mul_add ~g_scalar scalar pt =
+  if is_infinity pt || Uint256.is_zero scalar then mul_g g_scalar
+  else mul_add_precomp ~g_scalar scalar (precompute pt)
 
 let equal pt1 pt2 =
   match (to_affine pt1, to_affine pt2) with

@@ -33,7 +33,34 @@ val add : point -> point -> point
 val double : point -> point
 
 val mul : Uint256.t -> point -> point
-(** Scalar multiplication (double-and-add). *)
+(** Scalar multiplication (double-and-add). The reference ladder: every
+    fast path below is qcheck-pinned against it. *)
+
+val mul_g : Uint256.t -> point
+(** [mul_g k] is [mul k g] through a per-domain fixed-base window table
+    (~43 mixed additions, no doublings). The table is built lazily on
+    first use in each domain and normalised to affine with one batched
+    inversion. *)
+
+type precomp
+(** Precomputed odd multiples of a point for width-5 wNAF
+    multiplication; build once per point, reuse across scalars. *)
+
+val precompute : point -> precomp
+(** @raise Invalid_argument on the point at infinity. *)
+
+val mul_add : g_scalar:Uint256.t -> Uint256.t -> point -> point
+(** [mul_add ~g_scalar:a b p] is [a*G + b*p], combining the fixed-base
+    table for [G] with a wNAF ladder for [p] — the Schnorr verification
+    shape [s*G + (n-e)*P]. *)
+
+val mul_add_precomp : g_scalar:Uint256.t -> Uint256.t -> precomp -> point
+(** [mul_add] against an existing {!precompute} table, for verifying
+    many signatures under the same public key. *)
+
+val to_affine_batch : point array -> (Uint256.t * Uint256.t) option array
+(** Normalise a whole array of points with a single field inversion
+    (Montgomery's trick); element-wise equal to {!to_affine}. *)
 
 val equal : point -> point -> bool
 

@@ -21,8 +21,14 @@ type ctx = {
   buf : Bytes.t; (* 64-byte block buffer *)
   mutable buf_len : int;
   mutable total : int; (* total bytes fed *)
-  w : int array; (* 64-entry message schedule, reused across blocks *)
 }
+
+(* The 64-entry message schedule is pure per-block scratch: it carries no
+   state between blocks, so one array per domain serves every context.
+   Keeping it out of [ctx] makes [init]/[copy] cheap — the ingest hot
+   path creates short-lived contexts (tx ids, HMAC midstate copies) at a
+   rate where a 64-word allocation per context shows up in GC time. *)
+let w_key = Domain.DLS.new_key (fun () -> Array.make 64 0)
 
 let init () =
   {
@@ -32,23 +38,29 @@ let init () =
     buf = Bytes.create 64;
     buf_len = 0;
     total = 0;
-    w = Array.make 64 0;
+  }
+
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
   }
 
 let[@inline] rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
-let compress ctx block off =
+let compress h (w : int array) block off =
   (* Bounds are established once by the callers ([feed_bytes] validates
-     the whole range), so the block load and schedule expansion use
-     unchecked accesses. *)
-  let w = ctx.w in
-  for i = 0 to 15 do
-    let j = off + (4 * i) in
-    Array.unsafe_set w i
-      ((Char.code (Bytes.unsafe_get block j) lsl 24)
-      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
-      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
-      lor Char.code (Bytes.unsafe_get block (j + 3)))
+     the whole range), so the schedule expansion and state walk use
+     unchecked accesses; the block itself is loaded eight bytes at a
+     time ([get_int64_be] keeps its own cheap bounds check). *)
+  for i = 0 to 7 do
+    let v = Bytes.get_int64_be block (off + (8 * i)) in
+    (* A logical shift before [to_int] — the straight 64-to-63-bit
+       truncation would drop bit 63, the top bit of the first byte. *)
+    Array.unsafe_set w (2 * i) (Int64.to_int (Int64.shift_right_logical v 32));
+    Array.unsafe_set w ((2 * i) + 1) (Int64.to_int v land mask)
   done;
   for i = 16 to 63 do
     let w15 = Array.unsafe_get w (i - 15) and w2 = Array.unsafe_get w (i - 2) in
@@ -58,46 +70,163 @@ let compress ctx block off =
       ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
       land mask)
   done;
-  let h = ctx.h in
-  let a = ref h.(0)
-  and b = ref h.(1)
-  and c = ref h.(2)
-  and d = ref h.(3)
-  and e = ref h.(4)
-  and f = ref h.(5)
-  and g = ref h.(6)
-  and hh = ref h.(7) in
-  for i = 0 to 63 do
-    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-    let ch = !e land !f lxor (lnot !e land !g) in
+  (* Eight rounds per iteration, written out with the working variables
+     rebound through shifted positions — straight-line SSA the compiler
+     keeps in registers, with no per-round a..h shuffle. The refs are
+     only touched at the 8-round seams and never escape into a closure,
+     so they stay unboxed. *)
+  let ra = ref h.(0)
+  and rb = ref h.(1)
+  and rc = ref h.(2)
+  and rd = ref h.(3)
+  and re = ref h.(4)
+  and rf = ref h.(5)
+  and rg = ref h.(6)
+  and rh = ref h.(7) in
+  for i = 0 to 7 do
+    let base = 8 * i in
+    let a = !ra and b = !rb and c = !rc and d = !rd in
+    let e = !re and f = !rf and g = !rg and hv = !rh in
     let t1 =
-      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k base + Array.unsafe_get w base)
+      land mask
     in
-    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-    let maj = !a land !b lxor (!a land !c) lxor (!b land !c) in
-    let t2 = (s0 + maj) land mask in
-    hh := !g;
-    g := !f;
-    f := !e;
-    e := (!d + t1) land mask;
-    d := !c;
-    c := !b;
-    b := !a;
-    a := (t1 + t2) land mask
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    let hv = g and g = f and f = e and e = (d + t1) land mask in
+    let d = c and c = b and b = a and a = (t1 + t2) land mask in
+    let t1 =
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k (base + 1)
+      + Array.unsafe_get w (base + 1))
+      land mask
+    in
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    let hv = g and g = f and f = e and e = (d + t1) land mask in
+    let d = c and c = b and b = a and a = (t1 + t2) land mask in
+    let t1 =
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k (base + 2)
+      + Array.unsafe_get w (base + 2))
+      land mask
+    in
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    let hv = g and g = f and f = e and e = (d + t1) land mask in
+    let d = c and c = b and b = a and a = (t1 + t2) land mask in
+    let t1 =
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k (base + 3)
+      + Array.unsafe_get w (base + 3))
+      land mask
+    in
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    let hv = g and g = f and f = e and e = (d + t1) land mask in
+    let d = c and c = b and b = a and a = (t1 + t2) land mask in
+    let t1 =
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k (base + 4)
+      + Array.unsafe_get w (base + 4))
+      land mask
+    in
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    let hv = g and g = f and f = e and e = (d + t1) land mask in
+    let d = c and c = b and b = a and a = (t1 + t2) land mask in
+    let t1 =
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k (base + 5)
+      + Array.unsafe_get w (base + 5))
+      land mask
+    in
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    let hv = g and g = f and f = e and e = (d + t1) land mask in
+    let d = c and c = b and b = a and a = (t1 + t2) land mask in
+    let t1 =
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k (base + 6)
+      + Array.unsafe_get w (base + 6))
+      land mask
+    in
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    let hv = g and g = f and f = e and e = (d + t1) land mask in
+    let d = c and c = b and b = a and a = (t1 + t2) land mask in
+    let t1 =
+      (hv
+      + (rotr e 6 lxor rotr e 11 lxor rotr e 25)
+      + (e land f lxor (lnot e land g))
+      + Array.unsafe_get k (base + 7)
+      + Array.unsafe_get w (base + 7))
+      land mask
+    in
+    let t2 =
+      ((rotr a 2 lxor rotr a 13 lxor rotr a 22)
+      + (a land b lxor (a land c) lxor (b land c)))
+      land mask
+    in
+    ra := (t1 + t2) land mask;
+    rb := a;
+    rc := b;
+    rd := c;
+    re := (d + t1) land mask;
+    rf := e;
+    rg := f;
+    rh := g
   done;
-  h.(0) <- (h.(0) + !a) land mask;
-  h.(1) <- (h.(1) + !b) land mask;
-  h.(2) <- (h.(2) + !c) land mask;
-  h.(3) <- (h.(3) + !d) land mask;
-  h.(4) <- (h.(4) + !e) land mask;
-  h.(5) <- (h.(5) + !f) land mask;
-  h.(6) <- (h.(6) + !g) land mask;
-  h.(7) <- (h.(7) + !hh) land mask
+  h.(0) <- (h.(0) + !ra) land mask;
+  h.(1) <- (h.(1) + !rb) land mask;
+  h.(2) <- (h.(2) + !rc) land mask;
+  h.(3) <- (h.(3) + !rd) land mask;
+  h.(4) <- (h.(4) + !re) land mask;
+  h.(5) <- (h.(5) + !rf) land mask;
+  h.(6) <- (h.(6) + !rg) land mask;
+  h.(7) <- (h.(7) + !rh) land mask
 
 let feed_bytes ctx b off len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Sha256.feed_bytes";
   ctx.total <- ctx.total + len;
+  let w = Domain.DLS.get w_key in
   let pos = ref off and remaining = ref len in
   (* Top up a partially filled block buffer first. *)
   if ctx.buf_len > 0 then begin
@@ -107,12 +236,12 @@ let feed_bytes ctx b off len =
     pos := !pos + take;
     remaining := !remaining - take;
     if ctx.buf_len = 64 then begin
-      compress ctx ctx.buf 0;
+      compress ctx.h w ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
   while !remaining >= 64 do
-    compress ctx b !pos;
+    compress ctx.h w b !pos;
     pos := !pos + 64;
     remaining := !remaining - 64
   done;

@@ -10,6 +10,11 @@ type ctx
 val init : unit -> ctx
 (** Fresh context for an empty message. *)
 
+val copy : ctx -> ctx
+(** Independent snapshot of a context: feeding or finalizing the copy
+    leaves the original untouched. The basis of HMAC midstate caching
+    ({!Hmac.Keyed}). *)
+
 val feed : ctx -> string -> unit
 (** [feed ctx s] absorbs all bytes of [s]. *)
 

@@ -22,6 +22,15 @@ val make : scheme -> seed:string -> t
 (** Deterministically derive a signer from seed bytes. *)
 
 val verify : scheme -> id:string -> msg:string -> signature:string -> bool
+
+val verify_many : scheme -> (string * string * string) array -> int list
+(** [verify_many scheme sigs] checks an array of [(id, msg, signature)]
+    triples and returns the indices that fail (sorted; [[]] means all
+    valid). Outcome-equivalent to calling {!verify} per triple, but
+    batched: Schnorr goes through {!Schnorr.batch_verify} (amortised
+    point arithmetic, bisection accountability), the simulation scheme
+    through its per-signer HMAC midstate cache. *)
+
 val scheme_name : scheme -> string
 
 val schnorr : scheme

@@ -29,6 +29,12 @@ type frame = { version : int; src : int; tag : string; payload : string }
 val encode : src:int -> tag:string -> string -> string
 (** Whole frame, ready to write. *)
 
+val encode_into : Lo_codec.Writer.t -> src:int -> tag:string -> string -> unit
+(** Append one complete frame (length prefix included) to a
+    caller-owned writer {e without} resetting it — the pipelined send
+    path gathers a burst of frames into one writer and hands the socket
+    a single contiguous write. *)
+
 val decode_body : string -> frame
 (** Parse one frame body (everything after the length prefix).
     @raise Lo_codec.Reader.Malformed on structural garbage. *)
@@ -42,6 +48,11 @@ module Decoder : sig
   val feed : t -> ?off:int -> ?len:int -> string -> unit
   (** Append a received chunk (or a slice of it). *)
 
+  val feed_bytes : t -> Bytes.t -> int -> int -> unit
+  (** [feed_bytes t chunk off len]: append straight from the read
+      scratch buffer, skipping the [Bytes.sub_string] a string-typed
+      feed would force on every [read]. *)
+
   val next : t -> frame option
   (** The next complete frame, if buffered.
       @raise Lo_codec.Reader.Malformed on a corrupt stream (oversized
@@ -50,6 +61,26 @@ module Decoder : sig
       has been consumed, so feeding may continue; after an oversized
       prefix the stream position itself is lost and the caller should
       {!reset} (or drop the connection). *)
+
+  type view = {
+    v_version : int;
+    v_src : int;
+    v_tag : string;
+    v_payload : Lo_codec.Reader.t;
+  }
+  (** A decoded frame whose payload is a reader view {e into the
+      decoder's receive buffer} — no body copy. The view (and any
+      sub-views derived from it) is only valid until the decoder is
+      next touched: any [feed]/[feed_bytes]/[next]/[next_view]/[reset]
+      may move the underlying storage. Consume it fully before
+      advancing. *)
+
+  val next_view : t -> view option
+  (** Zero-copy variant of {!next}: same resync semantics (a malformed
+      body is consumed before the exception escapes), but the payload
+      stays in place. The tag and header fields are still materialised
+      (they are tiny); only the payload — the dominant bytes — is
+      borrowed. *)
 
   val buffered : t -> int
   (** Bytes held waiting for a complete frame. *)

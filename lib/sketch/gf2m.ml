@@ -113,6 +113,158 @@ let mul_by f b =
       end
   end
 
+(* The syndrome-accumulation kernel: s.(i) <- s.(i) xor base * step^i
+   for i in [0, n). This is [mul_by] fused into the Horner walk — the
+   window table, the reduction, and the running power all live in one
+   loop body, so there is no closure call per multiplication. On the
+   ingest hot path this runs once per transaction with n = sketch
+   capacity, which makes the per-multiplication constant the single
+   largest term in commit-append cost. *)
+let accum_powers f ~base ~step s ~n =
+  if n > Array.length s then invalid_arg "Gf2m.accum_powers: n";
+  if n > 0 && base <> 0 then begin
+    if step = 0 then s.(0) <- s.(0) lxor base
+    else if Array.length f.log_tbl <> 0 then begin
+      let log_tbl = f.log_tbl and exp_tbl = f.exp_tbl in
+      let log_step = Array.unsafe_get log_tbl step in
+      let p = ref base in
+      for i = 0 to n - 1 do
+        Array.unsafe_set s i (Array.unsafe_get s i lxor !p);
+        if i < n - 1 then
+          p :=
+            Array.unsafe_get exp_tbl (Array.unsafe_get log_tbl !p + log_step)
+      done
+    end
+    else if n < 16 then begin
+      (* Too short to amortise the window table; plain multiplies. *)
+      let p = ref base in
+      for i = 0 to n - 1 do
+        Array.unsafe_set s i (Array.unsafe_get s i lxor !p);
+        if i < n - 1 then p := mul_generic f !p step
+      done
+    end
+    else begin
+      let tab = Array.make 256 0 in
+      tab.(1) <- step;
+      for i = 1 to 127 do
+        let d = tab.(i) lsl 1 in
+        tab.(2 * i) <- d;
+        tab.((2 * i) + 1) <- d lxor step
+      done;
+      let m = f.m and msk = f.mask in
+      let shifts = f.mod_shifts in
+      let ns = Array.length shifts in
+      let max_shift = Array.fold_left max 0 shifts in
+      let fold q =
+        let hi = q lsr m in
+        let folded = ref (q land msk) in
+        for j = 0 to ns - 1 do
+          folded := !folded lxor (hi lsl Array.unsafe_get shifts j)
+        done;
+        !folded
+      in
+      if (2 * max_shift) - 2 < m then begin
+        (* Sparse low-degree modulus (every built-in field qualifies):
+           the first fold leaves a high part of degree <= max_shift - 2,
+           so a second fold always lands below degree m. Two unrolled
+           folds replace the reduction loop's per-round test. *)
+        let p = ref base in
+        for i = 0 to n - 1 do
+          Array.unsafe_set s i (Array.unsafe_get s i lxor !p);
+          if i < n - 1 then begin
+            (* base <> 0 and step <> 0, so every power is nonzero: no
+               zero-operand branch needed. Same degree argument as
+               [mul_by]: the raw product stays within 63 bits. *)
+            let a = !p in
+            let q = ref (Array.unsafe_get tab ((a lsr 24) land 0xFF)) in
+            q := (!q lsl 8) lxor Array.unsafe_get tab ((a lsr 16) land 0xFF);
+            q := (!q lsl 8) lxor Array.unsafe_get tab ((a lsr 8) land 0xFF);
+            q := (!q lsl 8) lxor Array.unsafe_get tab (a land 0xFF);
+            let q1 = fold !q in
+            p := if q1 lsr m = 0 then q1 else fold q1
+          end
+        done
+      end
+      else begin
+        let p = ref base in
+        for i = 0 to n - 1 do
+          Array.unsafe_set s i (Array.unsafe_get s i lxor !p);
+          if i < n - 1 then begin
+            let a = !p in
+            let q = ref (Array.unsafe_get tab ((a lsr 24) land 0xFF)) in
+            q := (!q lsl 8) lxor Array.unsafe_get tab ((a lsr 16) land 0xFF);
+            q := (!q lsl 8) lxor Array.unsafe_get tab ((a lsr 8) land 0xFF);
+            q := (!q lsl 8) lxor Array.unsafe_get tab (a land 0xFF);
+            while !q lsr m <> 0 do
+              q := fold !q
+            done;
+            p := !q
+          end
+        done
+      end
+    end
+  end
+
+(* Two accumulations in one pass: s.(i) <- s.(i) xor b1*s1^i xor
+   b2*s2^i. The two Horner chains are data-independent, so an
+   out-of-order core overlaps their multiply latencies, and the
+   syndrome array is traversed once instead of twice. Only the untabled
+   large-field case is specialised — it is the one the tx-id sketches
+   (GF(2^32), capacity 250) sit on; everything else falls back to two
+   single walks. *)
+let accum_powers2 f ~base1 ~step1 ~base2 ~step2 s ~n =
+  if
+    n >= 16 && base1 <> 0 && base2 <> 0 && step1 <> 0 && step2 <> 0
+    && Array.length f.log_tbl = 0
+    && (2 * Array.fold_left max 0 f.mod_shifts) - 2 < f.m
+  then begin
+    if n > Array.length s then invalid_arg "Gf2m.accum_powers2: n";
+    let tab1 = Array.make 256 0 and tab2 = Array.make 256 0 in
+    tab1.(1) <- step1;
+    tab2.(1) <- step2;
+    for i = 1 to 127 do
+      let d1 = tab1.(i) lsl 1 in
+      tab1.(2 * i) <- d1;
+      tab1.((2 * i) + 1) <- d1 lxor step1;
+      let d2 = tab2.(i) lsl 1 in
+      tab2.(2 * i) <- d2;
+      tab2.((2 * i) + 1) <- d2 lxor step2
+    done;
+    let m = f.m and msk = f.mask in
+    let shifts = f.mod_shifts in
+    let ns = Array.length shifts in
+    let fold q =
+      let hi = q lsr m in
+      let folded = ref (q land msk) in
+      for j = 0 to ns - 1 do
+        folded := !folded lxor (hi lsl Array.unsafe_get shifts j)
+      done;
+      !folded
+    in
+    let p1 = ref base1 and p2 = ref base2 in
+    for i = 0 to n - 1 do
+      Array.unsafe_set s i (Array.unsafe_get s i lxor !p1 lxor !p2);
+      if i < n - 1 then begin
+        let a1 = !p1 and a2 = !p2 in
+        let q1 = ref (Array.unsafe_get tab1 ((a1 lsr 24) land 0xFF))
+        and q2 = ref (Array.unsafe_get tab2 ((a2 lsr 24) land 0xFF)) in
+        q1 := (!q1 lsl 8) lxor Array.unsafe_get tab1 ((a1 lsr 16) land 0xFF);
+        q2 := (!q2 lsl 8) lxor Array.unsafe_get tab2 ((a2 lsr 16) land 0xFF);
+        q1 := (!q1 lsl 8) lxor Array.unsafe_get tab1 ((a1 lsr 8) land 0xFF);
+        q2 := (!q2 lsl 8) lxor Array.unsafe_get tab2 ((a2 lsr 8) land 0xFF);
+        q1 := (!q1 lsl 8) lxor Array.unsafe_get tab1 (a1 land 0xFF);
+        q2 := (!q2 lsl 8) lxor Array.unsafe_get tab2 (a2 land 0xFF);
+        let r1 = fold !q1 and r2 = fold !q2 in
+        p1 := (if r1 lsr m = 0 then r1 else fold r1);
+        p2 := (if r2 lsr m = 0 then r2 else fold r2)
+      end
+    done
+  end
+  else begin
+    accum_powers f ~base:base1 ~step:step1 s ~n;
+    accum_powers f ~base:base2 ~step:step2 s ~n
+  end
+
 (* Squaring = spreading each bit to the even positions; an 8-bit spread
    table does it in four lookups. *)
 let spread8 =

@@ -59,6 +59,31 @@ val mul_by : t -> int -> int -> int
 val tabled : t -> bool
 (** Whether this field carries log/antilog tables (m <= 16). *)
 
+val accum_powers : t -> base:int -> step:int -> int array -> n:int -> unit
+(** [accum_powers f ~base ~step s ~n] xors [base * step^i] into [s.(i)]
+    for [i] in [\[0, n)] — i.e. [s.(i) <- add s.(i) (mul f base
+    (step^i))]. This is the syndrome-accumulation inner loop of
+    [Sketch.add] as one fused kernel: the window table of [step], the
+    modular reduction, and the running power are all inlined, removing
+    the per-multiplication closure call that a {!mul_by} loop pays.
+    Semantically identical to the naive loop for every field and any
+    [base]/[step] (including zero). @raise Invalid_argument if [n]
+    exceeds [Array.length s]. *)
+
+val accum_powers2 :
+  t ->
+  base1:int ->
+  step1:int ->
+  base2:int ->
+  step2:int ->
+  int array ->
+  n:int ->
+  unit
+(** Two {!accum_powers} accumulations fused into one pass over [s]. The
+    two Horner chains are independent, so their multiply latencies
+    overlap and the array is traversed once. Semantically identical to
+    two sequential {!accum_powers} calls for any inputs. *)
+
 val sq : t -> int -> int
 val pow : t -> int -> int -> int
 (** [pow f a k] for [k >= 0]; [pow f a 0 = 1]. *)

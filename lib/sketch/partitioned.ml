@@ -21,9 +21,15 @@ let sketch_pair field capacity local remote =
   let merged = Sketch.merge sl sr in
   (merged, 2 * Sketch.serialized_size sl)
 
-let reconcile ?(field = Gf2m.gf32) ~capacity ~local ~remote () =
+let reconcile ?(field = Gf2m.gf32) ?(fast = true) ~capacity ~local ~remote () =
   let stats = ref empty_stats in
   let diff = ref [] in
+  (* The kernel path shares one decoder scratch across every partition
+     and hands each decode its candidate set (the partition's own
+     local/remote ids — the difference is a subset by construction).
+     Results are identical either way; [fast:false] keeps the reference
+     path alive for equivalence tests and benchmarks. *)
+  let scratch = if fast then Some (Sketch.Scratch.create ()) else None in
   (* Partition (depth, value): ids whose low [depth] bits equal [value]. *)
   let queue = Queue.create () in
   Queue.add (0, 0, local, remote) queue;
@@ -38,7 +44,14 @@ let reconcile ?(field = Gf2m.gf32) ~capacity ~local ~remote () =
         bytes_exchanged = !stats.bytes_exchanged + bytes;
         max_depth = max !stats.max_depth depth;
       };
-    match Sketch.decode merged with
+    let decoded =
+      if fast then
+        Sketch.decode_with ?scratch
+          ~candidates:(Array.of_list (List.rev_append l r))
+          merged
+      else Sketch.decode merged
+    in
+    match decoded with
     | Ok elements -> diff := List.rev_append elements !diff
     | Error `Decode_failure ->
         stats := { !stats with decode_failures = !stats.decode_failures + 1 };
@@ -55,7 +68,8 @@ let reconcile ?(field = Gf2m.gf32) ~capacity ~local ~remote () =
   done;
   (!stats, !diff)
 
-let reconcile_monolithic ?(field = Gf2m.gf32) ~capacity ~local ~remote () =
+let reconcile_monolithic ?(field = Gf2m.gf32) ?(fast = true) ~capacity ~local
+    ~remote () =
   let merged, bytes = sketch_pair field capacity local remote in
   let stats =
     {
@@ -65,6 +79,13 @@ let reconcile_monolithic ?(field = Gf2m.gf32) ~capacity ~local ~remote () =
       bytes_exchanged = bytes;
     }
   in
-  match Sketch.decode merged with
+  let decoded =
+    if fast then
+      Sketch.decode_with
+        ~candidates:(Array.of_list (List.rev_append local remote))
+        merged
+    else Sketch.decode merged
+  in
+  match decoded with
   | Ok elements -> (stats, Some elements)
   | Error `Decode_failure -> ({ stats with decode_failures = 1 }, None)

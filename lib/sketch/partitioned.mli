@@ -19,6 +19,7 @@ type stats = {
 
 val reconcile :
   ?field:Gf2m.t ->
+  ?fast:bool ->
   capacity:int ->
   local:int list ->
   remote:int list ->
@@ -28,10 +29,17 @@ val reconcile :
     nodes would: sketch both sides per partition, merge, decode; on
     decode failure split the partition by the next id bit and retry.
     Returns the recovered difference (unordered) together with the work
-    statistics. Elements must be nonzero field elements. *)
+    statistics. Elements must be nonzero field elements.
+
+    [fast] (default true) decodes through the kernel path — shared
+    decoder scratch across partitions plus candidate-driven root search
+    seeded with each partition's own ids ({!Sketch.decode_with}).
+    Outcome-equivalent to the reference path on every input
+    (qcheck-pinned); [fast:false] keeps the reference measurable. *)
 
 val reconcile_monolithic :
   ?field:Gf2m.t ->
+  ?fast:bool ->
   capacity:int ->
   local:int list ->
   remote:int list ->

@@ -14,29 +14,30 @@ let copy t = { t with syndromes = Array.copy t.syndromes }
 let add t e =
   if e <= 0 || e > Gf2m.mask t.field then invalid_arg "Sketch.add: element";
   (* Accumulate odd powers e^1, e^3, e^5, ... — the multiplier e^2 is
-     fixed across the loop, so its window precomputation is hoisted out
-     via [Gf2m.mul_by] when the capacity is large enough to amortise
-     it. *)
-  let e2 = Gf2m.sq t.field e in
-  let syndromes = t.syndromes in
-  let n = t.capacity in
-  if n >= 16 || Gf2m.tabled t.field then begin
-    let mul_e2 = Gf2m.mul_by t.field e2 in
-    let p = ref e in
-    for i = 0 to n - 1 do
-      Array.unsafe_set syndromes i (Array.unsafe_get syndromes i lxor !p);
-      if i < n - 1 then p := mul_e2 !p
-    done
-  end
-  else begin
-    let p = ref e in
-    for i = 0 to n - 1 do
-      Array.unsafe_set syndromes i (Array.unsafe_get syndromes i lxor !p);
-      if i < n - 1 then p := Gf2m.mul t.field !p e2
-    done
-  end
+     fixed across the loop, so the whole walk runs as one fused kernel
+     with the window table, reduction, and running power inlined. *)
+  Gf2m.accum_powers t.field ~base:e ~step:(Gf2m.sq t.field e) t.syndromes
+    ~n:t.capacity
 
-let add_all t es = List.iter (add t) es
+(* Pairs of elements share one syndrome pass (see
+   [Gf2m.accum_powers2]); element order is irrelevant since syndrome
+   accumulation is xor. *)
+let add_all t es =
+  let mask = Gf2m.mask t.field in
+  let rec go = function
+    | [] -> ()
+    | [ e ] -> add t e
+    | e1 :: e2 :: rest ->
+        if e1 <= 0 || e1 > mask || e2 <= 0 || e2 > mask then
+          invalid_arg "Sketch.add: element";
+        Gf2m.accum_powers2 t.field ~base1:e1
+          ~step1:(Gf2m.sq t.field e1)
+          ~base2:e2
+          ~step2:(Gf2m.sq t.field e2)
+          t.syndromes ~n:t.capacity;
+        go rest
+  in
+  go es
 
 let of_list ?field ~capacity es =
   let t = create ?field ~capacity () in
@@ -58,34 +59,95 @@ let truncate t ~capacity =
 
 let is_empty t = Array.for_all (fun s -> s = 0) t.syndromes
 
-let decode t =
+module Scratch = struct
+  type t = { bm : Berlekamp_massey.scratch; mutable ss : int array }
+
+  let create () = { bm = Berlekamp_massey.create_scratch (); ss = [||] }
+end
+
+(* Re-encode to rule out spurious decodes beyond capacity. *)
+let reencode_check t elements =
+  let check = create ~field:t.field ~capacity:t.capacity () in
+  add_all check elements;
+  if Array.for_all2 ( = ) check.syndromes t.syndromes then Ok elements
+  else Error `Decode_failure
+
+(* Candidate-driven root search: in set reconciliation the decoded
+   difference is a subset of [local union remote], so instead of
+   factoring the locator by trace splitting we evaluate its reversal at
+   each candidate element (the reversal's roots are the elements
+   themselves, no inversions needed). If the locator has degree l and l
+   distinct candidates are roots, those are all its roots and the
+   polynomial provably splits completely — exactly the cases where
+   [Poly.roots] succeeds. Fewer hits means candidates did not cover the
+   root set; the caller falls back to the full search, keeping the
+   outcome identical to {!decode} on every input. *)
+let candidate_roots f locator l candidates =
+  let rev = Poly.reverse locator in
+  let found = Hashtbl.create (2 * l) in
+  let n_found = ref 0 in
+  let mask = Gf2m.mask f in
+  (try
+     Array.iter
+       (fun e ->
+         if
+           e > 0 && e <= mask
+           && (not (Hashtbl.mem found e))
+           && Poly.eval_by f rev e = 0
+         then begin
+           Hashtbl.add found e ();
+           incr n_found;
+           if !n_found = l then raise Exit
+         end)
+       candidates
+   with Exit -> ());
+  if !n_found = l then Some (Hashtbl.fold (fun e () acc -> e :: acc) found [])
+  else None
+
+let decode_with ?scratch ?candidates t =
   if is_empty t then Ok []
   else begin
     let f = t.field in
     let c = t.capacity in
     (* Full syndrome sequence s_1..s_2c; even entries from Frobenius:
        s_2k = s_k^2. [ss] is 1-indexed. *)
-    let ss = Array.make ((2 * c) + 1) 0 in
+    let ss =
+      match scratch with
+      | None -> Array.make ((2 * c) + 1) 0
+      | Some s ->
+          if Array.length s.Scratch.ss < (2 * c) + 1 then
+            s.Scratch.ss <- Array.make ((2 * c) + 1) 0;
+          s.Scratch.ss
+    in
     for k = 1 to 2 * c do
       ss.(k) <-
         (if k land 1 = 1 then t.syndromes.((k - 1) / 2)
          else Gf2m.sq f ss.(k / 2))
     done;
-    let locator, l = Berlekamp_massey.run f (Array.sub ss 1 (2 * c)) in
+    let locator, l =
+      match scratch with
+      | None -> Berlekamp_massey.run f (Array.sub ss 1 (2 * c))
+      | Some s -> Berlekamp_massey.run_scratch s.Scratch.bm f ss ~off:1 ~len:(2 * c)
+    in
     if l = 0 || Poly.degree locator <> l then Error `Decode_failure
-    else
-      match Poly.roots f locator with
-      | None -> Error `Decode_failure
-      | Some roots when List.length roots <> l -> Error `Decode_failure
-      | Some roots when List.mem 0 roots -> Error `Decode_failure
-      | Some roots ->
-          let elements = List.map (Gf2m.inv f) roots in
-          (* Re-encode to rule out spurious decodes beyond capacity. *)
-          let check = create ~field:f ~capacity:c () in
-          add_all check elements;
-          if Array.for_all2 ( = ) check.syndromes t.syndromes then Ok elements
-          else Error `Decode_failure
+    else begin
+      let from_candidates =
+        match candidates with
+        | None -> None
+        | Some cand -> candidate_roots f locator l cand
+      in
+      match from_candidates with
+      | Some elements -> reencode_check t elements
+      | None -> (
+          match Poly.roots f locator with
+          | None -> Error `Decode_failure
+          | Some roots when List.length roots <> l -> Error `Decode_failure
+          | Some roots when List.mem 0 roots -> Error `Decode_failure
+          | Some roots -> reencode_check t (List.map (Gf2m.inv f) roots))
+    end
   end
+
+let decode t = decode_with t
 
 let syndrome_bytes field = (Gf2m.bits field + 7) / 8
 let serialized_size t = 1 + 2 + (t.capacity * syndrome_bytes t.field)

@@ -24,3 +24,14 @@ reconnect/backoff and chaos logic stays testable with synthetic clocks.
 
   $ grep -rnE '\bgettimeofday\b|\bUnix\.time\b|\bUnix\.sleepf?\b|Sys\.time\b' --include='*.ml' ../../lib/live \
   >   | grep -v 'lib/live/clock\.ml' | sort
+
+The throughput tier (batched admission in Mempool.ingest_batch, the
+paired sketch kernels, the ingest benchmark) must not loosen any of
+this. The batch paths live in lib/ and are swept by the lints above;
+the benchmark harness is allowed to read the wall clock — elapsed time
+is the thing it measures — but its workload must stay a pure function
+of loop indices and fixed seeds, so the Random ban extends to bench/
+too. A match below means a benchmark's input (and therefore its
+recorded baseline) changes from run to run.
+
+  $ grep -rnE '\bRandom\.' --include='*.ml' ../../bench | sort

@@ -250,10 +250,94 @@ let message_tests =
                   ])));
   ]
 
+(* ---------------- Reader views ---------------- *)
+
+(* The zero-copy decode path: [of_substring]/[sub_view] narrow a reader
+   over a shared buffer; every read must behave exactly as it would
+   over a copied substring. *)
+let view_tests =
+  [
+    Alcotest.test_case "of_substring reads the window" `Quick (fun () ->
+        let s = "ab\x01\x02cd" in
+        let r = R.of_substring s ~pos:2 ~len:2 in
+        check_int "first" 1 (R.u8 r);
+        check_int "second" 2 (R.u8 r);
+        check_bool "at end" true (R.at_end r);
+        R.expect_end r);
+    Alcotest.test_case "of_substring rejects bad windows" `Quick (fun () ->
+        List.iter
+          (fun (pos, len) ->
+            check_bool "raises" true
+              (match R.of_substring "abcd" ~pos ~len with
+              | exception Invalid_argument _ -> true
+              | _ -> false))
+          [ (-1, 2); (0, 5); (3, 2); (5, 0) ]);
+    Alcotest.test_case "view bound stops reads" `Quick (fun () ->
+        let r = R.of_substring "abcdef" ~pos:1 ~len:2 in
+        check_bool "truncated" true
+          (match R.fixed r 3 with
+          | exception R.Malformed _ -> true
+          | _ -> false));
+    Alcotest.test_case "sub_view consumes and narrows" `Quick (fun () ->
+        let r = R.of_string "\x01XYZ\x02" in
+        check_int "head" 1 (R.u8 r);
+        let v = R.sub_view r 3 in
+        check_int "outer tail" 2 (R.u8 r);
+        R.expect_end r;
+        check_str "inner" "XYZ" (R.fixed v 3);
+        R.expect_end v);
+    Alcotest.test_case "sub_view needs enough bytes" `Quick (fun () ->
+        let r = R.of_string "ab" in
+        check_bool "raises" true
+          (match R.sub_view r 3 with
+          | exception R.Malformed _ -> true
+          | _ -> false));
+    Alcotest.test_case "slice recovers decoded spans" `Quick (fun () ->
+        let s = encode (fun w -> W.u16 w 0xBEEF) in
+        let r = R.of_string s in
+        let from = R.pos r in
+        ignore (R.u16 r);
+        check_str "span" s (R.slice r ~from ~until:(R.pos r)));
+    qtest "view reads = copied substring reads"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 8) (int_bound 1_000_000))
+          (pair (string_size (int_bound 10)) (string_size (int_bound 10))))
+      (fun (vals, (prefix, suffix)) ->
+        let body =
+          encode (fun w ->
+              List.iter (fun v -> W.varint w v) vals;
+              W.bytes w "tail")
+        in
+        let r_copy = R.of_string body in
+        let r_view =
+          R.of_substring (prefix ^ body ^ suffix)
+            ~pos:(String.length prefix)
+            ~len:(String.length body)
+        in
+        let read r =
+          let xs = List.map (fun _ -> R.varint r) vals in
+          let t = R.bytes r in
+          R.expect_end r;
+          (xs, t)
+        in
+        read r_copy = read r_view);
+    qtest "clone is an independent cursor"
+      QCheck2.Gen.(list_size (int_range 1 6) (int_bound 9999))
+      (fun vals ->
+        let body = encode (fun w -> List.iter (fun v -> W.varint w v) vals) in
+        let r = R.of_string body in
+        let c = R.clone r in
+        let a = List.map (fun _ -> R.varint r) vals in
+        let b = List.map (fun _ -> R.varint c) vals in
+        a = b && R.at_end r && R.at_end c);
+  ]
+
 let () =
   Alcotest.run "lo_codec"
     [
       ("scalars", scalar_tests);
       ("composites", composite_tests);
       ("messages", message_tests);
+      ("views", view_tests);
     ]

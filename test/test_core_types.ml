@@ -903,10 +903,192 @@ let short_id_tests =
             ignore (Short_id.of_txid "abc")));
   ]
 
+(* ---------------- Tx wire fast path ---------------- *)
+
+let tx_wire_tests =
+  [
+    Alcotest.test_case "unsigned_bytes is the signed prefix" `Quick (fun () ->
+        let tx = mk_tx "prefix" in
+        check_str "prefix"
+          (Tx.unsigned_bytes tx ^ tx.Tx.signature)
+          (Tx.to_string tx));
+    Alcotest.test_case "non-minimal fee varint falls back to canonical id"
+      `Quick (fun () ->
+        (* fee 10 encodes as the single byte 0x0a at offset 33 (after
+           the origin); 0x8a 0x00 decodes to the same value through a
+           non-minimal continuation. The id must come out canonical —
+           digest of the re-encoding, not of the received bytes. *)
+        let tx = mk_tx ~fee:10 "nm" in
+        let s = Tx.to_string tx in
+        let nm =
+          String.sub s 0 33 ^ "\x8a\x00"
+          ^ String.sub s 34 (String.length s - 34)
+        in
+        let tx' = Tx.of_string nm in
+        check_str "id" tx.Tx.id tx'.Tx.id;
+        check_bool "prevalidates" true
+          (Tx.prevalidate scheme tx' = Ok ()));
+    Alcotest.test_case "non-minimal payload-length varint" `Quick (fun () ->
+        let tx = mk_tx ~fee:0 "xyz" in
+        let s = Tx.to_string tx in
+        (* layout: origin(33) fee-varint(1) us(8) plen-varint(1) ... *)
+        let nm =
+          String.sub s 0 42 ^ "\x83\x00"
+          ^ String.sub s 43 (String.length s - 43)
+        in
+        let tx' = Tx.of_string nm in
+        check_str "id" tx.Tx.id tx'.Tx.id);
+    qtest "wire roundtrip preserves id across fee widths"
+      QCheck2.Gen.(
+        triple (int_bound 10_000_000)
+          (string_size (int_bound 200))
+          (int_bound 1_000_000))
+      (fun (fee, payload, us) ->
+        let tx = mk_tx ~fee ~created_at:(float_of_int us /. 1e6) payload in
+        let tx' = Tx.of_string (Tx.to_string tx) in
+        tx'.Tx.id = tx.Tx.id
+        && Tx.unsigned_bytes tx' = Tx.unsigned_bytes tx
+        && Tx.prevalidate scheme tx' = Ok ());
+  ]
+
+(* ---------------- Batched ingest ---------------- *)
+
+(* [Mempool.ingest_batch] against the per-transaction reference
+   pipeline run with the same one-bundle-per-batch commit granularity:
+   same mempool contents, same accepted/invalid/duplicate partition,
+   same committed ids, byte-identical commitment digests. *)
+let ingest_batch_tests =
+  let corrupt_sig tx =
+    let s = Bytes.of_string (Tx.to_string tx) in
+    let off = Bytes.length s - 1 in
+    Bytes.set s off (Char.chr (Char.code (Bytes.get s off) lxor 1));
+    Tx.of_string (Bytes.to_string s)
+  in
+  let reference ?(keep = fun _ -> true) ~known txs =
+    let m = Mempool.create () in
+    let accepted = ref [] and invalid = ref [] and dups = ref 0 in
+    let fresh = ref [] in
+    let seen = Hashtbl.create 16 in
+    List.iteri
+      (fun i tx ->
+        match Tx.prevalidate scheme tx with
+        | Error r -> invalid := (i, r) :: !invalid
+        | Ok () ->
+            if keep tx then begin
+              let short = Tx.short_id tx in
+              if (not (known short)) && not (Hashtbl.mem seen short) then begin
+                Hashtbl.add seen short ();
+                fresh := short :: !fresh
+              end;
+              match
+                Mempool.add m ~tx ~received_at:7. ~from_peer:(Some "p")
+              with
+              | `Added e -> accepted := e :: !accepted
+              | `Duplicate -> incr dups
+            end)
+      txs;
+    (m, List.rev !accepted, List.rev !invalid, !dups, List.rev !fresh)
+  in
+  let run_batch ?canonical ?keep ~known txs =
+    let m = Mempool.create () in
+    let committed = ref [] in
+    let r =
+      Mempool.ingest_batch ?canonical ?keep ~scheme ~known
+        ~commit:(fun ids -> committed := ids)
+        ~received_at:7. ~from_peer:(Some "p") m txs
+    in
+    (m, r, !committed)
+  in
+  let ids_of entries =
+    List.map (fun (e : Mempool.entry) -> e.Mempool.tx.Tx.id) entries
+  in
+  let digest_after ids =
+    let log = Commitment.Log.create ~signer:alice () in
+    if ids <> [] then ignore (Commitment.Log.append log ~source:None ~ids);
+    Commitment.signing_bytes (Commitment.Log.current_digest log)
+  in
+  let agree ?keep ?(known = fun _ -> false) txs =
+    let m1, acc1, inv1, dup1, fresh = reference ?keep ~known txs in
+    let m2, r, committed = run_batch ?keep ~known txs in
+    ids_of (Mempool.entries_in_arrival_order m1)
+    = ids_of (Mempool.entries_in_arrival_order m2)
+    && ids_of acc1 = ids_of r.Mempool.accepted
+    && List.map fst inv1 = List.map fst r.Mempool.invalid
+    && dup1 = r.Mempool.duplicates
+    && fresh = committed
+    && fresh = r.Mempool.committed
+    && digest_after fresh = digest_after committed
+  in
+  [
+    Alcotest.test_case "empty batch" `Quick (fun () ->
+        let _, r, committed = run_batch ~known:(fun _ -> false) [] in
+        check_bool "no commit" true (committed = []);
+        check_bool "all empty" true
+          (r.Mempool.accepted = [] && r.Mempool.invalid = []
+          && r.Mempool.duplicates = 0 && r.Mempool.committed = []));
+    Alcotest.test_case "mixed batch matches reference" `Quick (fun () ->
+        let a = mk_tx "ba" and b = mk_tx "bb" and c = mk_tx "bc" in
+        let txs = [ a; corrupt_sig b; a; b; c; c ] in
+        check_bool "agree" true (agree txs));
+    Alcotest.test_case "known ids are not re-committed" `Quick (fun () ->
+        let a = mk_tx "ka" and b = mk_tx "kb" in
+        let known s = s = Tx.short_id a in
+        let _, r, committed = run_batch ~known [ a; b ] in
+        check_bool "only b" true (committed = [ Tx.short_id b ]);
+        check_int "both stored" 2 (List.length r.Mempool.accepted);
+        check_bool "agree" true (agree ~known [ a; b ]));
+    Alcotest.test_case "censored txs are skipped in both paths" `Quick
+      (fun () ->
+        let keep tx = tx.Tx.payload <> "censored" in
+        let txs = [ mk_tx "ok1"; mk_tx "censored"; mk_tx "ok2" ] in
+        let _, r, committed = run_batch ~keep ~known:(fun _ -> false) txs in
+        check_int "kept" 2 (List.length r.Mempool.accepted);
+        check_int "committed" 2 (List.length committed);
+        check_bool "agree" true (agree ~keep txs));
+    Alcotest.test_case "canonical substitution is applied" `Quick (fun () ->
+        let a = mk_tx "canon" in
+        let a' = Tx.of_string (Tx.to_string a) in
+        let canonical tx = if tx.Tx.id = a.Tx.id then a else tx in
+        let _, r, _ = run_batch ~canonical ~known:(fun _ -> false) [ a' ] in
+        match r.Mempool.accepted with
+        | [ e ] -> check_bool "interned instance" true (e.Mempool.tx == a)
+        | _ -> Alcotest.fail "expected one accepted entry");
+    qtest "ingest_batch = iterated reference" ~count:120
+      QCheck2.Gen.(
+        list_size (int_bound 16) (pair (int_bound 5) (int_bound 4)))
+      (fun spec ->
+        let base =
+          Array.init 6 (fun i -> mk_tx ~fee:i (Printf.sprintf "qb%d" i))
+        in
+        let txs =
+          List.map
+            (fun (k, corrupt) ->
+              if corrupt = 0 then corrupt_sig base.(k) else base.(k))
+            spec
+        in
+        agree txs);
+    qtest "ingest_batch with known set = reference" ~count:80
+      QCheck2.Gen.(
+        pair
+          (list_size (int_bound 12) (int_bound 5))
+          (list_size (int_bound 3) (int_bound 5)))
+      (fun (picks, known_picks) ->
+        let base =
+          Array.init 6 (fun i -> mk_tx ~fee:(i + 7) (Printf.sprintf "qk%d" i))
+        in
+        let txs = List.map (fun k -> base.(k)) picks in
+        let known_set =
+          List.map (fun k -> Tx.short_id base.(k)) known_picks
+        in
+        agree ~known:(fun s -> List.mem s known_set) txs);
+  ]
+
 let () =
   Alcotest.run "lo_core_types"
     [
       ("tx", tx_tests);
+      ("tx-wire", tx_wire_tests);
+      ("ingest-batch", ingest_batch_tests);
       ("short-id", short_id_tests);
       ("commitment", commitment_tests);
       ("order", order_tests);

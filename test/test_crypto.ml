@@ -475,6 +475,150 @@ let merkle_tests =
           (List.init (List.length leaves) Fun.id));
   ]
 
+(* ---------------- Batch verification ----------------
+
+   The batched kernels are fast paths, not new semantics: every test
+   here pins them to the one-at-a-time reference they replace. *)
+
+let flip_byte s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  Bytes.to_string b
+
+let batch_tests =
+  let keys =
+    Array.init 6 (fun i -> Schnorr.keypair_of_seed (Printf.sprintf "bk%d" i))
+  in
+  let triple i msg =
+    let sk, pk = keys.(i mod Array.length keys) in
+    (pk, msg, Schnorr.sign sk msg)
+  in
+  let reference sigs =
+    let bad = ref [] in
+    Array.iteri
+      (fun i (pk, msg, signature) ->
+        if not (Schnorr.verify pk ~msg ~signature) then bad := i :: !bad)
+      sigs;
+    match List.rev !bad with [] -> `All_valid | l -> `Invalid l
+  in
+  [
+    Alcotest.test_case "empty batch is all valid" `Quick (fun () ->
+        check_bool "empty" true (Schnorr.batch_verify [||] = `All_valid));
+    Alcotest.test_case "all valid across chunk boundaries" `Slow (fun () ->
+        let sigs = Array.init 37 (fun i -> triple i (Printf.sprintf "m%d" i)) in
+        check_bool "valid" true (Schnorr.batch_verify sigs = `All_valid));
+    Alcotest.test_case "one invalid at every position names the culprit"
+      `Slow (fun () ->
+        let n = 9 in
+        for bad = 0 to n - 1 do
+          let sigs =
+            Array.init n (fun i -> triple i (Printf.sprintf "m%d" i))
+          in
+          let pk, msg, s = sigs.(bad) in
+          sigs.(bad) <- (pk, msg, flip_byte s 3);
+          match Schnorr.batch_verify sigs with
+          | `Invalid [ i ] -> check_int "culprit" bad i
+          | `Invalid _ -> Alcotest.fail "blamed more than the culprit"
+          | `All_valid -> Alcotest.fail "missed the invalid signature"
+        done);
+    qtest "batch_verify = iterated verify" ~count:12
+      QCheck2.Gen.(list_size (int_bound 12) (pair (int_bound 5) (int_bound 3)))
+      (fun spec ->
+        let sigs =
+          Array.of_list
+            (List.mapi
+               (fun i (k, corrupt) ->
+                 let pk, msg, s = triple k (Printf.sprintf "msg-%d" i) in
+                 if corrupt = 0 then (pk, msg, flip_byte s (i mod 64))
+                 else (pk, msg, s))
+               spec)
+        in
+        Schnorr.batch_verify sigs = reference sigs);
+    qtest "batch_verify with custom run_chunks = default" ~count:8
+      QCheck2.Gen.(list_size (int_bound 10) (pair (int_bound 5) (int_bound 3)))
+      (fun spec ->
+        let sigs =
+          Array.of_list
+            (List.mapi
+               (fun i (k, corrupt) ->
+                 let pk, msg, s = triple k (Printf.sprintf "msg-%d" i) in
+                 if corrupt = 0 then (pk, msg, flip_byte s (i mod 64))
+                 else (pk, msg, s))
+               spec)
+        in
+        Schnorr.batch_verify
+          ~run_chunks:(fun fs -> List.map (fun f -> f ()) fs)
+          sigs
+        = Schnorr.batch_verify sigs);
+  ]
+
+let verify_many_tests =
+  let scheme_cases =
+    [ ("simulation", Signer.simulation ()); ("schnorr", Signer.schnorr) ]
+  in
+  List.concat_map
+    (fun (name, scheme) ->
+      let signers =
+        Array.init 4 (fun i ->
+            Signer.make scheme ~seed:(Printf.sprintf "vm-%s-%d" name i))
+      in
+      let reference sigs =
+        let bad = ref [] in
+        Array.iteri
+          (fun i (id, msg, signature) ->
+            if not (Signer.verify scheme ~id ~msg ~signature) then
+              bad := i :: !bad)
+          sigs;
+        List.rev !bad
+      in
+      [
+        Alcotest.test_case (name ^ ": empty") `Quick (fun () ->
+            check_bool "empty" true (Signer.verify_many scheme [||] = []));
+        qtest
+          (name ^ ": verify_many = iterated verify")
+          ~count:(if name = "schnorr" then 8 else 60)
+          QCheck2.Gen.(
+            list_size (int_bound 10) (pair (int_bound 3) (int_bound 3)))
+          (fun spec ->
+            let sigs =
+              Array.of_list
+                (List.mapi
+                   (fun i (k, corrupt) ->
+                     let signer = signers.(k) in
+                     let msg = Printf.sprintf "vm-msg-%d" i in
+                     let s = Signer.sign signer msg in
+                     let s = if corrupt = 0 then flip_byte s (i mod 32) else s in
+                     (Signer.id signer, msg, s))
+                   spec)
+            in
+            Signer.verify_many scheme sigs = reference sigs);
+      ])
+    scheme_cases
+
+let keyed_hmac_tests =
+  [
+    qtest "Keyed.sha256 = Hmac.sha256"
+      QCheck2.Gen.(
+        pair (string_size (int_bound 100)) (string_size (int_bound 300)))
+      (fun (key, msg) ->
+        Hmac.Keyed.sha256 (Hmac.Keyed.create ~key) msg = Hmac.sha256 ~key msg);
+    qtest "Keyed.sha256_list = Hmac.sha256_list"
+      QCheck2.Gen.(
+        pair
+          (string_size (int_bound 100))
+          (list_size (int_bound 5) (string_size (int_bound 80))))
+      (fun (key, parts) ->
+        Hmac.Keyed.sha256_list (Hmac.Keyed.create ~key) parts
+        = Hmac.sha256_list ~key parts);
+    Alcotest.test_case "one keyed context serves many messages" `Quick
+      (fun () ->
+        let k = Hmac.Keyed.create ~key:"k" in
+        List.iter
+          (fun m -> check "same" (Hex.encode (Hmac.sha256 ~key:"k" m))
+               (Hex.encode (Hmac.Keyed.sha256 k m)))
+          [ ""; "a"; String.make 200 'x' ]);
+  ]
+
 let () =
   Alcotest.run "lo_crypto"
     [
@@ -487,6 +631,9 @@ let () =
       ("secp256k1", secp_tests);
       ("secp256k1-properties", secp_property_tests);
       ("schnorr", schnorr_tests);
+      ("schnorr-batch", batch_tests);
       ("signer", signer_tests);
+      ("verify-many", verify_many_tests);
+      ("hmac-keyed", keyed_hmac_tests);
       ("merkle", merkle_tests);
     ]

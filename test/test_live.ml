@@ -644,10 +644,164 @@ let cluster_tests =
           [ 3; 11 ]);
   ]
 
+(* ---------------- Batched wire path ---------------- *)
+
+(* [encode_into]/[next_view] are the pipelined fast paths of the same
+   wire format: byte-identical frames out, field-identical frames in,
+   under any chunking. *)
+let batch_wire_tests =
+  let materialize (v : Frame.Decoder.view) =
+    let payload =
+      Lo_codec.Reader.fixed v.Frame.Decoder.v_payload
+        (Lo_codec.Reader.remaining v.Frame.Decoder.v_payload)
+    in
+    {
+      Frame.version = v.Frame.Decoder.v_version;
+      src = v.Frame.Decoder.v_src;
+      tag = v.Frame.Decoder.v_tag;
+      payload;
+    }
+  in
+  let frame_gen =
+    QCheck2.Gen.(
+      triple (int_bound 100_000)
+        (string_size (int_bound 12))
+        (string_size ~gen:(char_range '\000' '\255') (int_bound 200)))
+  in
+  [
+    qtest "encode_into = encode, concatenated"
+      QCheck2.Gen.(list_size (int_bound 8) frame_gen)
+      (fun frames ->
+        let w = Lo_codec.Writer.create () in
+        List.iter
+          (fun (src, tag, payload) -> Frame.encode_into w ~src ~tag payload)
+          frames;
+        Lo_codec.Writer.contents w
+        = String.concat ""
+            (List.map
+               (fun (src, tag, payload) -> Frame.encode ~src ~tag payload)
+               frames));
+    qtest "next_view = next under random chunking"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_bound 6) frame_gen)
+          (list_size (int_bound 20) (int_range 1 37)))
+      (fun (frames, chunks) ->
+        let stream =
+          String.concat ""
+            (List.map
+               (fun (src, tag, payload) -> Frame.encode ~src ~tag payload)
+               frames)
+        in
+        let collect next dec =
+          let out = ref [] in
+          let off = ref 0 and sizes = ref chunks in
+          let n = String.length stream in
+          while !off < n do
+            let k =
+              match !sizes with
+              | [] -> n - !off
+              | s :: rest ->
+                  sizes := rest;
+                  min s (n - !off)
+            in
+            Frame.Decoder.feed dec (String.sub stream !off k);
+            off := !off + k;
+            let rec drain () =
+              match next dec with
+              | Some f ->
+                  out := f :: !out;
+                  drain ()
+              | None -> ()
+            in
+            drain ()
+          done;
+          List.rev !out
+        in
+        let via_next = collect Frame.Decoder.next (Frame.Decoder.create ()) in
+        let via_view =
+          collect
+            (fun dec -> Option.map materialize (Frame.Decoder.next_view dec))
+            (Frame.Decoder.create ())
+        in
+        via_next = via_view);
+    qtest "feed_bytes = feed"
+      QCheck2.Gen.(list_size (int_bound 4) frame_gen)
+      (fun frames ->
+        let stream =
+          String.concat ""
+            (List.map
+               (fun (src, tag, payload) -> Frame.encode ~src ~tag payload)
+               frames)
+        in
+        let d1 = Frame.Decoder.create () and d2 = Frame.Decoder.create () in
+        Frame.Decoder.feed d1 stream;
+        let b = Bytes.of_string ("??" ^ stream) in
+        Frame.Decoder.feed_bytes d2 b 2 (String.length stream);
+        let rec drain dec acc =
+          match Frame.Decoder.next dec with
+          | Some f -> drain dec (f :: acc)
+          | None -> List.rev acc
+        in
+        drain d1 [] = drain d2 []);
+    Alcotest.test_case "view survives handling before the next feed" `Quick
+      (fun () ->
+        (* Two frames in one buffered chunk: the first view must stay
+           readable while consumed, and advancing to the second frame
+           is what invalidates it — the documented lifetime. *)
+        let f1 = Frame.encode ~src:1 ~tag:"lo:a" "first-payload" in
+        let f2 = Frame.encode ~src:2 ~tag:"lo:b" "second" in
+        let dec = Frame.Decoder.create () in
+        Frame.Decoder.feed dec (f1 ^ f2);
+        (match Frame.Decoder.next_view dec with
+        | Some v ->
+            check_string "payload" "first-payload"
+              (Lo_codec.Reader.fixed v.Frame.Decoder.v_payload 13)
+        | None -> Alcotest.fail "first frame should be ready");
+        match Frame.Decoder.next_view dec with
+        | Some v ->
+            check_int "src" 2 v.Frame.Decoder.v_src;
+            check_string "tag" "lo:b" v.Frame.Decoder.v_tag
+        | None -> Alcotest.fail "second frame should be ready");
+    qtest ~count:300 "next_view adversarial bytes never escape Malformed"
+      QCheck2.Gen.(
+        pair
+          (string_size ~gen:(char_range '\000' '\255') (int_range 0 400))
+          (list_size (int_bound 20) (int_range 1 37)))
+      (fun (garbage, chunks) ->
+        let dec = Frame.Decoder.create () in
+        let off = ref 0 and sizes = ref chunks in
+        let n = String.length garbage in
+        let ok = ref true in
+        (try
+           while !off < n do
+             let k =
+               match !sizes with
+               | [] -> n - !off
+               | s :: rest ->
+                   sizes := rest;
+                   min s (n - !off)
+             in
+             Frame.Decoder.feed dec (String.sub garbage !off k);
+             off := !off + k;
+             let rec drain () =
+               match Frame.Decoder.next_view dec with
+               | Some _ -> drain ()
+               | None -> ()
+             in
+             drain ()
+           done
+         with
+        | Lo_codec.Reader.Malformed _ -> ()
+        | _ -> ok := false);
+        !ok);
+  ]
+
 let () =
   Alcotest.run "lo_live"
     [
       ("frame", frame_tests);
+      ("batch-wire", batch_wire_tests);
       ("timer_wheel", timer_tests);
       ("mux", mux_tests);
       ("reconnect", reconnect_tests);

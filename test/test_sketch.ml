@@ -574,11 +574,22 @@ let prop_tests =
               ~local:(shared @ only_local) ~remote:(shared @ only_remote) ()
           with
           | stats, None -> stats.Partitioned.decode_failures >= 1
-          | _, Some _ ->
+          | _, Some s ->
               (* A capacity-c sketch holds at most c roots, so a correct
-                 decode is impossible here; a spurious one is only
-                 permitted past the BCH distance bound at 2c. *)
-              diff_size > 2 * capacity);
+                 decode is impossible here. A spurious result S is only
+                 permitted past the BCH distance bound: S and the true
+                 difference D share syndromes iff S xor D is a nonzero
+                 codeword, i.e. |S delta D| >= 2c + 1. (At diff = 2,
+                 capacity = 1, this happens for every input: the sketch
+                 of {a, b} equals the sketch of {a xor b}.) *)
+              let tbl = Hashtbl.create 64 in
+              let toggle e =
+                if Hashtbl.mem tbl e then Hashtbl.remove tbl e
+                else Hashtbl.add tbl e ()
+              in
+              List.iter toggle s;
+              List.iter toggle (only_local @ only_remote);
+              Hashtbl.length tbl >= (2 * capacity) + 1);
     qtest ~count:50 "strata: wire round-trip preserves estimates"
       split_sets_gen
       (fun (shared, only_local, only_remote) ->
@@ -598,6 +609,162 @@ let prop_tests =
         Strata.estimate a b = Strata.estimate b a);
   ]
 
+(* ---------------- Decode kernels ----------------
+
+   The scratch/candidate kernels are fast paths pinned to the reference
+   implementations they replace: same outcome on every input. *)
+
+let kernel_tests =
+  [
+    qtest "run_scratch = run" ~count:150
+      QCheck2.Gen.(
+        pair (list_size (int_bound 24) (int_range 0 0xffff)) (int_bound 4))
+      (fun (l, off) ->
+        let scratch = Berlekamp_massey.create_scratch () in
+        let s = Array.of_list l in
+        let arr = Array.append (Array.make off 0) s in
+        Berlekamp_massey.run_scratch scratch f16 arr ~off
+          ~len:(Array.length s)
+        = Berlekamp_massey.run f16 s);
+    qtest "scratch reuse across calls stays exact" ~count:40
+      QCheck2.Gen.(
+        list_size (int_range 1 6) (list_size (int_bound 16) (int_range 0 0xffff)))
+      (fun batches ->
+        let scratch = Berlekamp_massey.create_scratch () in
+        List.for_all
+          (fun l ->
+            let s = Array.of_list l in
+            Berlekamp_massey.run_scratch scratch f16 s ~off:0
+              ~len:(Array.length s)
+            = Berlekamp_massey.run f16 s)
+          batches);
+    qtest "decode_with kernel = decode" ~count:150
+      QCheck2.Gen.(
+        pair (list_size (int_bound 24) (int_range 1 0xffffff)) bool)
+      (fun (l, use_candidates) ->
+        let elems = List.sort_uniq compare l in
+        let s = Sketch.of_list ~capacity:16 elems in
+        let scratch = Sketch.Scratch.create () in
+        let candidates =
+          if use_candidates then Some (Array.of_list elems) else None
+        in
+        let norm = function
+          | Ok ids -> Ok (List.sort compare ids)
+          | Error _ as e -> e
+        in
+        norm (Sketch.decode_with ~scratch ?candidates s)
+        = norm (Sketch.decode s));
+    qtest "decode_with misleading candidates = decode" ~count:80
+      QCheck2.Gen.(
+        pair
+          (list_size (int_bound 12) (int_range 1 0xffffff))
+          (list_size (int_bound 12) (int_range 1 0xffffff)))
+      (fun (l, noise) ->
+        (* Candidates that share nothing with the actual difference must
+           not change the outcome — the kernel falls back to the full
+           root search for roots the seeds missed. *)
+        let elems = List.sort_uniq compare l in
+        let s = Sketch.of_list ~capacity:16 elems in
+        let norm = function
+          | Ok ids -> Ok (List.sort compare ids)
+          | Error _ as e -> e
+        in
+        norm (Sketch.decode_with ~candidates:(Array.of_list noise) s)
+        = norm (Sketch.decode s));
+    qtest "reconcile fast = reference" ~count:60
+      QCheck2.Gen.(
+        pair
+          (list_size (int_bound 40) (int_range 1 0xffffff))
+          (list_size (int_bound 40) (int_range 1 0xffffff)))
+      (fun (a, b) ->
+        let local = List.sort_uniq compare a in
+        let remote = List.sort_uniq compare b in
+        let _, fast =
+          Partitioned.reconcile ~capacity:8 ~local ~remote ()
+        in
+        let _, slow =
+          Partitioned.reconcile ~fast:false ~capacity:8 ~local ~remote ()
+        in
+        List.sort compare fast = List.sort compare slow);
+    qtest "reconcile_monolithic fast = reference" ~count:60
+      QCheck2.Gen.(
+        pair
+          (list_size (int_bound 20) (int_range 1 0xffffff))
+          (list_size (int_bound 20) (int_range 1 0xffffff)))
+      (fun (a, b) ->
+        let local = List.sort_uniq compare a in
+        let remote = List.sort_uniq compare b in
+        let norm = Option.map (List.sort compare) in
+        let _, fast =
+          Partitioned.reconcile_monolithic ~capacity:32 ~local ~remote ()
+        in
+        let _, slow =
+          Partitioned.reconcile_monolithic ~fast:false ~capacity:32 ~local
+            ~remote ()
+        in
+        norm fast = norm slow);
+    Alcotest.test_case "gf32 kernel spot check" `Quick (fun () ->
+        let rng = Lo_net.Rng.create 4242 in
+        let local = rand_distinct rng 120 Gf2m.gf32 in
+        let remote = rand_distinct rng 120 Gf2m.gf32 in
+        let _, fast = Partitioned.reconcile ~capacity:8 ~local ~remote () in
+        let _, slow =
+          Partitioned.reconcile ~fast:false ~capacity:8 ~local ~remote ()
+        in
+        check_bool "same diff" true
+          (List.sort compare fast = List.sort compare slow));
+    (* The accumulation kernels against the definitional loop. *)
+    qtest "accum_powers = naive power loop" ~count:120
+      QCheck2.Gen.(
+        quad (int_range 0 2) (int_bound 40) (int_bound 0xffffff)
+          (int_bound 0xffffff))
+      (fun (which, n, base, step) ->
+        let f =
+          match which with 0 -> Gf2m.gf8 | 1 -> Gf2m.gf16 | _ -> Gf2m.gf32
+        in
+        let base = base land Gf2m.mask f and step = step land Gf2m.mask f in
+        let s1 = Array.init (n + 2) (fun i -> (i * 7) land Gf2m.mask f) in
+        let s2 = Array.copy s1 in
+        Gf2m.accum_powers f ~base ~step s1 ~n;
+        let p = ref base in
+        for i = 0 to n - 1 do
+          s2.(i) <- s2.(i) lxor !p;
+          if i < n - 1 then p := Gf2m.mul f !p step
+        done;
+        s1 = s2);
+    qtest "accum_powers2 = two accum_powers" ~count:120
+      QCheck2.Gen.(
+        pair (int_bound 40)
+          (array_size (return 4) (int_bound 0xffffffff)))
+      (fun (n, args) ->
+        let b1 = args.(0) land Gf2m.mask Gf2m.gf32
+        and s1v = args.(1) land Gf2m.mask Gf2m.gf32
+        and b2 = args.(2) land Gf2m.mask Gf2m.gf32
+        and s2v = args.(3) land Gf2m.mask Gf2m.gf32 in
+        let a1 = Array.init (n + 2) (fun i -> i * 31) in
+        let a2 = Array.copy a1 in
+        Gf2m.accum_powers2 Gf2m.gf32 ~base1:b1 ~step1:s1v ~base2:b2
+          ~step2:s2v a1 ~n;
+        Gf2m.accum_powers Gf2m.gf32 ~base:b1 ~step:s1v a2 ~n;
+        Gf2m.accum_powers Gf2m.gf32 ~base:b2 ~step:s2v a2 ~n;
+        a1 = a2);
+    qtest "add_all pairing = iterated add" ~count:100
+      QCheck2.Gen.(
+        pair (int_range 1 40)
+          (list_size (int_bound 9) (int_range 1 0xffffff)))
+      (fun (capacity, elems) ->
+        let wire s =
+          let w = Lo_codec.Writer.create () in
+          Sketch.encode w s;
+          Lo_codec.Writer.contents w
+        in
+        let s1 = Sketch.create ~capacity () in
+        Sketch.add_all s1 elems;
+        let s2 = Sketch.create ~capacity () in
+        List.iter (Sketch.add s2) elems;
+        wire s1 = wire s2);
+  ]
+
 let () =
   Alcotest.run "lo_sketch"
     [
@@ -607,6 +774,7 @@ let () =
       ("sketch", sketch_tests);
       ("bch-bound", bch_bound_tests);
       ("partitioned", partitioned_tests);
+      ("kernels", kernel_tests);
       ("strata", strata_tests);
       ("properties", prop_tests);
     ]
